@@ -1,0 +1,87 @@
+// E10a — infrastructure: DNS wire codec throughput (encode/decode of
+// benign messages, compression-pointer decoding, malicious-response
+// encoding at exploit sizes).
+#include <benchmark/benchmark.h>
+
+#include "src/dns/craft.hpp"
+#include "src/dns/message.hpp"
+
+using namespace connlab;
+
+namespace {
+
+void BM_EncodeQuery(benchmark::State& state) {
+  dns::Message query = dns::Message::Query(0x1234, "device.vendor.example.com");
+  for (auto _ : state) {
+    auto wire = dns::Encode(query);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeQuery);
+
+void BM_EncodeResponseWithAnswers(benchmark::State& state) {
+  dns::Message query = dns::Message::Query(0x1234, "device.vendor.example.com");
+  dns::Message response = dns::Message::ResponseFor(query);
+  for (int i = 0; i < state.range(0); ++i) {
+    response.answers.push_back(
+        dns::MakeA("device.vendor.example.com", "10.0.0.1", 300));
+  }
+  for (auto _ : state) {
+    auto wire = dns::Encode(response);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeResponseWithAnswers)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_DecodeResponse(benchmark::State& state) {
+  dns::Message query = dns::Message::Query(0x1234, "device.vendor.example.com");
+  dns::Message response = dns::Message::ResponseFor(query);
+  for (int i = 0; i < 4; ++i) {
+    response.answers.push_back(
+        dns::MakeA("device.vendor.example.com", "10.0.0.1", 300));
+  }
+  const util::Bytes wire = dns::Encode(response).value();
+  for (auto _ : state) {
+    auto decoded = dns::Decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodeResponse);
+
+void BM_DecodeCompressedName(benchmark::State& state) {
+  util::ByteWriter w;
+  (void)dns::EncodeName(w, "a.long.example.name.with.labels");
+  const std::size_t second = w.size();
+  w.WriteU8(3);
+  w.WriteString("www");
+  w.WriteU8(0xC0);
+  w.WriteU8(0x00);
+  const util::Bytes wire = w.bytes();
+  for (auto _ : state) {
+    auto name = dns::DecodeName(wire, second);
+    benchmark::DoNotOptimize(name);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeCompressedName);
+
+void BM_EncodeMaliciousResponse(benchmark::State& state) {
+  dns::Message query = dns::Message::Query(0x1234, "victim.example");
+  auto labels = dns::JunkLabels(static_cast<std::size_t>(state.range(0))).value();
+  for (auto _ : state) {
+    auto evil = dns::MaliciousAResponse(query, labels);
+    auto wire = dns::Encode(evil);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeMaliciousResponse)->Arg(1200)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E1 — the DoS baseline (paper §III intro): a crafted Type A response
+// crashes Connman 1.34 and bounces off 1.35, on both architectures.
+// Table: outcome per (arch, version, expansion size).
+// Timing: response handling cost, benign vs malicious.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/attack/campaign.hpp"
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+namespace {
+
+connman::ProxyOutcome Deliver(isa::Arch arch, connman::Version version,
+                              std::size_t expansion) {
+  auto sys = loader::Boot(arch, loader::ProtectionConfig::None(), 1).value();
+  connman::DnsProxy proxy(*sys, version);
+  dns::Message query = dns::Message::Query(0x42, "victim.example");
+  (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+  auto labels = dns::JunkLabels(expansion);
+  auto evil = dns::MaliciousAResponse(query, labels.value());
+  return proxy.HandleServerResponse(dns::Encode(evil).value());
+}
+
+void PrintTable() {
+  std::printf("== E1: DoS baseline — outcome per (arch, version, name expansion) ==\n");
+  std::printf("%-6s %-18s %8s  %s\n", "arch", "version", "bytes", "outcome");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (connman::Version version :
+         {connman::Version::k134, connman::Version::k135}) {
+      for (std::size_t size : {512u, 1022u, 2048u, 4096u}) {
+        auto outcome = Deliver(arch, version, size);
+        std::printf("%-6s %-18s %8zu  %s\n",
+                    std::string(isa::ArchName(arch)).c_str(),
+                    std::string(connman::VersionName(version)).c_str(), size,
+                    std::string(connman::OutcomeKindName(outcome.kind)).c_str());
+      }
+    }
+  }
+  std::printf("\nExpected shape: 1.34 crashes once expansion overruns the\n"
+              "stack; 1.35 rejects everything past the 1024-byte buffer and\n"
+              "keeps running. (CVE-2017-12865)\n\n");
+
+  // Availability under a sustained DoS campaign (supervisor restarts the
+  // crashed daemon; each restart loses 3 lookups).
+  std::printf("== E1b: availability under DoS campaign (200 lookups) ==\n");
+  std::printf("%-18s %12s %8s %8s %12s\n", "version", "attack rate",
+              "crashes", "lost", "availability");
+  std::printf("%s\n", std::string(64, '-').c_str());
+  for (connman::Version version :
+       {connman::Version::k134, connman::Version::k135}) {
+    for (int every_n : {0, 20, 10, 5}) {
+      attack::CampaignConfig config;
+      config.version = version;
+      config.total_lookups = 200;
+      config.attack_every_n = every_n;
+      auto result = attack::RunDosCampaign(config);
+      if (!result.ok()) continue;
+      char rate[24];
+      if (every_n == 0) {
+        std::snprintf(rate, sizeof(rate), "none");
+      } else {
+        std::snprintf(rate, sizeof(rate), "1/%d", every_n);
+      }
+      std::printf("%-18s %12s %8d %8d %11.1f%%\n",
+                  std::string(connman::VersionName(version)).c_str(), rate,
+                  result.value().crashes,
+                  result.value().lookups_lost_downtime,
+                  100.0 * result.value().availability());
+    }
+  }
+  std::printf("\nExpected shape: on 1.34 availability degrades with attack\n"
+              "rate (each crash costs the downtime window); on 1.35 only the\n"
+              "attacked lookups themselves fail — the daemon never dies.\n\n");
+}
+
+void BM_BenignResponse(benchmark::State& state) {
+  const auto arch = static_cast<isa::Arch>(state.range(0));
+  auto sys = loader::Boot(arch, loader::ProtectionConfig::None(), 1).value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "host.example");
+    auto fwd = proxy.AcceptClientQuery(dns::Encode(query).value());
+    benchmark::DoNotOptimize(fwd);
+    dns::Message response = dns::Message::ResponseFor(query);
+    response.answers.push_back(dns::MakeA("host.example", "1.2.3.4"));
+    auto outcome = proxy.HandleServerResponse(dns::Encode(response).value());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BenignResponse)->Arg(0)->Arg(1);
+
+void BM_DosResponse(benchmark::State& state) {
+  const auto arch = static_cast<isa::Arch>(state.range(0));
+  auto sys = loader::Boot(arch, loader::ProtectionConfig::None(), 1).value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  auto labels = dns::JunkLabels(4096).value();
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "victim.example");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    auto evil = dns::MaliciousAResponse(query, labels);
+    auto outcome = proxy.HandleServerResponse(dns::Encode(evil).value());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DosResponse)->Arg(0)->Arg(1);
+
+void BM_PatchedRejection(benchmark::State& state) {
+  auto sys = loader::Boot(isa::Arch::kVARM, loader::ProtectionConfig::None(), 1)
+                 .value();
+  connman::DnsProxy proxy(*sys, connman::Version::k135);
+  auto labels = dns::JunkLabels(4096).value();
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "victim.example");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    auto evil = dns::MaliciousAResponse(query, labels);
+    auto outcome = proxy.HandleServerResponse(dns::Encode(evil).value());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatchedRejection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

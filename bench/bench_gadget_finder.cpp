@@ -1,0 +1,85 @@
+// E7 — the tooling pass (§II/§III: gdb + ropper + ROPgadget): gadget
+// population per architecture and scan/search throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/gadget/finder.hpp"
+#include "src/gadget/memstr.hpp"
+#include "src/isa/varm.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+namespace {
+
+void PrintGadgetCensus() {
+  std::printf("== E7: gadget census over the simulated Connman image ==\n");
+  std::printf("%-6s %10s %10s %10s\n", "arch", ".text B", "gadgets",
+              "unaligned");
+  std::printf("%s\n", std::string(44, '-').c_str());
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    auto sys = loader::Boot(arch, loader::ProtectionConfig::None(), 1).value();
+    gadget::Finder finder(*sys);
+    const auto all = finder.FindAll(4);
+    std::size_t unaligned = 0;
+    for (const auto& g : all) unaligned += (g.addr % 4) != 0 ? 1 : 0;
+    std::printf("%-6s %10zu %10zu %10zu\n",
+                std::string(isa::ArchName(arch)).c_str(), finder.text_size(),
+                all.size(), unaligned);
+  }
+  std::printf("\nExpected shape: the byte-granular VX86 scan yields many\n"
+              "unintended (unaligned) gadgets; the word-aligned VARM scan\n"
+              "yields none — mirroring real x86 vs ARM gadget discovery.\n\n");
+}
+
+void BM_FindAll(benchmark::State& state) {
+  const auto arch = static_cast<isa::Arch>(state.range(0));
+  auto sys = loader::Boot(arch, loader::ProtectionConfig::None(), 1).value();
+  gadget::Finder finder(*sys);
+  for (auto _ : state) {
+    auto all = finder.FindAll(4);
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(finder.text_size()));
+}
+BENCHMARK(BM_FindAll)->Arg(0)->Arg(1);
+
+void BM_FindSpecificGadgets(benchmark::State& state) {
+  auto sys =
+      loader::Boot(isa::Arch::kVARM, loader::ProtectionConfig::None(), 1).value();
+  gadget::Finder finder(*sys);
+  const std::uint16_t need = isa::varm::Mask(
+      {isa::kR0, isa::kR1, isa::kR2, isa::kR3, isa::kR5, isa::kR6, isa::kR7});
+  for (auto _ : state) {
+    auto pops = finder.FindPopRegsPc(need);
+    auto blx = finder.FindBlx(isa::kR3);
+    benchmark::DoNotOptimize(pops);
+    benchmark::DoNotOptimize(blx);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FindSpecificGadgets);
+
+void BM_MemStrScan(benchmark::State& state) {
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 1).value();
+  gadget::MemStr memstr(*sys);
+  for (auto _ : state) {
+    auto addrs = memstr.FindChars("/bin/sh");
+    benchmark::DoNotOptimize(addrs);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemStrScan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintGadgetCensus();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

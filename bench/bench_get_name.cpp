@@ -1,0 +1,105 @@
+// E3 — the Listing-1 path: get_name expansion behaviour and cost.
+// Table: expansion outcome around the 1024-byte boundary, per version.
+// Timing: expansion throughput (bytes/second through the vulnerable copy).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+namespace {
+
+void PrintThresholdTable() {
+  std::printf("== E3: get_name expansion at the buffer boundary (VARM) ==\n");
+  std::printf("%10s  %-18s %-18s\n", "expansion", "1.34 (vulnerable)",
+              "1.35 (patched)");
+  std::printf("%s\n", std::string(50, '-').c_str());
+  for (std::size_t size : {256u, 512u, 1000u, 1022u, 1040u, 1100u, 2048u, 4096u}) {
+    std::string row[2];
+    int i = 0;
+    for (connman::Version version :
+         {connman::Version::k134, connman::Version::k135}) {
+      auto sys =
+          loader::Boot(isa::Arch::kVARM, loader::ProtectionConfig::None(), 1)
+              .value();
+      connman::DnsProxy proxy(*sys, version);
+      dns::Message query = dns::Message::Query(0x42, "t.example");
+      (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+      auto labels = dns::JunkLabels(size);
+      auto evil = dns::MaliciousAResponse(query, labels.value());
+      auto outcome = proxy.HandleServerResponse(dns::Encode(evil).value());
+      row[i++] = std::string(connman::OutcomeKindName(outcome.kind));
+    }
+    std::printf("%10zu  %-18s %-18s\n", size, row[0].c_str(), row[1].c_str());
+  }
+  std::printf("\nExpected shape: identical until 1022; past it 1.35 rejects\n"
+              "while 1.34 first silently corrupts the frame (parsed-ok /\n"
+              "crash depending on what it hits) and finally segfaults.\n\n");
+}
+
+void BM_GetNameExpansion(benchmark::State& state) {
+  const auto arch = static_cast<isa::Arch>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  auto sys = loader::Boot(arch, loader::ProtectionConfig::None(), 1).value();
+  connman::DnsProxy proxy(*sys, connman::Version::k135);  // bounded: no crash
+  auto labels = dns::JunkLabels(size).value();
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "t.example");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    auto evil = dns::MaliciousAResponse(query, labels);
+    auto outcome = proxy.HandleServerResponse(dns::Encode(evil).value());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_GetNameExpansion)->ArgsProduct({{0, 1}, {256, 512, 1000}});
+
+void BM_CompressedNameExpansion(benchmark::State& state) {
+  // A response using a compression pointer back into the question: the
+  // get_name walk takes the pointer hop every time.
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 1).value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "c.example.net");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    util::ByteWriter w;
+    w.WriteU16BE(query.header.id);
+    w.WriteU16BE(0x8180);
+    w.WriteU16BE(1);
+    w.WriteU16BE(1);
+    w.WriteU16BE(0);
+    w.WriteU16BE(0);
+    (void)dns::EncodeName(w, "c.example.net");
+    w.WriteU16BE(1);
+    w.WriteU16BE(1);
+    w.WriteU8(0xC0);
+    w.WriteU8(12);
+    w.WriteU16BE(1);
+    w.WriteU16BE(1);
+    w.WriteU32BE(60);
+    w.WriteU16BE(4);
+    w.WriteBytes(util::Bytes{9, 9, 9, 9});
+    auto outcome = proxy.HandleServerResponse(w.bytes());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompressedNameExpansion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintThresholdTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

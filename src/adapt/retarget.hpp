@@ -1,0 +1,42 @@
+// §V orchestration: point the Connman exploit generator at the adapted
+// targets and report what happened.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/adapt/httpcamd.hpp"
+#include "src/adapt/minimasq.hpp"
+#include "src/exploit/generator.hpp"
+
+namespace connlab::adapt {
+
+struct AdaptResult {
+  std::string service;       // "minimasq" / "httpcamd"
+  isa::Arch arch = isa::Arch::kVX86;
+  loader::ProtectionConfig prot;
+  exploit::Technique technique = exploit::Technique::kDosCrash;
+  ServiceOutcome::Kind kind = ServiceOutcome::Kind::kOther;
+  bool shell = false;
+  std::string detail;
+  std::size_t payload_bytes = 0;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Fires the matching technique (or `technique` if set) at a fresh
+/// minimasq instance, delivering over DNS.
+util::Result<AdaptResult> AttackMinimasq(
+    isa::Arch arch, const loader::ProtectionConfig& prot,
+    std::uint64_t seed = 3000,
+    std::optional<exploit::Technique> technique = std::nullopt);
+
+/// Same against httpcamd, delivering over HTTP (the "moderate
+/// modification": only the packet-crafting layer changes).
+util::Result<AdaptResult> AttackHttpCamd(
+    isa::Arch arch, const loader::ProtectionConfig& prot,
+    std::uint64_t seed = 3000,
+    std::optional<exploit::Technique> technique = std::nullopt);
+
+}  // namespace connlab::adapt

@@ -1,0 +1,93 @@
+#include "src/attack/campaign.hpp"
+
+#include "src/dns/craft.hpp"
+#include "src/dns/record.hpp"
+#include "src/loader/boot.hpp"
+
+namespace connlab::attack {
+
+util::Result<CampaignResult> RunDosCampaign(const CampaignConfig& config) {
+  CampaignResult result;
+  if (config.total_lookups <= 0) {
+    return util::InvalidArgument("campaign needs lookups");
+  }
+
+  // The supervisor: (re)boots the daemon. Every restart is a fresh boot
+  // (new ASLR draw), as a real init system would produce.
+  std::uint64_t boot_seed = config.seed;
+  auto sys = loader::Boot(config.arch, config.prot, boot_seed);
+  CONNLAB_RETURN_IF_ERROR(sys.status());
+  auto proxy =
+      std::make_unique<connman::DnsProxy>(*sys.value(), config.version);
+
+  auto labels = dns::JunkLabels(4096);
+  CONNLAB_RETURN_IF_ERROR(labels.status());
+
+  int downtime = 0;
+  for (int i = 0; i < config.total_lookups; ++i) {
+    ++result.lookups_attempted;
+    if (downtime > 0) {
+      // Daemon is down; this lookup is lost. The supervisor finishes the
+      // restart after `restart_downtime_lookups` ticks.
+      --downtime;
+      ++result.lookups_lost_downtime;
+      if (downtime == 0) {
+        ++result.restarts;
+        proxy.reset();  // the proxy references the dying System
+        sys = loader::Boot(config.arch, config.prot, ++boot_seed);
+        CONNLAB_RETURN_IF_ERROR(sys.status());
+        proxy = std::make_unique<connman::DnsProxy>(*sys.value(),
+                                                    config.version);
+      }
+      continue;
+    }
+
+    const auto id = static_cast<std::uint16_t>(i + 1);
+    dns::Message query = dns::Message::Query(id, "metrics.vendor.example");
+    CONNLAB_ASSIGN_OR_RETURN(util::Bytes qwire, dns::Encode(query));
+    CONNLAB_ASSIGN_OR_RETURN(util::Bytes fwd, proxy->AcceptClientQuery(qwire));
+
+    const bool attacked =
+        config.attack_every_n > 0 && (i + 1) % config.attack_every_n == 0;
+    util::Bytes rwire;
+    if (attacked) {
+      ++result.attacks_sent;
+      dns::Message evil = dns::MaliciousAResponse(query, labels.value());
+      CONNLAB_ASSIGN_OR_RETURN(rwire, dns::Encode(evil));
+    } else {
+      dns::Message response = dns::Message::ResponseFor(query);
+      response.answers.push_back(
+          dns::MakeA("metrics.vendor.example", "93.184.216.34", 60));
+      CONNLAB_ASSIGN_OR_RETURN(rwire, dns::Encode(response));
+    }
+
+    connman::ProxyOutcome outcome = proxy->HandleServerResponse(rwire);
+    switch (outcome.kind) {
+      case connman::ProxyOutcome::Kind::kParsedOk:
+        ++result.lookups_served;
+        break;
+      case connman::ProxyOutcome::Kind::kCrash:
+        ++result.crashes;
+        downtime = config.restart_downtime_lookups;
+        if (downtime == 0) {
+          ++result.restarts;
+          proxy.reset();
+          sys = loader::Boot(config.arch, config.prot, ++boot_seed);
+          CONNLAB_RETURN_IF_ERROR(sys.status());
+          proxy = std::make_unique<connman::DnsProxy>(*sys.value(),
+                                                      config.version);
+        }
+        break;
+      case connman::ProxyOutcome::Kind::kParseError:
+        // Patched build bounced the payload; the lookup itself fails but
+        // the daemon survives.
+        if (attacked) ++result.attacks_rejected;
+        break;
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace connlab::attack

@@ -1,0 +1,47 @@
+// DoS campaign model: quantifies the paper's "denial of service" beyond a
+// single crash. The device resolves names continuously; the MITM poisons
+// every n-th response; each crash takes the daemon down until its
+// supervisor restarts it, losing the lookups issued in the meantime.
+// Availability = served / attempted.
+#pragma once
+
+#include <cstdint>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/isa/isa.hpp"
+#include "src/loader/layout.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::attack {
+
+struct CampaignConfig {
+  isa::Arch arch = isa::Arch::kVARM;
+  loader::ProtectionConfig prot;
+  connman::Version version = connman::Version::k134;
+  int total_lookups = 200;
+  /// The attacker poisons every n-th response (0 = never).
+  int attack_every_n = 10;
+  /// Lookups lost while the supervisor restarts a crashed daemon.
+  int restart_downtime_lookups = 3;
+  std::uint64_t seed = 77;
+};
+
+struct CampaignResult {
+  int lookups_attempted = 0;
+  int lookups_served = 0;
+  int lookups_lost_downtime = 0;
+  int crashes = 0;
+  int restarts = 0;
+  int attacks_sent = 0;
+  int attacks_rejected = 0;  // patched parser bounced the payload
+
+  [[nodiscard]] double availability() const noexcept {
+    return lookups_attempted == 0
+               ? 1.0
+               : static_cast<double>(lookups_served) / lookups_attempted;
+  }
+};
+
+util::Result<CampaignResult> RunDosCampaign(const CampaignConfig& config);
+
+}  // namespace connlab::attack

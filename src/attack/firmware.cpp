@@ -1,0 +1,64 @@
+#include "src/attack/firmware.hpp"
+
+#include <cstdio>
+
+namespace connlab::attack {
+
+const std::vector<FirmwareProfile>& KnownFirmware() {
+  static const std::vector<FirmwareProfile> kFirmware = [] {
+    std::vector<FirmwareProfile> out;
+    // Hardening levels reflect what those embedded stacks typically
+    // shipped with in the paper's time frame: media boxes with everything
+    // off, build systems with DEP, phone-grade OSes with DEP+ASLR.
+    out.push_back({"openelec-8", "connman 1.34", isa::Arch::kVARM,
+                   connman::Version::k134, loader::ProtectionConfig::None(),
+                   "media-centre image, no userspace hardening"});
+    out.push_back({"yocto-2.2", "connman 1.31", isa::Arch::kVARM,
+                   connman::Version::k134, loader::ProtectionConfig::WxOnly(),
+                   "DEP via default toolchain flags"});
+    out.push_back({"tizen-3.0", "connman 1.33", isa::Arch::kVARM,
+                   connman::Version::k134, loader::ProtectionConfig::WxAslr(),
+                   "phone-grade hardening: DEP + ASLR"});
+    out.push_back({"mainline", "connman 1.35", isa::Arch::kVARM,
+                   connman::Version::k135, loader::ProtectionConfig::WxAslr(),
+                   "patched (August 2017 fix)"});
+    return out;
+  }();
+  return kFirmware;
+}
+
+util::Result<std::vector<FirmwareSurveyRow>> RunFirmwareSurvey(
+    std::uint64_t target_seed) {
+  std::vector<FirmwareSurveyRow> rows;
+  for (const FirmwareProfile& firmware : KnownFirmware()) {
+    ScenarioConfig config;
+    config.arch = firmware.arch;
+    config.prot = firmware.prot;
+    config.version = firmware.version;
+    config.target_seed = target_seed;
+    CONNLAB_ASSIGN_OR_RETURN(AttackResult attack, RunControlledScenario(config));
+    rows.push_back({firmware, std::move(attack)});
+  }
+  return rows;
+}
+
+std::string RenderFirmwareSurvey(const std::vector<FirmwareSurveyRow>& rows) {
+  std::string out = "== firmware survey (the paper's §VII target list) ==\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %-14s %-14s %-18s %-14s %s\n",
+                "firmware", "ships", "protections", "technique", "outcome",
+                "notes");
+  out += line;
+  out += std::string(100, '-') + "\n";
+  for (const FirmwareSurveyRow& row : rows) {
+    std::snprintf(line, sizeof(line), "%-12s %-14s %-14s %-18s %-14s %s\n",
+                  row.firmware.name.c_str(), row.firmware.connman_label.c_str(),
+                  row.firmware.prot.ToString().c_str(),
+                  std::string(exploit::TechniqueName(row.attack.technique)).c_str(),
+                  row.attack.OutcomeLabel().c_str(), row.firmware.notes.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace connlab::attack

@@ -1,0 +1,42 @@
+// Firmware profiles for the OSes the paper names (§III): "the Yocto
+// project ... compiles distributions with Connman 1.31; OpenELEC ... comes
+// with Connman 1.34, the last vulnerable version; Tizen OS ... utilizes a
+// vulnerable version of Connman up until version 4.0." §VII plans attacks
+// against all three on ARMv7 — this module runs that survey in simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/attack/scenario.hpp"
+
+namespace connlab::attack {
+
+struct FirmwareProfile {
+  std::string name;           // "yocto-2.2", "openelec-8", ...
+  std::string connman_label;  // the Connman release it ships
+  isa::Arch arch = isa::Arch::kVARM;
+  connman::Version version = connman::Version::k134;
+  loader::ProtectionConfig prot;
+  std::string notes;
+};
+
+/// The survey targets: the three OSes the paper names (all shipping
+/// vulnerable Connman builds, with the hardening level typical of each),
+/// plus a current patched baseline.
+const std::vector<FirmwareProfile>& KnownFirmware();
+
+struct FirmwareSurveyRow {
+  FirmwareProfile firmware;
+  AttackResult attack;
+};
+
+/// Attacks every known firmware with the matching technique for its
+/// hardening level — the §VII "shift to attacking IoT OSes" experiment.
+util::Result<std::vector<FirmwareSurveyRow>> RunFirmwareSurvey(
+    std::uint64_t target_seed = 4242);
+
+/// Table rendering for the survey.
+std::string RenderFirmwareSurvey(const std::vector<FirmwareSurveyRow>& rows);
+
+}  // namespace connlab::attack

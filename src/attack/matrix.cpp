@@ -1,0 +1,85 @@
+#include "src/attack/matrix.hpp"
+
+namespace connlab::attack {
+
+namespace {
+
+const loader::ProtectionConfig kLevels[] = {
+    loader::ProtectionConfig::None(),
+    loader::ProtectionConfig::WxOnly(),
+    loader::ProtectionConfig::WxAslr(),
+};
+
+}  // namespace
+
+util::Result<std::vector<AttackResult>> RunSixAttackMatrix(
+    std::uint64_t target_seed) {
+  std::vector<AttackResult> results;
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (const loader::ProtectionConfig& prot : kLevels) {
+      ScenarioConfig config;
+      config.arch = arch;
+      config.prot = prot;
+      config.target_seed = target_seed;
+      CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
+                               RunControlledScenario(config));
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+util::Result<std::vector<AttackResult>> RunCrossTechniqueMatrix(
+    isa::Arch arch, std::uint64_t target_seed) {
+  std::vector<AttackResult> results;
+  const exploit::Technique techniques[] = {
+      exploit::Technique::kCodeInjection,
+      arch == isa::Arch::kVX86 ? exploit::Technique::kRet2Libc
+                               : exploit::Technique::kArmGadgetExeclp,
+      exploit::Technique::kRopMemcpyChain,
+  };
+  for (exploit::Technique technique : techniques) {
+    for (const loader::ProtectionConfig& prot : kLevels) {
+      ScenarioConfig config;
+      config.arch = arch;
+      config.prot = prot;
+      config.technique = technique;
+      config.target_seed = target_seed;
+      CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
+                               RunControlledScenario(config));
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+util::Result<std::vector<AttackResult>> RunDefenseMatrix(
+    std::uint64_t target_seed) {
+  std::vector<AttackResult> results;
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    // Patched 1.35 at the weakest level: even there, nothing lands.
+    {
+      ScenarioConfig config;
+      config.arch = arch;
+      config.prot = loader::ProtectionConfig::None();
+      config.version = connman::Version::k135;
+      config.target_seed = target_seed;
+      CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
+                               RunControlledScenario(config));
+      results.push_back(std::move(result));
+    }
+    // Stack canary on top of W^X+ASLR: the defense the paper compiled out.
+    {
+      ScenarioConfig config;
+      config.arch = arch;
+      config.prot = loader::ProtectionConfig::All();
+      config.target_seed = target_seed;
+      CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
+                               RunControlledScenario(config));
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+}  // namespace connlab::attack

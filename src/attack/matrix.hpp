@@ -1,0 +1,27 @@
+// The experiment matrix (the paper's six exploits, plus the rows the paper
+// implies): every (arch, protection) pair with its matching technique,
+// cross-technique failure rows, patched-build rows and the canary ablation.
+#pragma once
+
+#include <vector>
+
+#include "src/attack/outcome.hpp"
+#include "src/attack/scenario.hpp"
+
+namespace connlab::attack {
+
+/// The paper's core table: 2 architectures x 3 protection levels, each
+/// attacked with the matching technique against the vulnerable build.
+util::Result<std::vector<AttackResult>> RunSixAttackMatrix(
+    std::uint64_t target_seed = 4242);
+
+/// Cross rows: each technique fired at every protection level (shows where
+/// each one stops working — the reason the paper escalates).
+util::Result<std::vector<AttackResult>> RunCrossTechniqueMatrix(
+    isa::Arch arch, std::uint64_t target_seed = 4242);
+
+/// Defense rows: patched 1.35 and canary builds against the best exploit.
+util::Result<std::vector<AttackResult>> RunDefenseMatrix(
+    std::uint64_t target_seed = 4242);
+
+}  // namespace connlab::attack

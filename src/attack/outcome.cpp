@@ -1,0 +1,19 @@
+#include "src/attack/outcome.hpp"
+
+namespace connlab::attack {
+
+std::string AttackResult::RowLabel() const {
+  std::string out(isa::ArchName(arch));
+  out += " / " + prot.ToString();
+  out += " / connman " + std::string(connman::VersionName(version));
+  return out;
+}
+
+std::string AttackResult::OutcomeLabel() const {
+  if (shell) return "ROOT SHELL";
+  if (crash) return "crash (DoS)";
+  if (!exploit_available) return "no exploit (" + detail + ")";
+  return std::string(connman::OutcomeKindName(kind));
+}
+
+}  // namespace connlab::attack

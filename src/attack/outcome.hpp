@@ -1,0 +1,36 @@
+// Attack-level result records: what the benches and report tables consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/isa/isa.hpp"
+#include "src/loader/layout.hpp"
+
+namespace connlab::attack {
+
+struct AttackResult {
+  isa::Arch arch = isa::Arch::kVX86;
+  loader::ProtectionConfig prot;
+  connman::Version version = connman::Version::k134;
+  exploit::Technique technique = exploit::Technique::kDosCrash;
+
+  bool exploit_available = false;  // generator produced a payload
+  bool shell = false;              // root shell spawned (the paper's goal)
+  bool crash = false;              // DoS
+  connman::ProxyOutcome::Kind kind = connman::ProxyOutcome::Kind::kOther;
+  std::string detail;
+
+  int probes = 0;                   // responses used for profile extraction
+  std::size_t payload_bytes = 0;    // expanded buffer-image size
+  std::size_t labels = 0;           // DNS labels in the crafted name
+  std::size_t response_bytes = 0;   // wire size of the malicious response
+  std::uint64_t guest_steps = 0;    // instructions the hijacked CPU retired
+
+  [[nodiscard]] std::string RowLabel() const;
+  [[nodiscard]] std::string OutcomeLabel() const;
+};
+
+}  // namespace connlab::attack

@@ -1,0 +1,99 @@
+#include "src/attack/report.hpp"
+
+#include <cstdio>
+
+namespace connlab::attack {
+
+std::string RenderMatrixTable(const std::vector<AttackResult>& results,
+                              const std::string& title) {
+  std::string out = "== " + title + " ==\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-6s %-14s %-18s %-18s %-14s %8s %7s\n",
+                "arch", "protections", "version", "technique", "outcome",
+                "payload", "probes");
+  out += line;
+  out += std::string(89, '-') + "\n";
+  for (const AttackResult& r : results) {
+    std::snprintf(line, sizeof(line), "%-6s %-14s %-18s %-18s %-14s %8zu %7d\n",
+                  std::string(isa::ArchName(r.arch)).c_str(),
+                  r.prot.ToString().c_str(),
+                  std::string(connman::VersionName(r.version)).c_str(),
+                  std::string(exploit::TechniqueName(r.technique)).c_str(),
+                  r.OutcomeLabel().c_str(), r.payload_bytes, r.probes);
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderCsv(const std::vector<AttackResult>& results) {
+  std::string out =
+      "arch,protections,version,technique,shell,crash,outcome,payload_bytes,"
+      "labels,response_bytes,probes,guest_steps\n";
+  char line[320];
+  for (const AttackResult& r : results) {
+    std::snprintf(line, sizeof(line), "%s,%s,%s,%s,%d,%d,%s,%zu,%zu,%zu,%d,%llu\n",
+                  std::string(isa::ArchName(r.arch)).c_str(),
+                  r.prot.ToString().c_str(),
+                  std::string(connman::VersionName(r.version)).c_str(),
+                  std::string(exploit::TechniqueName(r.technique)).c_str(),
+                  r.shell ? 1 : 0, r.crash ? 1 : 0,
+                  std::string(connman::OutcomeKindName(r.kind)).c_str(),
+                  r.payload_bytes, r.labels, r.response_bytes, r.probes,
+                  static_cast<unsigned long long>(r.guest_steps));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string RenderJson(const std::vector<AttackResult>& results) {
+  std::string out = "[\n";
+  char line[512];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const AttackResult& r = results[i];
+    std::snprintf(
+        line, sizeof(line),
+        "  {\"arch\": \"%s\", \"protections\": \"%s\", \"version\": \"%s\", "
+        "\"technique\": \"%s\", \"shell\": %s, \"crash\": %s, "
+        "\"outcome\": \"%s\", \"payload_bytes\": %zu, \"labels\": %zu, "
+        "\"probes\": %d, \"detail\": \"%s\"}%s\n",
+        std::string(isa::ArchName(r.arch)).c_str(),
+        r.prot.ToString().c_str(),
+        std::string(connman::VersionName(r.version)).c_str(),
+        std::string(exploit::TechniqueName(r.technique)).c_str(),
+        r.shell ? "true" : "false", r.crash ? "true" : "false",
+        std::string(connman::OutcomeKindName(r.kind)).c_str(),
+        r.payload_bytes, r.labels, r.probes, JsonEscape(r.detail).c_str(),
+        i + 1 < results.size() ? "," : "");
+    out += line;
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string RenderRemoteResult(const RemoteResult& remote) {
+  std::string out;
+  out += "benign resolution before attack: ";
+  out += remote.benign_resolution_before ? "ok" : "FAILED";
+  out += "\nvictim roamed to rogue AP:       ";
+  out += remote.roamed_to_rogue ? "yes" : "NO";
+  out += "\nqueries intercepted:             " +
+         std::to_string(remote.queries_intercepted);
+  out += "\nattack technique:                " +
+         std::string(exploit::TechniqueName(remote.attack.technique));
+  out += "\noutcome:                         " + remote.attack.OutcomeLabel();
+  out += "\n";
+  return out;
+}
+
+}  // namespace connlab::attack

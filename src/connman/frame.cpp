@@ -1,0 +1,16 @@
+#include "src/connman/frame.hpp"
+
+namespace connlab::connman {
+
+FrameLayout FrameFor(const loader::ProtectionConfig& prot, isa::Arch arch) {
+  FrameLayout f;
+  f.arch = arch;
+  f.canary = prot.canary;
+  return f;
+}
+
+mem::GuestAddr FrameBase(const loader::Layout& layout, const FrameLayout& frame) {
+  return layout.initial_sp() - frame.frame_size();
+}
+
+}  // namespace connlab::connman

@@ -1,0 +1,103 @@
+// parse_response's guest stack frame: the geometry of CVE-2017-12865.
+//
+// The 1024-byte `name` buffer sits at the bottom of parse_response's frame;
+// everything the exploit cares about lies above it, at fixed offsets the
+// paper's authors recovered with gdb and we expose to the Debugger:
+//
+//   VX86 frame (no canary):            VARM frame (no canary):
+//     +0    name[1024]                   +0    name[1024]
+//     +1024 locals (16)                  +1024 locals (16)
+//     +1040 saved ebx/esi/edi (12)             +1028/+1032: cleanup ptr
+//     +1052 saved ebp                                slots, must be NULL
+//     +1056 return address               +1040 saved r4-r11 (32)
+//     +1060 caller frame ...             +1072 saved lr  (the hijack slot)
+//                                        +1076 caller frame (= ROP chain)
+//
+// With the stack protector enabled a canary word is inserted right after
+// the buffer (all following offsets shift by 4) and checked before the
+// epilogue — the paper compiled it out; we keep it for the E8 ablation.
+//
+// VARM-only quirks reproduced from the paper:
+//  * Two locals ("cleanup pointer slots") are checked before the epilogue;
+//    a non-NULL value is treated as a stale buffer pointer and dereferenced
+//    — garbage faults. The ARM exploits must write NULLs there (§III-A2).
+//  * parse_rr keeps two pointers in its own (caller) frame — at chain
+//    offsets +16/+20, exactly the paper's r5/r6 "placeholder" positions —
+//    and stores through them (the `mvn.w` write). Zero there means "record
+//    invalid": parse_rr bails out cleanly and the hijacked epilogue never
+//    runs; an unmapped value SIGSEGVs in parse_rr (the fate of gadgets
+//    "with fewer registers"). The benign prefill points them into .scratch.
+//  * A "subsequent legitimate function reference" writes 8 bytes at chain
+//    offset +120 before the epilogue executes, so any ROP chain longer
+//    than 3 call frames (3 x 40 bytes) is corrupted in flight — the
+//    paper's "/bi then SIGSEV" behaviour (§III-C2).
+#pragma once
+
+#include <cstdint>
+
+#include "src/isa/isa.hpp"
+#include "src/loader/layout.hpp"
+#include "src/mem/segment.hpp"
+
+namespace connlab::connman {
+
+/// The paper's pre-defined buffer limit in parse_response.
+inline constexpr std::uint32_t kNameBufSize = 1024;
+
+/// VARM parse_rr writes 8 bytes of its own bookkeeping at this offset past
+/// the saved-lr slot (i.e. into the ROP chain region): 3 chain frames of
+/// 40 bytes survive, the 4th does not.
+inline constexpr std::uint32_t kArmChainClobberOffset = 120;
+
+/// Chain offsets (relative to the first word after the hijacked lr) of the
+/// two parse_rr pointer slots — the r5/r6 positions of the paper's
+/// pop {r0,r1,r2,r3,r5,r6,r7,pc} frame.
+inline constexpr std::uint32_t kArmParseRrSlot0 = 16;
+inline constexpr std::uint32_t kArmParseRrSlot1 = 20;
+
+/// Offsets into .scratch where the benign prefill points those slots.
+inline constexpr std::uint32_t kScratchPtr0Off = 0x40;
+inline constexpr std::uint32_t kScratchPtr1Off = 0x80;
+
+struct FrameLayout {
+  isa::Arch arch = isa::Arch::kVX86;
+  bool canary = false;
+
+  /// Offset of the canary word (only meaningful when canary == true).
+  [[nodiscard]] std::uint32_t canary_offset() const noexcept { return kNameBufSize; }
+  [[nodiscard]] std::uint32_t canary_pad() const noexcept { return canary ? 4u : 0u; }
+
+  [[nodiscard]] std::uint32_t locals_offset() const noexcept {
+    return kNameBufSize + canary_pad();
+  }
+  /// VARM cleanup-pointer slots that must be NULL (within the locals).
+  [[nodiscard]] std::uint32_t null_slot0() const noexcept { return locals_offset() + 4; }
+  [[nodiscard]] std::uint32_t null_slot1() const noexcept { return locals_offset() + 8; }
+
+  [[nodiscard]] std::uint32_t saved_regs_offset() const noexcept {
+    return locals_offset() + 16;
+  }
+  [[nodiscard]] std::uint32_t saved_regs_size() const noexcept {
+    return arch == isa::Arch::kVX86 ? 16u   // ebx, esi, edi, ebp
+                                    : 32u;  // r4-r11
+  }
+  /// Offset of the return-address slot (saved eip / saved lr) from name[0].
+  [[nodiscard]] std::uint32_t ret_offset() const noexcept {
+    return saved_regs_offset() + saved_regs_size();
+  }
+  /// Total frame size: everything up to and including the return slot.
+  [[nodiscard]] std::uint32_t frame_size() const noexcept {
+    return ret_offset() + 4;
+  }
+  /// Offset where the caller's frame (== ROP chain region) begins.
+  [[nodiscard]] std::uint32_t chain_offset() const noexcept { return frame_size(); }
+};
+
+/// The frame layout a given boot produces.
+FrameLayout FrameFor(const loader::ProtectionConfig& prot, isa::Arch arch);
+
+/// Guest address of parse_response's name[0] for a given layout: the frame
+/// is materialised just below the process's initial sp.
+mem::GuestAddr FrameBase(const loader::Layout& layout, const FrameLayout& frame);
+
+}  // namespace connlab::connman

@@ -1,0 +1,161 @@
+#include "src/dns/message.hpp"
+
+#include <cstdio>
+
+namespace connlab::dns {
+
+namespace {
+
+std::uint16_t FlagsWord(const Header& h) {
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((static_cast<int>(h.opcode) & 0xF) << 11);
+  if (h.aa) flags |= 0x0400;
+  if (h.tc) flags |= 0x0200;
+  if (h.rd) flags |= 0x0100;
+  if (h.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(static_cast<int>(h.rcode) & 0xF);
+  return flags;
+}
+
+Header HeaderFromFlags(std::uint16_t id, std::uint16_t flags) {
+  Header h;
+  h.id = id;
+  h.qr = (flags & 0x8000) != 0;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0xF);
+  h.aa = (flags & 0x0400) != 0;
+  h.tc = (flags & 0x0200) != 0;
+  h.rd = (flags & 0x0100) != 0;
+  h.ra = (flags & 0x0080) != 0;
+  h.rcode = static_cast<Rcode>(flags & 0xF);
+  return h;
+}
+
+util::Status EncodeRecord(util::ByteWriter& w, const ResourceRecord& rr) {
+  if (rr.uses_raw_name()) {
+    CONNLAB_RETURN_IF_ERROR(EncodeLabels(w, rr.raw_name));
+  } else {
+    CONNLAB_RETURN_IF_ERROR(EncodeName(w, rr.name));
+  }
+  w.WriteU16BE(static_cast<std::uint16_t>(rr.type));
+  w.WriteU16BE(static_cast<std::uint16_t>(rr.klass));
+  w.WriteU32BE(rr.ttl);
+  if (rr.rdata.size() > 0xFFFF) return util::InvalidArgument("rdata too large");
+  w.WriteU16BE(static_cast<std::uint16_t>(rr.rdata.size()));
+  w.WriteBytes(rr.rdata);
+  return util::OkStatus();
+}
+
+util::Result<ResourceRecord> DecodeRecord(util::ByteSpan wire,
+                                          util::ByteReader& r) {
+  ResourceRecord rr;
+  CONNLAB_ASSIGN_OR_RETURN(DecodedName name, DecodeName(wire, r.offset()));
+  CONNLAB_RETURN_IF_ERROR(r.Skip(name.wire_len));
+  rr.name = name.dotted;
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t type, r.ReadU16BE());
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t klass, r.ReadU16BE());
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t ttl, r.ReadU32BE());
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t rdlen, r.ReadU16BE());
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes rdata, r.ReadBytes(rdlen));
+  rr.type = static_cast<Type>(type);
+  rr.klass = static_cast<Class>(klass);
+  rr.ttl = ttl;
+  rr.rdata = std::move(rdata);
+  return rr;
+}
+
+}  // namespace
+
+Message Message::Query(std::uint16_t id, std::string name, Type type) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = true;
+  Question q;
+  q.name = std::move(name);
+  q.type = type;
+  msg.questions.push_back(std::move(q));
+  return msg;
+}
+
+Message Message::ResponseFor(const Message& query) {
+  Message msg;
+  msg.header.id = query.header.id;
+  msg.header.qr = true;
+  msg.header.rd = query.header.rd;
+  msg.header.ra = true;
+  msg.questions = query.questions;
+  return msg;
+}
+
+util::Result<util::Bytes> Encode(const Message& msg) {
+  util::ByteWriter w;
+  w.WriteU16BE(msg.header.id);
+  w.WriteU16BE(FlagsWord(msg.header));
+  w.WriteU16BE(static_cast<std::uint16_t>(msg.questions.size()));
+  w.WriteU16BE(static_cast<std::uint16_t>(msg.answers.size()));
+  w.WriteU16BE(static_cast<std::uint16_t>(msg.authorities.size()));
+  w.WriteU16BE(static_cast<std::uint16_t>(msg.additionals.size()));
+  for (const Question& q : msg.questions) {
+    CONNLAB_RETURN_IF_ERROR(EncodeName(w, q.name));
+    w.WriteU16BE(static_cast<std::uint16_t>(q.type));
+    w.WriteU16BE(static_cast<std::uint16_t>(q.klass));
+  }
+  for (const auto* section : {&msg.answers, &msg.authorities, &msg.additionals}) {
+    for (const ResourceRecord& rr : *section) {
+      CONNLAB_RETURN_IF_ERROR(EncodeRecord(w, rr));
+    }
+  }
+  return std::move(w).Take();
+}
+
+util::Result<Message> Decode(util::ByteSpan wire) {
+  util::ByteReader r(wire);
+  Message msg;
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t id, r.ReadU16BE());
+  CONNLAB_ASSIGN_OR_RETURN(std::uint16_t flags, r.ReadU16BE());
+  msg.header = HeaderFromFlags(id, flags);
+  CONNLAB_ASSIGN_OR_RETURN(msg.header.qdcount, r.ReadU16BE());
+  CONNLAB_ASSIGN_OR_RETURN(msg.header.ancount, r.ReadU16BE());
+  CONNLAB_ASSIGN_OR_RETURN(msg.header.nscount, r.ReadU16BE());
+  CONNLAB_ASSIGN_OR_RETURN(msg.header.arcount, r.ReadU16BE());
+
+  for (int i = 0; i < msg.header.qdcount; ++i) {
+    CONNLAB_ASSIGN_OR_RETURN(DecodedName name, DecodeName(wire, r.offset()));
+    CONNLAB_RETURN_IF_ERROR(r.Skip(name.wire_len));
+    Question q;
+    q.name = name.dotted;
+    CONNLAB_ASSIGN_OR_RETURN(std::uint16_t type, r.ReadU16BE());
+    CONNLAB_ASSIGN_OR_RETURN(std::uint16_t klass, r.ReadU16BE());
+    q.type = static_cast<Type>(type);
+    q.klass = static_cast<Class>(klass);
+    msg.questions.push_back(std::move(q));
+  }
+  struct SectionSpec {
+    std::uint16_t count;
+    std::vector<ResourceRecord>* out;
+  };
+  for (SectionSpec spec : {SectionSpec{msg.header.ancount, &msg.answers},
+                           SectionSpec{msg.header.nscount, &msg.authorities},
+                           SectionSpec{msg.header.arcount, &msg.additionals}}) {
+    for (int i = 0; i < spec.count; ++i) {
+      CONNLAB_ASSIGN_OR_RETURN(ResourceRecord rr, DecodeRecord(wire, r));
+      spec.out->push_back(std::move(rr));
+    }
+  }
+  return msg;
+}
+
+std::string Summary(const Message& msg) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "id=0x%04x %s", msg.header.id,
+                msg.header.qr ? "RESPONSE" : "QUERY");
+  std::string out = buf;
+  for (const Question& q : msg.questions) {
+    out += " q=" + q.name + "/" + TypeName(q.type);
+  }
+  std::snprintf(buf, sizeof(buf), " an=%zu", msg.answers.size());
+  out += buf;
+  return out;
+}
+
+}  // namespace connlab::dns

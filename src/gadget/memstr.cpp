@@ -1,0 +1,58 @@
+#include "src/gadget/memstr.hpp"
+
+#include <algorithm>
+
+namespace connlab::gadget {
+
+MemStr::MemStr(const loader::System& sys,
+               std::vector<std::string> section_names) {
+  for (const loader::SectionInfo& section : sys.sections) {
+    if (std::find(section_names.begin(), section_names.end(), section.name) ==
+        section_names.end()) {
+      continue;
+    }
+    auto data = sys.space.DebugRead(section.base, section.size);
+    if (data.ok()) {
+      regions_.push_back({section.base, std::move(data).value()});
+    }
+  }
+}
+
+util::Result<mem::GuestAddr> MemStr::FindChar(char c) const {
+  for (const Region& region : regions_) {
+    auto it = std::find(region.data.begin(), region.data.end(),
+                        static_cast<std::uint8_t>(c));
+    if (it != region.data.end()) {
+      return region.base +
+             static_cast<mem::GuestAddr>(it - region.data.begin());
+    }
+  }
+  return util::NotFound(std::string("character not present in image: '") + c +
+                        "'");
+}
+
+util::Result<std::vector<mem::GuestAddr>> MemStr::FindChars(
+    std::string_view text) const {
+  std::vector<mem::GuestAddr> out;
+  out.reserve(text.size());
+  for (char c : text) {
+    CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr addr, FindChar(c));
+    out.push_back(addr);
+  }
+  return out;
+}
+
+util::Result<mem::GuestAddr> MemStr::FindSubstring(std::string_view text) const {
+  if (text.empty()) return util::InvalidArgument("empty search string");
+  for (const Region& region : regions_) {
+    auto it = std::search(region.data.begin(), region.data.end(), text.begin(),
+                          text.end());
+    if (it != region.data.end()) {
+      return region.base +
+             static_cast<mem::GuestAddr>(it - region.data.begin());
+    }
+  }
+  return util::NotFound("substring not present in image");
+}
+
+}  // namespace connlab::gadget

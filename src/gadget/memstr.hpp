@@ -1,0 +1,40 @@
+// Single-character search over the non-randomised image sections — the
+// `ROPgadget --memstr` role from §III-C1: the x86 ROP chain copies
+// "/bin/sh" into .bss one character at a time, sourcing each character
+// from wherever it happens to exist in .text/.rodata.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/loader/boot.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::gadget {
+
+class MemStr {
+ public:
+  /// Scans the given sections (default: the static main-image sections).
+  explicit MemStr(const loader::System& sys,
+                  std::vector<std::string> section_names = {".text", ".rodata"});
+
+  /// Address of some occurrence of `c`.
+  [[nodiscard]] util::Result<mem::GuestAddr> FindChar(char c) const;
+
+  /// Per-character addresses covering `text` (each found independently).
+  [[nodiscard]] util::Result<std::vector<mem::GuestAddr>> FindChars(
+      std::string_view text) const;
+
+  /// A contiguous occurrence of `text`, if any.
+  [[nodiscard]] util::Result<mem::GuestAddr> FindSubstring(
+      std::string_view text) const;
+
+ private:
+  struct Region {
+    mem::GuestAddr base;
+    util::Bytes data;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace connlab::gadget

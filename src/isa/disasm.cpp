@@ -1,0 +1,55 @@
+#include "src/isa/disasm.hpp"
+
+#include <cstdio>
+
+#include "src/isa/varm.hpp"
+#include "src/isa/vx86.hpp"
+
+namespace connlab::isa {
+
+util::Result<Instr> Decode(Arch arch, util::ByteSpan data, std::size_t offset) {
+  return arch == Arch::kVX86 ? vx86::Decode(data, offset)
+                             : varm::Decode(data, offset);
+}
+
+std::vector<DisasLine> Disassemble(Arch arch, util::ByteSpan data,
+                                   mem::GuestAddr base) {
+  std::vector<DisasLine> lines;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    DisasLine line;
+    line.addr = base + static_cast<mem::GuestAddr>(offset);
+    auto decoded = Decode(arch, data, offset);
+    if (decoded.ok()) {
+      line.instr = decoded.value();
+      line.decoded = true;
+      lines.push_back(line);
+      offset += decoded.value().length;
+    } else {
+      line.raw = data[offset];
+      lines.push_back(line);
+      offset += arch == Arch::kVARM ? kVARMInstrSize : 1;
+    }
+  }
+  return lines;
+}
+
+std::string DisassembleToString(Arch arch, util::ByteSpan data,
+                                mem::GuestAddr base) {
+  std::string out;
+  char buf[32];
+  for (const DisasLine& line : Disassemble(arch, data, base)) {
+    std::snprintf(buf, sizeof(buf), "%08x:  ", line.addr);
+    out += buf;
+    if (line.decoded) {
+      out += line.instr.ToString(arch);
+    } else {
+      std::snprintf(buf, sizeof(buf), ".byte 0x%02x", line.raw);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace connlab::isa

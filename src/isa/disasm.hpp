@@ -1,0 +1,34 @@
+// Linear-sweep disassembler over raw guest bytes. Used by the Debugger's
+// `disas` view, the examples, and as the decode front door for the gadget
+// finder (which additionally scans at every byte offset on VX86, the way
+// real x86 gadget tools exploit unaligned decoding).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.hpp"
+#include "src/mem/segment.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::isa {
+
+/// Decodes one instruction of `arch` at data[offset].
+util::Result<Instr> Decode(Arch arch, util::ByteSpan data, std::size_t offset);
+
+struct DisasLine {
+  mem::GuestAddr addr = 0;
+  Instr instr;          // valid only if decoded
+  bool decoded = false;
+  std::uint8_t raw = 0; // first byte when not decodable
+};
+
+/// Sweeps from the start of `data` (mapped at `base`), resynchronising after
+/// undecodable bytes (1 byte on VX86, 4 on VARM).
+std::vector<DisasLine> Disassemble(Arch arch, util::ByteSpan data, mem::GuestAddr base);
+
+/// Human-readable listing, gdb "disas"-style.
+std::string DisassembleToString(Arch arch, util::ByteSpan data, mem::GuestAddr base);
+
+}  // namespace connlab::isa

@@ -1,0 +1,147 @@
+#include "src/isa/isa.hpp"
+
+#include <cstdio>
+
+namespace connlab::isa {
+
+std::string_view ArchName(Arch arch) noexcept {
+  switch (arch) {
+    case Arch::kVX86: return "vx86";
+    case Arch::kVARM: return "varm";
+  }
+  return "?";
+}
+
+std::string_view VX86RegName(std::uint8_t reg) noexcept {
+  static constexpr std::string_view kNames[] = {"eax", "ecx", "edx", "ebx",
+                                                "esp", "ebp", "esi", "edi"};
+  return reg < 8 ? kNames[reg] : "r?";
+}
+
+std::string_view VARMRegName(std::uint8_t reg) noexcept {
+  static constexpr std::string_view kNames[] = {
+      "r0", "r1", "r2",  "r3",  "r4",  "r5", "r6", "r7",
+      "r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc"};
+  return reg < 16 ? kNames[reg] : "r?";
+}
+
+std::string_view OpName(Op op) noexcept {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kMovImm: return "mov";
+    case Op::kMovReg: return "mov";
+    case Op::kLoad: return "ldr";
+    case Op::kStore: return "str";
+    case Op::kLoadByte: return "ldrb";
+    case Op::kStoreByte: return "strb";
+    case Op::kAddImm: return "add";
+    case Op::kSubImm: return "sub";
+    case Op::kAddReg: return "add";
+    case Op::kXorReg: return "xor";
+    case Op::kMvn: return "mvn";
+    case Op::kCmpImm: return "cmp";
+    case Op::kJmp: return "jmp";
+    case Op::kJz: return "jz";
+    case Op::kJnz: return "jnz";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kJmpInd: return "jmp*";
+    case Op::kPush: return "push";
+    case Op::kPushImm: return "push";
+    case Op::kPop: return "pop";
+    case Op::kMovT: return "movt";
+    case Op::kLdrLit: return "ldrl";
+    case Op::kLdrInd: return "ldri";
+    case Op::kBl: return "bl";
+    case Op::kBlx: return "blx";
+    case Op::kBx: return "bx";
+    case Op::kSyscall: return "syscall";
+    case Op::kHlt: return "hlt";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string RegListString(std::uint16_t mask) {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < 16; ++i) {
+    if ((mask >> i) & 1) {
+      if (!first) out += ", ";
+      out += std::string(VARMRegName(static_cast<std::uint8_t>(i)));
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string Hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Instr::ToString(Arch arch) const {
+  const auto reg = [arch](std::uint8_t r) {
+    return std::string(arch == Arch::kVX86 ? VX86RegName(r) : VARMRegName(r));
+  };
+  const std::string name(OpName(op));
+  switch (op) {
+    case Op::kNop:
+    case Op::kRet:
+    case Op::kSyscall:
+    case Op::kHlt:
+      return name;
+    case Op::kMovImm:
+    case Op::kMovT:
+    case Op::kAddImm:
+    case Op::kSubImm:
+    case Op::kCmpImm:
+      return name + " " + reg(ra) + ", #" + Hex32(imm);
+    case Op::kMovReg:
+    case Op::kXorReg:
+    case Op::kMvn:
+    case Op::kBlx:
+    case Op::kBx:
+      if (op == Op::kBlx || op == Op::kBx) return name + " " + reg(ra);
+      return name + " " + reg(ra) + ", " + reg(rb);
+    case Op::kAddReg:
+      return name + " " + reg(ra) + ", " + reg(rb) + ", " + reg(rc);
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLoadByte:
+    case Op::kStoreByte:
+      return name + " " + reg(ra) + ", [" + reg(rb) + ", #" + Hex32(imm) + "]";
+    case Op::kLdrLit:
+      return name + " " + reg(ra) + ", [pc, #" +
+             std::to_string(static_cast<std::int32_t>(imm)) + "]";
+    case Op::kLdrInd:
+      return name + " " + reg(ra) + ", [" + reg(rb) + "]";
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kCall:
+    case Op::kBl:
+      if (arch == Arch::kVARM) {
+        return name + " pc" +
+               (static_cast<std::int32_t>(imm) >= 0 ? "+" : "") +
+               std::to_string(static_cast<std::int32_t>(imm));
+      }
+      return name + " " + Hex32(imm);
+    case Op::kJmpInd:
+      return "jmp [" + Hex32(imm) + "]";
+    case Op::kPushImm:
+      return name + " #" + Hex32(imm);
+    case Op::kPush:
+    case Op::kPop:
+      if (arch == Arch::kVARM) return name + " " + RegListString(reg_mask);
+      return name + " " + reg(ra);
+  }
+  return name;
+}
+
+}  // namespace connlab::isa

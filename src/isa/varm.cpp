@@ -1,0 +1,261 @@
+#include "src/isa/varm.hpp"
+
+namespace connlab::isa::varm {
+
+namespace {
+
+constexpr std::uint8_t kRegCount = kVARMRegCount;
+
+std::int32_t SignExtend16(std::uint16_t v) noexcept {
+  return static_cast<std::int16_t>(v);
+}
+
+std::int32_t SignExtend24(std::uint32_t v) noexcept {
+  v &= 0x00FFFFFF;
+  if (v & 0x00800000) v |= 0xFF000000;
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+std::uint16_t Mask(std::initializer_list<std::uint8_t> regs) noexcept {
+  std::uint16_t mask = 0;
+  for (std::uint8_t r : regs) mask |= static_cast<std::uint16_t>(1u << r);
+  return mask;
+}
+
+util::Result<Instr> Decode(util::ByteSpan data, std::size_t offset) {
+  if (offset + kVARMInstrSize > data.size()) {
+    return util::Malformed("varm decode past end");
+  }
+  const std::uint8_t op = data[offset];
+  const std::uint8_t b1 = data[offset + 1];
+  const std::uint8_t b2 = data[offset + 2];
+  const std::uint8_t b3 = data[offset + 3];
+  const std::uint16_t imm16 =
+      static_cast<std::uint16_t>(b2 | (static_cast<std::uint16_t>(b3) << 8));
+
+  Instr ins;
+  ins.length = kVARMInstrSize;
+  const auto reg_ok = [](std::uint8_t r) { return r < kRegCount; };
+
+  switch (op) {
+    case kOpHlt:
+      ins.op = Op::kHlt;
+      break;
+    case kOpMovReg:
+    case kOpMvn:
+      ins.op = op == kOpMovReg ? Op::kMovReg : Op::kMvn;
+      ins.ra = b1;
+      ins.rb = b2;
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb)) return util::Malformed("varm bad register");
+      break;
+    case kOpMovW:
+      ins.op = Op::kMovImm;
+      ins.ra = b1;
+      if (!reg_ok(ins.ra)) return util::Malformed("varm bad register");
+      ins.imm = imm16;
+      break;
+    case kOpMovT:
+      ins.op = Op::kMovT;
+      ins.ra = b1;
+      if (!reg_ok(ins.ra)) return util::Malformed("varm bad register");
+      ins.imm = imm16;
+      break;
+    case kOpLdr:
+    case kOpStr:
+    case kOpLdrb:
+    case kOpStrb:
+      ins.op = op == kOpLdr    ? Op::kLoad
+               : op == kOpStr  ? Op::kStore
+               : op == kOpLdrb ? Op::kLoadByte
+                               : Op::kStoreByte;
+      ins.ra = b1;
+      ins.rb = b2;
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb)) return util::Malformed("varm bad register");
+      ins.imm = b3;
+      break;
+    case kOpPush:
+    case kOpPop:
+      ins.op = op == kOpPush ? Op::kPush : Op::kPop;
+      ins.reg_mask = imm16;
+      if (ins.reg_mask == 0) return util::Malformed("varm empty register list");
+      break;
+    case kOpBl: {
+      ins.op = Op::kBl;
+      const std::uint32_t raw = static_cast<std::uint32_t>(b1) |
+                                (static_cast<std::uint32_t>(b2) << 8) |
+                                (static_cast<std::uint32_t>(b3) << 16);
+      ins.imm = static_cast<std::uint32_t>(SignExtend24(raw));
+      break;
+    }
+    case kOpBx:
+    case kOpBlx:
+      ins.op = op == kOpBx ? Op::kBx : Op::kBlx;
+      ins.ra = b1;
+      if (!reg_ok(ins.ra)) return util::Malformed("varm bad register");
+      break;
+    case kOpB:
+    case kOpBeq:
+    case kOpBne:
+      ins.op = op == kOpB ? Op::kJmp : (op == kOpBeq ? Op::kJz : Op::kJnz);
+      ins.imm = static_cast<std::uint32_t>(SignExtend16(imm16));
+      break;
+    case kOpLdrLit:
+      ins.op = Op::kLdrLit;
+      ins.ra = b1;
+      if (!reg_ok(ins.ra)) return util::Malformed("varm bad register");
+      ins.imm = static_cast<std::uint32_t>(SignExtend16(imm16));
+      break;
+    case kOpLdrInd:
+      ins.op = Op::kLdrInd;
+      ins.ra = b1;
+      ins.rb = b2;
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb)) return util::Malformed("varm bad register");
+      break;
+    case kOpAddImm:
+    case kOpSubImm:
+      ins.op = op == kOpAddImm ? Op::kAddImm : Op::kSubImm;
+      ins.ra = b1;
+      ins.rb = b2;
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb)) return util::Malformed("varm bad register");
+      ins.imm = b3;
+      break;
+    case kOpSyscall:
+      ins.op = Op::kSyscall;
+      break;
+    case kOpCmpImm:
+      ins.op = Op::kCmpImm;
+      ins.ra = b1;
+      if (!reg_ok(ins.ra)) return util::Malformed("varm bad register");
+      ins.imm = b2;
+      break;
+    case kOpAddReg:
+      ins.op = Op::kAddReg;
+      ins.ra = b1;
+      ins.rb = b2;
+      ins.rc = b3;
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb) || !reg_ok(ins.rc)) {
+        return util::Malformed("varm bad register");
+      }
+      break;
+    default:
+      return util::Malformed("varm invalid opcode");
+  }
+  return ins;
+}
+
+namespace {
+void Word(util::ByteWriter& w, std::uint8_t op, std::uint8_t b1,
+          std::uint8_t b2, std::uint8_t b3) {
+  w.WriteU8(op);
+  w.WriteU8(b1);
+  w.WriteU8(b2);
+  w.WriteU8(b3);
+}
+
+void WordImm16(util::ByteWriter& w, std::uint8_t op, std::uint8_t b1,
+               std::uint16_t imm) {
+  Word(w, op, b1, static_cast<std::uint8_t>(imm & 0xFF),
+       static_cast<std::uint8_t>(imm >> 8));
+}
+}  // namespace
+
+void EncHlt(util::ByteWriter& w) { Word(w, kOpHlt, 0, 0, 0); }
+
+void EncMovReg(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rm) {
+  Word(w, kOpMovReg, rd, rm, 0);
+}
+
+void EncNop(util::ByteWriter& w) { EncMovReg(w, kR1, kR1); }
+
+void EncMovW(util::ByteWriter& w, std::uint8_t rd, std::uint16_t imm) {
+  WordImm16(w, kOpMovW, rd, imm);
+}
+
+void EncMovT(util::ByteWriter& w, std::uint8_t rd, std::uint16_t imm) {
+  WordImm16(w, kOpMovT, rd, imm);
+}
+
+void EncMovImm32(util::ByteWriter& w, std::uint8_t rd, std::uint32_t imm) {
+  EncMovW(w, rd, static_cast<std::uint16_t>(imm & 0xFFFF));
+  EncMovT(w, rd, static_cast<std::uint16_t>(imm >> 16));
+}
+
+void EncLdr(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off) {
+  Word(w, kOpLdr, rd, rn, off);
+}
+
+void EncStr(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off) {
+  Word(w, kOpStr, rd, rn, off);
+}
+
+void EncPush(util::ByteWriter& w, std::uint16_t mask) {
+  WordImm16(w, kOpPush, 0, mask);
+}
+
+void EncPop(util::ByteWriter& w, std::uint16_t mask) {
+  WordImm16(w, kOpPop, 0, mask);
+}
+
+void EncBl(util::ByteWriter& w, std::int32_t word_offset) {
+  const std::uint32_t raw = static_cast<std::uint32_t>(word_offset) & 0x00FFFFFF;
+  Word(w, kOpBl, static_cast<std::uint8_t>(raw & 0xFF),
+       static_cast<std::uint8_t>((raw >> 8) & 0xFF),
+       static_cast<std::uint8_t>((raw >> 16) & 0xFF));
+}
+
+void EncBx(util::ByteWriter& w, std::uint8_t rm) { Word(w, kOpBx, rm, 0, 0); }
+void EncBlx(util::ByteWriter& w, std::uint8_t rm) { Word(w, kOpBlx, rm, 0, 0); }
+
+void EncB(util::ByteWriter& w, std::int16_t word_offset) {
+  WordImm16(w, kOpB, 0, static_cast<std::uint16_t>(word_offset));
+}
+
+void EncLdrLit(util::ByteWriter& w, std::uint8_t rd, std::int16_t byte_offset) {
+  WordImm16(w, kOpLdrLit, rd, static_cast<std::uint16_t>(byte_offset));
+}
+
+void EncLdrInd(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rm) {
+  Word(w, kOpLdrInd, rd, rm, 0);
+}
+
+void EncAddImm(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t imm) {
+  Word(w, kOpAddImm, rd, rn, imm);
+}
+
+void EncSubImm(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t imm) {
+  Word(w, kOpSubImm, rd, rn, imm);
+}
+
+void EncSyscall(util::ByteWriter& w) { Word(w, kOpSyscall, 0, 0, 0); }
+
+void EncCmpImm(util::ByteWriter& w, std::uint8_t rd, std::uint8_t imm) {
+  Word(w, kOpCmpImm, rd, imm, 0);
+}
+
+void EncBeq(util::ByteWriter& w, std::int16_t word_offset) {
+  WordImm16(w, kOpBeq, 0, static_cast<std::uint16_t>(word_offset));
+}
+
+void EncBne(util::ByteWriter& w, std::int16_t word_offset) {
+  WordImm16(w, kOpBne, 0, static_cast<std::uint16_t>(word_offset));
+}
+
+void EncMvn(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rm) {
+  Word(w, kOpMvn, rd, rm, 0);
+}
+
+void EncAddReg(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t rm) {
+  Word(w, kOpAddReg, rd, rn, rm);
+}
+
+void EncLdrb(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off) {
+  Word(w, kOpLdrb, rd, rn, off);
+}
+
+void EncStrb(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off) {
+  Word(w, kOpStrb, rd, rn, off);
+}
+
+}  // namespace connlab::isa::varm

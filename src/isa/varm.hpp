@@ -1,0 +1,102 @@
+// VARM encoding: ARMv7-flavoured fixed-width synthetic ISA.
+//
+// Every instruction is exactly 4 bytes: {opcode, b1, b2, b3}. There is no
+// RET: functions return with `bx lr` or `pop {..., pc}`, which is what makes
+// ARM-style ROP chains (pop-gadgets + `blx rN`) necessary, mirroring the
+// paper's §III-B2 and §III-C2. There is no single-byte NOP either — the
+// conventional NOP is `mov r1, r1` (cf. the paper's 4-byte NOP).
+//
+//   0x00 hlt
+//   0x01 mov rd, rm            {01, rd, rm, 0}
+//   0x02 movw rd, #imm16       {02, rd, lo, hi}   rd = imm16 (zero-extended)
+//   0x03 movt rd, #imm16       {03, rd, lo, hi}   rd[31:16] = imm16
+//   0x04 ldr rd, [rn, #imm8]   {04, rd, rn, imm8}
+//   0x05 str rd, [rn, #imm8]   {05, rd, rn, imm8}
+//   0x06 push {mask}           {06, 0, maskLo, maskHi}
+//   0x07 pop {mask}            {07, 0, maskLo, maskHi}  bit15 = pc
+//   0x08 bl  #simm24           {08, o0, o1, o2}   word offset from next pc
+//   0x09 bx  rm                {09, rm, 0, 0}
+//   0x0A blx rm                {0A, rm, 0, 0}     lr = next pc
+//   0x0B b   #simm16           {0B, 0, lo, hi}    word offset from next pc
+//   0x0C ldrl rd, [pc,#simm16] {0C, rd, lo, hi}   literal pool load
+//   0x0D ldri rd, [rm]         {0D, rd, rm, 0}
+//   0x0E add rd, rn, #imm8     {0E, rd, rn, imm8}
+//   0x0F sub rd, rn, #imm8     {0F, rd, rn, imm8}
+//   0x10 syscall               {10, 0, 0, 0}      number in r7, args r0-r2
+//   0x11 cmp rd, #imm8         {11, rd, imm8, 0}
+//   0x12 beq #simm16           {12, 0, lo, hi}
+//   0x13 bne #simm16           {13, 0, lo, hi}
+//   0x14 mvn rd, rm            {14, rd, rm, 0}
+//   0x15 add rd, rn, rm        {15, rd, rn, rm}
+//
+// Branch offsets are in *words* relative to the next instruction's pc.
+// LDRL offsets are in bytes relative to the next instruction's pc.
+#pragma once
+
+#include "src/isa/isa.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::isa::varm {
+
+inline constexpr std::uint8_t kOpHlt = 0x00;
+inline constexpr std::uint8_t kOpMovReg = 0x01;
+inline constexpr std::uint8_t kOpMovW = 0x02;
+inline constexpr std::uint8_t kOpMovT = 0x03;
+inline constexpr std::uint8_t kOpLdr = 0x04;
+inline constexpr std::uint8_t kOpStr = 0x05;
+inline constexpr std::uint8_t kOpPush = 0x06;
+inline constexpr std::uint8_t kOpPop = 0x07;
+inline constexpr std::uint8_t kOpBl = 0x08;
+inline constexpr std::uint8_t kOpBx = 0x09;
+inline constexpr std::uint8_t kOpBlx = 0x0A;
+inline constexpr std::uint8_t kOpB = 0x0B;
+inline constexpr std::uint8_t kOpLdrLit = 0x0C;
+inline constexpr std::uint8_t kOpLdrInd = 0x0D;
+inline constexpr std::uint8_t kOpAddImm = 0x0E;
+inline constexpr std::uint8_t kOpSubImm = 0x0F;
+inline constexpr std::uint8_t kOpSyscall = 0x10;
+inline constexpr std::uint8_t kOpCmpImm = 0x11;
+inline constexpr std::uint8_t kOpBeq = 0x12;
+inline constexpr std::uint8_t kOpBne = 0x13;
+inline constexpr std::uint8_t kOpMvn = 0x14;
+inline constexpr std::uint8_t kOpAddReg = 0x15;
+inline constexpr std::uint8_t kOpLdrb = 0x16;
+inline constexpr std::uint8_t kOpStrb = 0x17;
+
+/// Decodes the 4-byte word at data[offset]. Malformed on invalid opcode,
+/// bad register, or truncation.
+util::Result<Instr> Decode(util::ByteSpan data, std::size_t offset);
+
+/// Register-list mask helper: Mask({kR0, kR1, kPC}).
+std::uint16_t Mask(std::initializer_list<std::uint8_t> regs) noexcept;
+
+void EncHlt(util::ByteWriter& w);
+void EncMovReg(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rm);
+void EncNop(util::ByteWriter& w);  // mov r1, r1
+void EncMovW(util::ByteWriter& w, std::uint8_t rd, std::uint16_t imm);
+void EncMovT(util::ByteWriter& w, std::uint8_t rd, std::uint16_t imm);
+/// movw+movt pair loading a full 32-bit constant (8 bytes).
+void EncMovImm32(util::ByteWriter& w, std::uint8_t rd, std::uint32_t imm);
+void EncLdr(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off);
+void EncStr(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off);
+void EncPush(util::ByteWriter& w, std::uint16_t mask);
+void EncPop(util::ByteWriter& w, std::uint16_t mask);
+void EncBl(util::ByteWriter& w, std::int32_t word_offset);
+void EncBx(util::ByteWriter& w, std::uint8_t rm);
+void EncBlx(util::ByteWriter& w, std::uint8_t rm);
+void EncB(util::ByteWriter& w, std::int16_t word_offset);
+void EncLdrLit(util::ByteWriter& w, std::uint8_t rd, std::int16_t byte_offset);
+void EncLdrInd(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rm);
+void EncAddImm(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t imm);
+void EncSubImm(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t imm);
+void EncSyscall(util::ByteWriter& w);
+void EncCmpImm(util::ByteWriter& w, std::uint8_t rd, std::uint8_t imm);
+void EncBeq(util::ByteWriter& w, std::int16_t word_offset);
+void EncBne(util::ByteWriter& w, std::int16_t word_offset);
+void EncMvn(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rm);
+void EncAddReg(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t rm);
+void EncLdrb(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off);
+void EncStrb(util::ByteWriter& w, std::uint8_t rd, std::uint8_t rn, std::uint8_t off);
+
+}  // namespace connlab::isa::varm

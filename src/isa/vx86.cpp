@@ -1,0 +1,275 @@
+#include "src/isa/vx86.hpp"
+
+namespace connlab::isa::vx86 {
+
+namespace {
+
+constexpr std::uint8_t kRegCount = kVX86RegCount;
+
+std::uint32_t ReadImm32(util::ByteSpan data, std::size_t offset) {
+  return static_cast<std::uint32_t>(data[offset]) |
+         (static_cast<std::uint32_t>(data[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[offset + 3]) << 24);
+}
+
+}  // namespace
+
+std::uint8_t InstrLength(std::uint8_t opcode) noexcept {
+  switch (opcode) {
+    case kOpNop:
+    case kOpRet:
+    case kOpSyscall:
+    case kOpHlt:
+      return 1;
+    case kOpPushReg:
+    case kOpPopReg:
+      return 2;
+    case kOpMovReg:
+    case kOpXorReg:
+      return 3;
+    case kOpAddReg:
+      return 4;
+    case kOpPushImm:
+    case kOpCall:
+    case kOpJmp:
+    case kOpJmpInd:
+    case kOpJz:
+    case kOpJnz:
+      return 5;
+    case kOpMovImm:
+    case kOpAddImm:
+    case kOpSubImm:
+    case kOpCmpImm:
+      return 6;
+    case kOpLoad:
+    case kOpStore:
+    case kOpLoadByte:
+    case kOpStoreByte:
+      return 7;
+    default:
+      return 0;
+  }
+}
+
+util::Result<Instr> Decode(util::ByteSpan data, std::size_t offset) {
+  if (offset >= data.size()) return util::Malformed("vx86 decode past end");
+  const std::uint8_t opcode = data[offset];
+  const std::uint8_t len = InstrLength(opcode);
+  if (len == 0) return util::Malformed("vx86 invalid opcode");
+  if (offset + len > data.size()) return util::Malformed("vx86 truncated instruction");
+
+  Instr ins;
+  ins.length = len;
+  const auto reg_ok = [](std::uint8_t r) { return r < kRegCount; };
+
+  switch (opcode) {
+    case kOpNop: ins.op = Op::kNop; break;
+    case kOpRet: ins.op = Op::kRet; break;
+    case kOpSyscall: ins.op = Op::kSyscall; break;
+    case kOpHlt: ins.op = Op::kHlt; break;
+    case kOpPushReg:
+      ins.op = Op::kPush;
+      ins.ra = data[offset + 1];
+      if (!reg_ok(ins.ra)) return util::Malformed("vx86 bad register");
+      break;
+    case kOpPopReg:
+      ins.op = Op::kPop;
+      ins.ra = data[offset + 1];
+      if (!reg_ok(ins.ra)) return util::Malformed("vx86 bad register");
+      break;
+    case kOpMovReg:
+    case kOpXorReg:
+      ins.op = opcode == kOpMovReg ? Op::kMovReg : Op::kXorReg;
+      ins.ra = data[offset + 1];
+      ins.rb = data[offset + 2];
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb)) return util::Malformed("vx86 bad register");
+      break;
+    case kOpAddReg:
+      ins.op = Op::kAddReg;
+      ins.ra = data[offset + 1];
+      ins.rb = data[offset + 2];
+      ins.rc = data[offset + 3];
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb) || !reg_ok(ins.rc)) {
+        return util::Malformed("vx86 bad register");
+      }
+      break;
+    case kOpPushImm:
+      ins.op = Op::kPushImm;
+      ins.imm = ReadImm32(data, offset + 1);
+      break;
+    case kOpCall:
+      ins.op = Op::kCall;
+      ins.imm = ReadImm32(data, offset + 1);
+      break;
+    case kOpJmp:
+      ins.op = Op::kJmp;
+      ins.imm = ReadImm32(data, offset + 1);
+      break;
+    case kOpJmpInd:
+      ins.op = Op::kJmpInd;
+      ins.imm = ReadImm32(data, offset + 1);
+      break;
+    case kOpJz:
+      ins.op = Op::kJz;
+      ins.imm = ReadImm32(data, offset + 1);
+      break;
+    case kOpJnz:
+      ins.op = Op::kJnz;
+      ins.imm = ReadImm32(data, offset + 1);
+      break;
+    case kOpMovImm:
+    case kOpAddImm:
+    case kOpSubImm:
+    case kOpCmpImm:
+      ins.op = opcode == kOpMovImm   ? Op::kMovImm
+               : opcode == kOpAddImm ? Op::kAddImm
+               : opcode == kOpSubImm ? Op::kSubImm
+                                     : Op::kCmpImm;
+      ins.ra = data[offset + 1];
+      if (!reg_ok(ins.ra)) return util::Malformed("vx86 bad register");
+      ins.imm = ReadImm32(data, offset + 2);
+      break;
+    case kOpLoad:
+    case kOpStore:
+    case kOpLoadByte:
+    case kOpStoreByte:
+      ins.op = opcode == kOpLoad        ? Op::kLoad
+               : opcode == kOpStore     ? Op::kStore
+               : opcode == kOpLoadByte  ? Op::kLoadByte
+                                        : Op::kStoreByte;
+      ins.ra = data[offset + 1];
+      ins.rb = data[offset + 2];
+      if (!reg_ok(ins.ra) || !reg_ok(ins.rb)) return util::Malformed("vx86 bad register");
+      ins.imm = ReadImm32(data, offset + 3);
+      break;
+    default:
+      return util::Malformed("vx86 invalid opcode");
+  }
+  return ins;
+}
+
+void EncNop(util::ByteWriter& w) { w.WriteU8(kOpNop); }
+
+void EncPushImm(util::ByteWriter& w, std::uint32_t imm) {
+  w.WriteU8(kOpPushImm);
+  w.WriteU32LE(imm);
+}
+
+void EncPushReg(util::ByteWriter& w, std::uint8_t reg) {
+  w.WriteU8(kOpPushReg);
+  w.WriteU8(reg);
+}
+
+void EncPopReg(util::ByteWriter& w, std::uint8_t reg) {
+  w.WriteU8(kOpPopReg);
+  w.WriteU8(reg);
+}
+
+void EncMovImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm) {
+  w.WriteU8(kOpMovImm);
+  w.WriteU8(reg);
+  w.WriteU32LE(imm);
+}
+
+void EncMovReg(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb) {
+  w.WriteU8(kOpMovReg);
+  w.WriteU8(ra);
+  w.WriteU8(rb);
+}
+
+void EncLoad(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb,
+             std::uint32_t disp) {
+  w.WriteU8(kOpLoad);
+  w.WriteU8(ra);
+  w.WriteU8(rb);
+  w.WriteU32LE(disp);
+}
+
+void EncStore(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb,
+              std::uint32_t disp) {
+  w.WriteU8(kOpStore);
+  w.WriteU8(ra);
+  w.WriteU8(rb);
+  w.WriteU32LE(disp);
+}
+
+void EncAddImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm) {
+  w.WriteU8(kOpAddImm);
+  w.WriteU8(reg);
+  w.WriteU32LE(imm);
+}
+
+void EncSubImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm) {
+  w.WriteU8(kOpSubImm);
+  w.WriteU8(reg);
+  w.WriteU32LE(imm);
+}
+
+void EncCall(util::ByteWriter& w, std::uint32_t target) {
+  w.WriteU8(kOpCall);
+  w.WriteU32LE(target);
+}
+
+void EncRet(util::ByteWriter& w) { w.WriteU8(kOpRet); }
+
+void EncJmp(util::ByteWriter& w, std::uint32_t target) {
+  w.WriteU8(kOpJmp);
+  w.WriteU32LE(target);
+}
+
+void EncJmpInd(util::ByteWriter& w, std::uint32_t slot) {
+  w.WriteU8(kOpJmpInd);
+  w.WriteU32LE(slot);
+}
+
+void EncSyscall(util::ByteWriter& w) { w.WriteU8(kOpSyscall); }
+void EncHlt(util::ByteWriter& w) { w.WriteU8(kOpHlt); }
+
+void EncXorReg(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb) {
+  w.WriteU8(kOpXorReg);
+  w.WriteU8(ra);
+  w.WriteU8(rb);
+}
+
+void EncCmpImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm) {
+  w.WriteU8(kOpCmpImm);
+  w.WriteU8(reg);
+  w.WriteU32LE(imm);
+}
+
+void EncJz(util::ByteWriter& w, std::uint32_t target) {
+  w.WriteU8(kOpJz);
+  w.WriteU32LE(target);
+}
+
+void EncJnz(util::ByteWriter& w, std::uint32_t target) {
+  w.WriteU8(kOpJnz);
+  w.WriteU32LE(target);
+}
+
+void EncAddReg(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb,
+               std::uint8_t rc) {
+  w.WriteU8(kOpAddReg);
+  w.WriteU8(ra);
+  w.WriteU8(rb);
+  w.WriteU8(rc);
+}
+
+void EncLoadByte(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb,
+                 std::uint32_t disp) {
+  w.WriteU8(kOpLoadByte);
+  w.WriteU8(ra);
+  w.WriteU8(rb);
+  w.WriteU32LE(disp);
+}
+
+void EncStoreByte(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb,
+                  std::uint32_t disp) {
+  w.WriteU8(kOpStoreByte);
+  w.WriteU8(ra);
+  w.WriteU8(rb);
+  w.WriteU32LE(disp);
+}
+
+}  // namespace connlab::isa::vx86

@@ -1,0 +1,93 @@
+// VX86 encoding: x86-flavoured variable-length synthetic ISA.
+//
+// One opcode byte followed by operands; immediates are little-endian 32-bit.
+// The single-byte NOP (0x90) is what makes classic NOP sleds work, exactly
+// as the paper relies on for its x86 code-injection exploit.
+//
+//   0x90 nop                      1 byte
+//   0x01 push imm32               5
+//   0x02 push reg                 2
+//   0x03 pop reg                  2
+//   0x04 mov reg, imm32           6
+//   0x05 mov ra, rb               3
+//   0x06 ldr ra, [rb + disp32]    7
+//   0x07 str ra, [rb + disp32]    7
+//   0x08 add reg, imm32           6
+//   0x09 sub reg, imm32           6
+//   0x0A call abs32               5   (pushes return address)
+//   0x0B ret                      1   (pops pc — the ROP pivot)
+//   0x0C jmp abs32                5
+//   0x0D jmp [abs32]              5   (indirect through memory: PLT stubs)
+//   0x0E syscall                  1   (number in eax, args ebx/ecx/edx)
+//   0x0F hlt                      1
+//   0x10 xor ra, rb               3
+//   0x11 cmp reg, imm32           6   (sets ZF)
+//   0x12 jz abs32                 5
+//   0x13 jnz abs32                5
+//   0x15 add ra, rb, rc           4
+#pragma once
+
+#include "src/isa/isa.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::isa::vx86 {
+
+inline constexpr std::uint8_t kOpNop = 0x90;
+inline constexpr std::uint8_t kOpPushImm = 0x01;
+inline constexpr std::uint8_t kOpPushReg = 0x02;
+inline constexpr std::uint8_t kOpPopReg = 0x03;
+inline constexpr std::uint8_t kOpMovImm = 0x04;
+inline constexpr std::uint8_t kOpMovReg = 0x05;
+inline constexpr std::uint8_t kOpLoad = 0x06;
+inline constexpr std::uint8_t kOpStore = 0x07;
+inline constexpr std::uint8_t kOpAddImm = 0x08;
+inline constexpr std::uint8_t kOpSubImm = 0x09;
+inline constexpr std::uint8_t kOpCall = 0x0A;
+inline constexpr std::uint8_t kOpRet = 0x0B;
+inline constexpr std::uint8_t kOpJmp = 0x0C;
+inline constexpr std::uint8_t kOpJmpInd = 0x0D;
+inline constexpr std::uint8_t kOpSyscall = 0x0E;
+inline constexpr std::uint8_t kOpHlt = 0x0F;
+inline constexpr std::uint8_t kOpXorReg = 0x10;
+inline constexpr std::uint8_t kOpCmpImm = 0x11;
+inline constexpr std::uint8_t kOpJz = 0x12;
+inline constexpr std::uint8_t kOpJnz = 0x13;
+inline constexpr std::uint8_t kOpAddReg = 0x15;
+inline constexpr std::uint8_t kOpLoadByte = 0x16;
+inline constexpr std::uint8_t kOpStoreByte = 0x17;
+
+/// Encoded length of the instruction whose first byte is `opcode`;
+/// 0 if the byte is not a valid VX86 opcode.
+std::uint8_t InstrLength(std::uint8_t opcode) noexcept;
+
+/// Decodes one instruction starting at data[offset]. Malformed on invalid
+/// opcode or truncation.
+util::Result<Instr> Decode(util::ByteSpan data, std::size_t offset);
+
+/// Raw encoders (used by the Assembler).
+void EncNop(util::ByteWriter& w);
+void EncPushImm(util::ByteWriter& w, std::uint32_t imm);
+void EncPushReg(util::ByteWriter& w, std::uint8_t reg);
+void EncPopReg(util::ByteWriter& w, std::uint8_t reg);
+void EncMovImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm);
+void EncMovReg(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb);
+void EncLoad(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb, std::uint32_t disp);
+void EncStore(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb, std::uint32_t disp);
+void EncAddImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm);
+void EncSubImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm);
+void EncCall(util::ByteWriter& w, std::uint32_t target);
+void EncRet(util::ByteWriter& w);
+void EncJmp(util::ByteWriter& w, std::uint32_t target);
+void EncJmpInd(util::ByteWriter& w, std::uint32_t slot);
+void EncSyscall(util::ByteWriter& w);
+void EncHlt(util::ByteWriter& w);
+void EncXorReg(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb);
+void EncCmpImm(util::ByteWriter& w, std::uint8_t reg, std::uint32_t imm);
+void EncJz(util::ByteWriter& w, std::uint32_t target);
+void EncJnz(util::ByteWriter& w, std::uint32_t target);
+void EncAddReg(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb, std::uint8_t rc);
+void EncLoadByte(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb, std::uint32_t disp);
+void EncStoreByte(util::ByteWriter& w, std::uint8_t ra, std::uint8_t rb, std::uint32_t disp);
+
+}  // namespace connlab::isa::vx86

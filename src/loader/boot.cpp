@@ -1,0 +1,49 @@
+#include "src/loader/boot.hpp"
+
+#include "src/loader/connman_image.hpp"
+#include "src/loader/libc_image.hpp"
+
+namespace connlab::loader {
+
+util::Result<std::unique_ptr<System>> Boot(isa::Arch arch,
+                                           const ProtectionConfig& prot,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xB007B007B007ULL);
+
+  // High-entropy ASLR draws can (rarely) collide libc with the stack; real
+  // kernels redraw, and so do we.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto sys = std::make_unique<System>();
+    sys->arch = arch;
+    sys->prot = prot;
+    sys->rng = rng.Fork();
+    sys->layout = RandomizedLayout(arch, prot, rng);
+    sys->cpu = std::make_unique<vm::Cpu>(arch, sys->space);
+    sys->cpu->set_shadow_stack_enabled(prot.cfi);
+
+    CONNLAB_RETURN_IF_ERROR(LoadConnmanImage(*sys));
+    CONNLAB_RETURN_IF_ERROR(LoadLibcImage(*sys));
+
+    // Stack: rw- under W^X, rwx otherwise (the paper's "no protections"
+    // builds were compiled with an executable stack).
+    const mem::Perm stack_perm = prot.wx ? mem::kPermRW : mem::kPermRWX;
+    util::Status stack_status =
+        sys->space.Map("stack", sys->layout.stack_base(),
+                       sys->layout.stack_size, stack_perm);
+    if (!stack_status.ok()) {
+      if (stack_status.code() == util::StatusCode::kAlreadyExists) continue;
+      return stack_status;
+    }
+    sys->sections.push_back(
+        {"stack", sys->layout.stack_base(), sys->layout.stack_size});
+
+    sys->canary_value = prot.canary ? sys->rng.NextU32() | 0x01010101u : 0;
+    sys->cpu->set_sp(sys->layout.initial_sp());
+    CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr entry, sys->Sym("connman._start"));
+    sys->cpu->set_pc(entry);
+    return sys;
+  }
+  return util::Internal("could not place stack after 16 ASLR redraws");
+}
+
+}  // namespace connlab::loader

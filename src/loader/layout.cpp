@@ -1,0 +1,84 @@
+#include "src/loader/layout.hpp"
+
+namespace connlab::loader {
+
+std::string ProtectionConfig::ToString() const {
+  std::string out;
+  out += wx ? "W^X" : "no-W^X";
+  out += aslr ? "+ASLR" : "";
+  out += canary ? "+canary" : "";
+  out += cfi ? "+CFI" : "";
+  out += diversity ? "+ASD" : "";
+  if (!wx && !aslr && !canary && !cfi && !diversity) out = "none";
+  return out;
+}
+
+Layout DefaultLayout(isa::Arch arch) {
+  Layout l;
+  l.arch = arch;
+  if (arch == isa::Arch::kVX86) {
+    // Classic 32-bit Linux x86 shape: ET_EXEC image at 0x08048000,
+    // libc high, stack just under 0xC0000000.
+    l.text_base = 0x08048000;
+    l.text_size = 0x00004000;
+    l.rodata_base = 0x0804C000;
+    l.rodata_size = 0x00001000;
+    l.got_base = 0x0804F000;
+    l.got_size = 0x00001000;
+    l.bss_base = 0x08050000;
+    l.bss_size = 0x00001000;
+    l.scratch_base = 0x08052000;
+    l.scratch_size = 0x00001000;
+    l.heap_base = 0x09000000;
+    l.heap_size = 0x00010000;
+    l.libc_base = 0xB7400000;
+    l.libc_size = 0x00004000;
+    l.stack_top = 0xBFFFE000;
+    l.stack_size = 0x00020000;
+  } else {
+    // Raspberry-Pi-flavoured ARM32 shape: image at 0x10000, libc around
+    // 0x76d00000, stack under 0x7f000000 (cf. the addresses in the paper's
+    // Listings 2 and 5).
+    l.text_base = 0x00010000;
+    l.text_size = 0x00004000;
+    l.rodata_base = 0x0001C000;
+    l.rodata_size = 0x00001000;
+    l.got_base = 0x00020000;
+    l.got_size = 0x00001000;
+    l.bss_base = 0x000B9000;
+    l.bss_size = 0x00001000;
+    l.scratch_base = 0x000BB000;
+    l.scratch_size = 0x00001000;
+    l.heap_base = 0x00100000;
+    l.heap_size = 0x00010000;
+    l.libc_base = 0x76D00000;
+    l.libc_size = 0x00004000;
+    l.stack_top = 0x7EFFE000;
+    l.stack_size = 0x00020000;
+  }
+  return l;
+}
+
+Layout RandomizedLayout(isa::Arch arch, const ProtectionConfig& prot,
+                        util::Rng& rng) {
+  Layout l = DefaultLayout(arch);
+  if (!prot.aslr) return l;
+
+  const int bits = prot.aslr_entropy_bits < 1    ? 1
+                   : prot.aslr_entropy_bits > 16 ? 16
+                                                 : prot.aslr_entropy_bits;
+  const std::uint64_t span = 1ULL << bits;
+
+  // Slide libc *down* from its default base so it never collides with the
+  // stack region; slide the stack down likewise. Page granularity, matching
+  // mmap randomisation.
+  const std::uint32_t libc_slide =
+      static_cast<std::uint32_t>(rng.NextBelow(span)) * 0x1000u;
+  const std::uint32_t stack_slide =
+      static_cast<std::uint32_t>(rng.NextBelow(span)) * 0x1000u;
+  l.libc_base -= libc_slide;
+  l.stack_top -= stack_slide;
+  return l;
+}
+
+}  // namespace connlab::loader

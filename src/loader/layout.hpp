@@ -1,0 +1,100 @@
+// Process-image layout for the simulated Connman target, per architecture,
+// and the protection configuration the experiments sweep.
+//
+// The main image (.text/.plt/.rodata/.got/.bss/.scratch) is loaded at fixed
+// addresses on both architectures — the paper's Connman build is not PIE, so
+// ASLR leaves the executable (and therefore PLT references and .bss) static.
+// Only the libc base and the stack base are randomised when ASLR is on,
+// which is precisely the asymmetry the paper's ROP exploits live off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/isa.hpp"
+#include "src/mem/segment.hpp"
+#include "src/util/rng.hpp"
+
+namespace connlab::loader {
+
+/// Which OS/toolchain defenses are active, mirroring §III's three levels.
+struct ProtectionConfig {
+  bool wx = false;      // W^X / DEP: stack pages not executable
+  bool aslr = false;    // randomise libc base and stack base per boot
+  bool canary = false;  // stack protector in parse_response (paper: off)
+  /// Pages of ASLR entropy (libc and stack each draw this many bits).
+  /// 32-bit Linux historically offers ~8-12 bits for mmap; default 12.
+  int aslr_entropy_bits = 12;
+
+  // §IV mitigation models (the paper's suggested defenses, for the E8
+  // ablations — all off in the paper's experiments):
+  /// Hardware-supported return-address protection (CFI CaRE flavour): a
+  /// shadow stack checked on every return / pop {…, pc}.
+  bool cfi = false;
+  /// Compile-time software diversity: the image's function/gadget layout
+  /// is permuted per build (`diversity_build` selects the build), so
+  /// address-based exploits stop porting across builds.
+  bool diversity = false;
+  std::uint64_t diversity_build = 0;
+
+  [[nodiscard]] std::string ToString() const;
+
+  static ProtectionConfig None() { return {}; }
+  static ProtectionConfig WxOnly() { return {.wx = true}; }
+  static ProtectionConfig WxAslr() { return {.wx = true, .aslr = true}; }
+  static ProtectionConfig All() {
+    return {.wx = true, .aslr = true, .canary = true};
+  }
+  static ProtectionConfig WxAslrCfi() {
+    return {.wx = true, .aslr = true, .cfi = true};
+  }
+  static ProtectionConfig Diversified(std::uint64_t build) {
+    return {.wx = true, .aslr = true, .diversity = true, .diversity_build = build};
+  }
+};
+
+/// Resolved addresses for one booted process. Fixed fields come from the
+/// static layout below; libc_base / stack_top are randomised under ASLR.
+struct Layout {
+  isa::Arch arch = isa::Arch::kVX86;
+
+  mem::GuestAddr text_base = 0;
+  std::uint32_t text_size = 0;
+  mem::GuestAddr rodata_base = 0;
+  std::uint32_t rodata_size = 0;
+  mem::GuestAddr got_base = 0;
+  std::uint32_t got_size = 0;
+  mem::GuestAddr bss_base = 0;
+  std::uint32_t bss_size = 0;
+  /// Small fixed RW data region belonging to the main image; the ARM
+  /// parse_rr "expected pointer" slots must point here (see connman/frame).
+  mem::GuestAddr scratch_base = 0;
+  std::uint32_t scratch_size = 0;
+  mem::GuestAddr heap_base = 0;
+  std::uint32_t heap_size = 0;
+
+  mem::GuestAddr libc_base = 0;   // randomised under ASLR
+  std::uint32_t libc_size = 0;
+  mem::GuestAddr stack_top = 0;   // randomised under ASLR (exclusive end)
+  std::uint32_t stack_size = 0;
+  [[nodiscard]] mem::GuestAddr stack_base() const noexcept {
+    return stack_top - stack_size;
+  }
+
+  /// sp value at process entry: a little below the top so the environment /
+  /// auxv analogue has room, and so an unbounded overflow runs off the
+  /// mapping (the DoS case).
+  [[nodiscard]] mem::GuestAddr initial_sp() const noexcept {
+    return stack_top - 0x400;
+  }
+};
+
+/// The fixed (no-ASLR) layout for an architecture.
+Layout DefaultLayout(isa::Arch arch);
+
+/// Applies ASLR (if enabled) to the default layout, drawing libc and stack
+/// slides from `rng` at page granularity.
+Layout RandomizedLayout(isa::Arch arch, const ProtectionConfig& prot,
+                        util::Rng& rng);
+
+}  // namespace connlab::loader

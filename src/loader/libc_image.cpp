@@ -1,0 +1,182 @@
+#include "src/loader/libc_image.hpp"
+
+#include <string>
+
+#include "src/util/log.hpp"
+
+namespace connlab::loader {
+
+namespace {
+
+using vm::Cpu;
+using vm::EventKind;
+using vm::StopReason;
+
+bool IsVX86(const Cpu& cpu) { return cpu.arch() == isa::Arch::kVX86; }
+
+/// Reads the i-th function argument per the calling convention. On VX86 the
+/// frame is [esp]=ret, [esp+4]=arg0...; on VARM args are r0..r3.
+util::Result<std::uint32_t> Arg(Cpu& cpu, int index) {
+  if (IsVX86(cpu)) {
+    return cpu.space().ReadU32(cpu.sp() + 4 + 4 * static_cast<std::uint32_t>(index));
+  }
+  if (index > 3) return util::InvalidArgument("varm register args only");
+  return cpu.reg(static_cast<std::uint8_t>(index));
+}
+
+/// Performs the function-return sequence: VX86 pops the return address;
+/// VARM branches to lr. `ret_value` lands in eax / r0.
+util::Status Return(Cpu& cpu, std::uint32_t ret_value) {
+  if (IsVX86(cpu)) {
+    CONNLAB_ASSIGN_OR_RETURN(std::uint32_t ret, cpu.Pop());
+    cpu.set_reg(isa::kEAX, ret_value);
+    cpu.set_pc(ret);
+  } else {
+    cpu.set_reg(isa::kR0, ret_value);
+    cpu.set_pc(cpu.reg(isa::kLR));
+  }
+  return util::OkStatus();
+}
+
+/// PATH-style resolution for execlp: a bare name resolves under /bin.
+std::string ResolveExeclpFile(const std::string& file) {
+  if (file.find('/') != std::string::npos) return file;
+  return "/bin/" + file;
+}
+
+util::Status LibcSystem(Cpu& cpu) {
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t cmd_ptr, Arg(cpu, 0));
+  CONNLAB_ASSIGN_OR_RETURN(std::string cmd, cpu.space().ReadCString(cmd_ptr));
+  // system(cmd) runs "/bin/sh -c cmd" — with Connman's privileges, a root
+  // shell executing attacker input. That is the success condition.
+  cpu.PushEvent(EventKind::kShellSpawned,
+                "system(\"" + cmd + "\") -> /bin/sh -c as uid=0 (root)");
+  cpu.RequestStop(StopReason::kShellSpawned, "system(): " + cmd);
+  return util::OkStatus();
+}
+
+util::Status LibcExit(Cpu& cpu) {
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t code, Arg(cpu, 0));
+  cpu.SetExitCode(code);
+  cpu.PushEvent(EventKind::kExit, "exit(" + std::to_string(code) + ")");
+  cpu.RequestStop(StopReason::kExited, "libc exit");
+  return util::OkStatus();
+}
+
+util::Status LibcMemcpy(Cpu& cpu) {
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t dest, Arg(cpu, 0));
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t src, Arg(cpu, 1));
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t len, Arg(cpu, 2));
+  if (len > 0x100000) return util::InvalidArgument("memcpy length implausible");
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes data, cpu.space().ReadBytes(src, len));
+  CONNLAB_RETURN_IF_ERROR(cpu.space().WriteBytes(dest, data));
+  if (IsVX86(cpu)) {
+    // This build's memcpy epilogue is `add esp, 0xC; pop ebp; ret` on a
+    // frameless entry: it reloads ebp from the slot just past the three
+    // arguments. A ROP frame therefore must provide a readable word there —
+    // the paper's "4 bytes of random values" (§III-C1).
+    CONNLAB_ASSIGN_OR_RETURN(std::uint32_t ebp_slot,
+                             cpu.space().ReadU32(cpu.sp() + 16));
+    cpu.set_reg(isa::kEBP, ebp_slot);
+  }
+  return Return(cpu, dest);
+}
+
+util::Status LibcExeclp(Cpu& cpu) {
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t file_ptr, Arg(cpu, 0));
+  CONNLAB_ASSIGN_OR_RETURN(std::string file, cpu.space().ReadCString(file_ptr));
+
+  // execlp is variadic and requires a terminating NULL in the argument
+  // list; without one the scan walks into unmapped or garbage memory.
+  bool terminated = false;
+  if (IsVX86(cpu)) {
+    for (int i = 1; i <= 8 && !terminated; ++i) {
+      CONNLAB_ASSIGN_OR_RETURN(std::uint32_t arg, Arg(cpu, i));
+      terminated = arg == 0;
+    }
+  } else {
+    for (int i = 1; i <= 3 && !terminated; ++i) {
+      terminated = cpu.reg(static_cast<std::uint8_t>(i)) == 0;
+    }
+  }
+  if (!terminated) {
+    return util::PermissionDenied("execlp: argument list not NULL-terminated");
+  }
+
+  const std::string resolved = ResolveExeclpFile(file);
+  if (vm::IsShellPath(resolved)) {
+    cpu.PushEvent(EventKind::kShellSpawned,
+                  "execlp(\"" + file + "\") -> " + resolved + " as uid=0 (root)");
+    cpu.RequestStop(StopReason::kShellSpawned, "execlp: " + resolved);
+  } else {
+    cpu.PushEvent(EventKind::kProcessExec, "execlp(\"" + file + "\")");
+    cpu.RequestStop(StopReason::kProcessExec, "execlp: " + resolved);
+  }
+  return util::OkStatus();
+}
+
+util::Status LibcStrcpyChk(Cpu& cpu) {
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t dest, Arg(cpu, 0));
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t src, Arg(cpu, 1));
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t dest_len, Arg(cpu, 2));
+  CONNLAB_ASSIGN_OR_RETURN(std::string s, cpu.space().ReadCString(src));
+  if (s.size() + 1 > dest_len) {
+    cpu.PushEvent(EventKind::kCanaryAbort, "__strcpy_chk: overflow detected");
+    cpu.RequestStop(StopReason::kAbort, "__strcpy_chk failed");
+    return util::OkStatus();
+  }
+  util::Bytes bytes(s.begin(), s.end());
+  bytes.push_back(0);
+  CONNLAB_RETURN_IF_ERROR(cpu.space().WriteBytes(dest, bytes));
+  return Return(cpu, dest);
+}
+
+}  // namespace
+
+util::Status LoadLibcImage(System& sys) {
+  const Layout& l = sys.layout;
+  CONNLAB_RETURN_IF_ERROR(
+      sys.space.Map("libc", l.libc_base, l.libc_size, mem::kPermRX));
+  sys.sections.push_back({"libc", l.libc_base, l.libc_size});
+
+  struct Entry {
+    const char* name;
+    std::uint32_t offset;
+    Cpu::HostFn fn;
+  };
+  const Entry entries[] = {
+      {"libc.system", kLibcSystemOff, LibcSystem},
+      {"libc.exit", kLibcExitOff, LibcExit},
+      {"libc.memcpy", kLibcMemcpyOff, LibcMemcpy},
+      {"libc.execlp", kLibcExeclpOff, LibcExeclp},
+      {"libc.__strcpy_chk", kLibcStrcpyChkOff, LibcStrcpyChk},
+  };
+  for (const Entry& e : entries) {
+    const mem::GuestAddr addr = l.libc_base + e.offset;
+    CONNLAB_RETURN_IF_ERROR(sys.symbols.Define(e.name, addr));
+    CONNLAB_RETURN_IF_ERROR(sys.cpu->RegisterHostFn(addr, e.name, e.fn));
+  }
+  CONNLAB_RETURN_IF_ERROR(sys.symbols.Define("libc.base", l.libc_base));
+
+  // "/bin/sh" lives at a fixed offset inside libc: static without ASLR,
+  // moving with the base under ASLR.
+  const mem::GuestAddr binsh = l.libc_base + kLibcBinShOff;
+  CONNLAB_RETURN_IF_ERROR(sys.symbols.Define("libc.str.bin_sh", binsh));
+  util::Bytes str = util::BytesOf("/bin/sh");
+  str.push_back(0);
+  CONNLAB_RETURN_IF_ERROR(sys.space.DebugWrite(binsh, str));
+
+  // Resolve the main image's GOT against the just-loaded libc.
+  CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr got_memcpy, sys.Sym("got.memcpy"));
+  CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr got_execlp, sys.Sym("got.execlp"));
+  CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr got_chk, sys.Sym("got.__strcpy_chk"));
+  CONNLAB_RETURN_IF_ERROR(
+      sys.space.WriteU32(got_memcpy, l.libc_base + kLibcMemcpyOff));
+  CONNLAB_RETURN_IF_ERROR(
+      sys.space.WriteU32(got_execlp, l.libc_base + kLibcExeclpOff));
+  CONNLAB_RETURN_IF_ERROR(
+      sys.space.WriteU32(got_chk, l.libc_base + kLibcStrcpyChkOff));
+  return util::OkStatus();
+}
+
+}  // namespace connlab::loader

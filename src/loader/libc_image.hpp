@@ -1,0 +1,31 @@
+// Builds and loads the simulated libc for one booted System.
+//
+// libc functions are host-implemented (registered on the CPU at their guest
+// addresses) but callable from interpreted guest code through the usual
+// conventions: VX86 finds its arguments on the stack past the pushed return
+// address (which is why the paper's ret-to-libc chain is just
+// [&system][&exit][&"/bin/sh"]), VARM takes r0-r3 and returns via lr (which
+// is why a plain ret-to-libc is impossible there and gadgets are needed).
+//
+// The segment also carries the "/bin/sh" string at a fixed *offset*; its
+// absolute address moves with the libc base under ASLR — exactly the
+// property that breaks the W^X-level exploits at the ASLR level.
+#pragma once
+
+#include "src/loader/boot.hpp"
+
+namespace connlab::loader {
+
+/// Offsets of the public libc entry points within the libc segment.
+inline constexpr std::uint32_t kLibcSystemOff = 0x100;
+inline constexpr std::uint32_t kLibcExitOff = 0x200;
+inline constexpr std::uint32_t kLibcMemcpyOff = 0x300;
+inline constexpr std::uint32_t kLibcExeclpOff = 0x400;
+inline constexpr std::uint32_t kLibcStrcpyChkOff = 0x500;
+inline constexpr std::uint32_t kLibcBinShOff = 0x13E4;
+
+/// Maps libc at sys.layout.libc_base, registers the host functions,
+/// defines the libc.* symbols, and resolves the main image's GOT slots.
+util::Status LoadLibcImage(System& sys);
+
+}  // namespace connlab::loader

@@ -1,0 +1,96 @@
+// The 32-bit guest address space: an ordered set of non-overlapping Segments
+// with permission-checked accessors. Every guest memory touch in connlab —
+// the vulnerable memcpy, instruction fetch, gadget pops — goes through here,
+// so a bad pointer produces a Fault record exactly where a real process
+// would take SIGSEGV.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mem/segment.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::mem {
+
+/// What a failed access looked like; mirrors siginfo for SIGSEGV.
+enum class AccessKind : std::uint8_t { kRead, kWrite, kFetch };
+
+std::string AccessKindName(AccessKind kind);
+
+struct FaultInfo {
+  AccessKind kind = AccessKind::kRead;
+  GuestAddr addr = 0;
+  std::string detail;  // "unmapped", "no write permission on .text", ...
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+
+  // Movable, not copyable: Segments are heavy and identity matters.
+  AddressSpace(AddressSpace&&) noexcept = default;
+  AddressSpace& operator=(AddressSpace&&) noexcept = default;
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  /// Maps a new segment. Fails on overlap with an existing one.
+  util::Status Map(std::string name, GuestAddr base, std::uint32_t size, Perm perms);
+
+  /// Changes a whole segment's permissions (mprotect analogue).
+  util::Status Protect(std::string_view name, Perm perms);
+
+  [[nodiscard]] const Segment* FindSegment(GuestAddr addr) const noexcept;
+  [[nodiscard]] const Segment* FindSegmentByName(std::string_view name) const noexcept;
+  Segment* FindSegmentByNameMutable(std::string_view name) noexcept;
+
+  // --- Checked guest accessors -------------------------------------------
+  // Reads require kRead, writes kWrite, fetches kExec (the W^X teeth).
+  // Multi-byte accessors use guest (little-endian) byte order and may NOT
+  // straddle segments (real mappings are page-padded; ours are too).
+
+  util::Result<std::uint8_t> ReadU8(GuestAddr addr) const;
+  util::Result<std::uint32_t> ReadU32(GuestAddr addr) const;
+  util::Result<util::Bytes> ReadBytes(GuestAddr addr, std::uint32_t len) const;
+  /// Reads until NUL or `max_len`; error if it runs off the mapping.
+  util::Result<std::string> ReadCString(GuestAddr addr, std::uint32_t max_len = 4096) const;
+
+  util::Status WriteU8(GuestAddr addr, std::uint8_t value);
+  util::Status WriteU32(GuestAddr addr, std::uint32_t value);
+  util::Status WriteBytes(GuestAddr addr, util::ByteSpan data);
+
+  /// Fetch check used by the CPU: validates X permission at `addr` for `len`
+  /// bytes and returns them. A stack address under W^X fails here.
+  util::Result<util::Bytes> Fetch(GuestAddr addr, std::uint32_t len) const;
+
+  /// Unchecked variants for the loader/debugger (ptrace analogue): they see
+  /// memory regardless of permissions, but still fail on unmapped addresses.
+  util::Result<util::Bytes> DebugRead(GuestAddr addr, std::uint32_t len) const;
+  util::Status DebugWrite(GuestAddr addr, util::ByteSpan data);
+
+  /// The last permission/unmapped fault, for diagnostics. Cleared by
+  /// ClearFault(). The CPU copies this into its exit record.
+  [[nodiscard]] const std::optional<FaultInfo>& last_fault() const noexcept {
+    return last_fault_;
+  }
+  void ClearFault() noexcept { last_fault_.reset(); }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Segment>>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// /proc/<pid>/maps analogue for examples and the debugger.
+  [[nodiscard]] std::string MapsString() const;
+
+ private:
+  const Segment* CheckAccess(GuestAddr addr, std::uint32_t len, AccessKind kind) const;
+
+  std::vector<std::unique_ptr<Segment>> segments_;  // sorted by base
+  mutable std::optional<FaultInfo> last_fault_;
+};
+
+}  // namespace connlab::mem

@@ -1,0 +1,13 @@
+#include "src/mem/perms.hpp"
+
+namespace connlab::mem {
+
+std::string PermString(Perm p) {
+  std::string out = "---";
+  if (Has(p, Perm::kRead)) out[0] = 'r';
+  if (Has(p, Perm::kWrite)) out[1] = 'w';
+  if (Has(p, Perm::kExec)) out[2] = 'x';
+  return out;
+}
+
+}  // namespace connlab::mem

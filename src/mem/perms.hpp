@@ -1,0 +1,43 @@
+// Page/segment permissions for simulated guest memory.
+//
+// W^X in connlab is exactly what it is on real systems: the CPU refuses to
+// *fetch* from a page that lacks X, and refuses to *write* a page that lacks
+// W. The exploit experiments flip these bits the same way the paper flips
+// compiler/kernel options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace connlab::mem {
+
+enum class Perm : std::uint8_t {
+  kNone = 0,
+  kRead = 1 << 0,
+  kWrite = 1 << 1,
+  kExec = 1 << 2,
+};
+
+constexpr Perm operator|(Perm a, Perm b) noexcept {
+  return static_cast<Perm>(static_cast<std::uint8_t>(a) |
+                           static_cast<std::uint8_t>(b));
+}
+
+constexpr Perm operator&(Perm a, Perm b) noexcept {
+  return static_cast<Perm>(static_cast<std::uint8_t>(a) &
+                           static_cast<std::uint8_t>(b));
+}
+
+constexpr bool Has(Perm set, Perm bit) noexcept {
+  return (set & bit) != Perm::kNone;
+}
+
+inline constexpr Perm kPermR = Perm::kRead;
+inline constexpr Perm kPermRW = Perm::kRead | Perm::kWrite;
+inline constexpr Perm kPermRX = Perm::kRead | Perm::kExec;
+inline constexpr Perm kPermRWX = Perm::kRead | Perm::kWrite | Perm::kExec;
+
+/// "r-x", "rw-", ... in ls -l style.
+std::string PermString(Perm p);
+
+}  // namespace connlab::mem

@@ -1,0 +1,21 @@
+#include "src/mem/segment.hpp"
+
+#include <utility>
+
+namespace connlab::mem {
+
+Segment::Segment(std::string name, GuestAddr base, std::uint32_t size, Perm perms)
+    : name_(std::move(name)), base_(base), perms_(perms), data_(size, 0) {}
+
+bool Segment::ContainsRange(GuestAddr addr, std::uint32_t len) const noexcept {
+  if (len == 0) return Contains(addr) || addr == end();
+  if (addr < base_) return false;
+  const std::uint64_t last = static_cast<std::uint64_t>(addr) + len;
+  return last <= static_cast<std::uint64_t>(end());
+}
+
+util::ByteSpan Segment::SpanAt(GuestAddr addr, std::uint32_t len) const noexcept {
+  return util::ByteSpan(data_.data() + (addr - base_), len);
+}
+
+}  // namespace connlab::mem

@@ -1,0 +1,55 @@
+// A contiguous mapped region of guest memory: [base, base+size) with one
+// permission set and a name (".text", ".bss", "libc", "stack", ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/perms.hpp"
+#include "src/util/bytes.hpp"
+
+namespace connlab::mem {
+
+using GuestAddr = std::uint32_t;
+
+class Segment {
+ public:
+  Segment(std::string name, GuestAddr base, std::uint32_t size, Perm perms);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] GuestAddr base() const noexcept { return base_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(data_.size());
+  }
+  [[nodiscard]] GuestAddr end() const noexcept { return base_ + size(); }
+  [[nodiscard]] Perm perms() const noexcept { return perms_; }
+  void set_perms(Perm perms) noexcept { perms_ = perms; }
+
+  [[nodiscard]] bool Contains(GuestAddr addr) const noexcept {
+    return addr >= base_ && addr < end();
+  }
+  /// True iff [addr, addr+len) fits wholly inside the segment.
+  [[nodiscard]] bool ContainsRange(GuestAddr addr, std::uint32_t len) const noexcept;
+
+  // Raw accessors. Callers must have validated the range (the AddressSpace
+  // front door does); these index directly.
+  [[nodiscard]] std::uint8_t At(GuestAddr addr) const noexcept {
+    return data_[addr - base_];
+  }
+  void Set(GuestAddr addr, std::uint8_t value) noexcept {
+    data_[addr - base_] = value;
+  }
+  [[nodiscard]] util::ByteSpan SpanAt(GuestAddr addr, std::uint32_t len) const noexcept;
+
+  [[nodiscard]] const util::Bytes& data() const noexcept { return data_; }
+  util::Bytes& mutable_data() noexcept { return data_; }
+
+ private:
+  std::string name_;
+  GuestAddr base_;
+  Perm perms_;
+  util::Bytes data_;
+};
+
+}  // namespace connlab::mem

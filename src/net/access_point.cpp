@@ -1,0 +1,27 @@
+#include "src/net/access_point.hpp"
+
+#include <algorithm>
+
+namespace connlab::net {
+
+void Radio::AddAp(AccessPoint* ap) {
+  if (std::find(aps_.begin(), aps_.end(), ap) == aps_.end()) {
+    aps_.push_back(ap);
+  }
+}
+
+void Radio::RemoveAp(AccessPoint* ap) {
+  aps_.erase(std::remove(aps_.begin(), aps_.end(), ap), aps_.end());
+}
+
+util::Result<AccessPoint*> Radio::StrongestFor(const std::string& ssid) const {
+  AccessPoint* best = nullptr;
+  for (AccessPoint* ap : aps_) {
+    if (ap->ssid() != ssid) continue;
+    if (best == nullptr || ap->signal_dbm() > best->signal_dbm()) best = ap;
+  }
+  if (best == nullptr) return util::NotFound("no AP beacons ssid " + ssid);
+  return best;
+}
+
+}  // namespace connlab::net

@@ -1,0 +1,32 @@
+#include "src/net/dhcp.hpp"
+
+namespace connlab::net {
+
+DhcpServer::DhcpServer(std::string prefix, std::string gateway,
+                       std::string dns_server, int pool_size)
+    : prefix_(std::move(prefix)),
+      gateway_(std::move(gateway)),
+      dns_server_(std::move(dns_server)),
+      pool_size_(pool_size) {}
+
+util::Result<DhcpLease> DhcpServer::Offer(const std::string& client_id) {
+  auto it = leases_.find(client_id);
+  if (it != leases_.end()) {
+    // Renewal refreshes the options (a client re-associating to a rogue AP
+    // picks up the malicious DNS even if it had a lease before).
+    it->second.dns_server = dns_server_;
+    it->second.gateway = gateway_;
+    return it->second;
+  }
+  if (next_host_ - 100 >= pool_size_) {
+    return util::ResourceExhausted("DHCP pool exhausted");
+  }
+  DhcpLease lease;
+  lease.ip = prefix_ + "." + std::to_string(next_host_++);
+  lease.gateway = gateway_;
+  lease.dns_server = dns_server_;
+  leases_[client_id] = lease;
+  return lease;
+}
+
+}  // namespace connlab::net

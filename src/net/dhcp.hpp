@@ -1,0 +1,47 @@
+// Minimal DHCP model: an address pool plus the two options the experiment
+// cares about — gateway and DNS server. This is the knob the Wi-Fi
+// Pineapple turns: "configure it to utilize DHCP to assign our malicious
+// DNS server to clients" (§III-D).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/util/status.hpp"
+
+namespace connlab::net {
+
+struct DhcpLease {
+  std::string ip;
+  std::string gateway;
+  std::string dns_server;
+};
+
+class DhcpServer {
+ public:
+  /// Pool hands out prefix.100, prefix.101, ... (prefix like "192.168.1").
+  DhcpServer(std::string prefix, std::string gateway, std::string dns_server,
+             int pool_size = 100);
+
+  /// Offers (or renews) a lease for a client identifier (MAC/hostname).
+  util::Result<DhcpLease> Offer(const std::string& client_id);
+
+  void set_dns_server(std::string dns) { dns_server_ = std::move(dns); }
+  [[nodiscard]] const std::string& dns_server() const noexcept {
+    return dns_server_;
+  }
+  [[nodiscard]] std::size_t active_leases() const noexcept {
+    return leases_.size();
+  }
+
+ private:
+  std::string prefix_;
+  std::string gateway_;
+  std::string dns_server_;
+  int pool_size_;
+  int next_host_ = 100;
+  std::map<std::string, DhcpLease> leases_;
+};
+
+}  // namespace connlab::net

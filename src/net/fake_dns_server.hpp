@@ -1,0 +1,71 @@
+// DNS servers for the simulated LAN.
+//
+// LegitDnsServer answers from a static zone — the well-behaved upstream.
+//
+// FakeDnsServer is the paper's "simple Python DNS server" (§III,
+// Experimental Setup): on every query it "copies the relevant portions of
+// the query from the target machine's packet, inserts the proper flags,
+// and encodes the malicious code into the record response". Which
+// malicious code depends on the configured payload (an exploit technique,
+// a raw DoS name, or benign passthrough for staging).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/dns/craft.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/net/sim.hpp"
+
+namespace connlab::net {
+
+class LegitDnsServer : public Endpoint {
+ public:
+  explicit LegitDnsServer(std::string ip) : ip_(std::move(ip)) {}
+
+  void AddRecord(const std::string& name, const std::string& ipv4);
+  void OnDatagram(Network& net, const Datagram& dgram) override;
+
+  [[nodiscard]] const std::string& ip() const noexcept { return ip_; }
+  [[nodiscard]] std::uint64_t queries_served() const noexcept { return served_; }
+
+ private:
+  std::string ip_;
+  std::map<std::string, std::string> zone_;
+  std::uint64_t served_ = 0;
+};
+
+class FakeDnsServer : public Endpoint {
+ public:
+  enum class Mode { kBenign, kDos, kExploit };
+
+  FakeDnsServer(std::string ip, Mode mode)
+      : ip_(std::move(ip)), mode_(mode) {}
+
+  /// Arms the server with an exploit generator + technique (kExploit mode).
+  void Arm(exploit::TargetProfile profile, exploit::Technique technique) {
+    generator_.emplace(std::move(profile));
+    technique_ = technique;
+    mode_ = Mode::kExploit;
+  }
+  void set_mode(Mode mode) noexcept { mode_ = mode; }
+
+  void OnDatagram(Network& net, const Datagram& dgram) override;
+
+  [[nodiscard]] const std::string& ip() const noexcept { return ip_; }
+  [[nodiscard]] std::uint64_t queries_seen() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t payloads_sent() const noexcept { return sent_; }
+  [[nodiscard]] const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  std::string ip_;
+  Mode mode_;
+  std::optional<exploit::ExploitGenerator> generator_;
+  exploit::Technique technique_ = exploit::Technique::kDosCrash;
+  std::uint64_t seen_ = 0;
+  std::uint64_t sent_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace connlab::net

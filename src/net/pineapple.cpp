@@ -1,0 +1,21 @@
+#include "src/net/pineapple.hpp"
+
+namespace connlab::net {
+
+Pineapple::Pineapple(std::string ssid, int signal_dbm, std::string ip)
+    : ip_(std::move(ip)),
+      ap_(std::move(ssid), signal_dbm,
+          DhcpServer("10.99.0", /*gateway=*/ip_, /*dns_server=*/ip_)),
+      dns_(ip_, FakeDnsServer::Mode::kDos) {}
+
+void Pineapple::PowerOn(Radio& radio, Network& net) {
+  radio.AddAp(&ap_);
+  net.Attach(ip_, &dns_);
+}
+
+void Pineapple::PowerOff(Radio& radio, Network& net) {
+  radio.RemoveAp(&ap_);
+  net.Detach(ip_);
+}
+
+}  // namespace connlab::net

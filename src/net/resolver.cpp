@@ -1,0 +1,70 @@
+#include "src/net/resolver.hpp"
+
+#include "src/dns/record.hpp"
+#include "src/util/log.hpp"
+
+namespace connlab::net {
+
+void ForwardingResolver::AddRecord(const std::string& name,
+                                   const std::string& ipv4) {
+  zone_[name] = ipv4;
+}
+
+void ForwardingResolver::AddDelegation(const std::string& suffix,
+                                       const std::string& server_ip) {
+  delegations_[suffix] = server_ip;
+}
+
+void ForwardingResolver::OnDatagram(Network& net, const Datagram& dgram) {
+  // A response coming back from a delegated server? Relay it verbatim to
+  // the waiting client — a plain forwarder does not re-validate the answer
+  // section (that laxness is what the lure attack rides on).
+  if (dgram.payload.size() >= 2) {
+    const std::uint16_t id = static_cast<std::uint16_t>(
+        (dgram.payload[0] << 8) | dgram.payload[1]);
+    const bool is_response =
+        dgram.payload.size() >= 3 && (dgram.payload[2] & 0x80) != 0;
+    auto pending = pending_.find(id);
+    if (is_response && pending != pending_.end()) {
+      ++relayed_;
+      (void)net.Send(Datagram{ip_, kDnsPort, pending->second.client_ip,
+                              pending->second.client_port, dgram.payload});
+      pending_.erase(pending);
+      return;
+    }
+  }
+
+  auto query = dns::Decode(dgram.payload);
+  if (!query.ok() || query.value().header.qr ||
+      query.value().questions.size() != 1) {
+    return;
+  }
+  const std::string& name = query.value().questions[0].name;
+
+  // Delegated? Forward the original packet verbatim upstream.
+  for (const auto& [suffix, server_ip] : delegations_) {
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      pending_[query.value().header.id] = {dgram.src_ip, dgram.src_port};
+      ++forwarded_;
+      CONNLAB_INFO("resolver") << "forwarding " << name << " to " << server_ip;
+      (void)net.Send(Datagram{ip_, kDnsPort, server_ip, kDnsPort, dgram.payload});
+      return;
+    }
+  }
+
+  // Otherwise answer authoritatively.
+  dns::Message response = dns::Message::ResponseFor(query.value());
+  auto it = zone_.find(name);
+  if (it != zone_.end()) {
+    response.answers.push_back(dns::MakeA(name, it->second, 300));
+  } else {
+    response.header.rcode = dns::Rcode::kNXDomain;
+  }
+  auto wire = dns::Encode(response);
+  if (!wire.ok()) return;
+  (void)net.Send(Datagram{ip_, kDnsPort, dgram.src_ip, dgram.src_port,
+                          std::move(wire).value()});
+}
+
+}  // namespace connlab::net

@@ -1,0 +1,48 @@
+// A forwarding resolver: the home network's legitimate DNS service that
+// answers from its own zone but *forwards* queries for delegated domains
+// to their authoritative servers — verbatim, as simple CPE forwarders do.
+//
+// This is the paper's second delivery class (§III-D): "an attacker can use
+// a malicious domain and lure a target user to their site, then use the
+// domain's DNS server to respond to queries with the exploit code." No
+// rogue AP needed — the exploit rides the legitimate resolution chain.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/dns/message.hpp"
+#include "src/net/sim.hpp"
+
+namespace connlab::net {
+
+class ForwardingResolver : public Endpoint {
+ public:
+  explicit ForwardingResolver(std::string ip) : ip_(std::move(ip)) {}
+
+  /// Authoritative local data.
+  void AddRecord(const std::string& name, const std::string& ipv4);
+  /// Queries for names ending in `suffix` are forwarded to `server_ip`.
+  void AddDelegation(const std::string& suffix, const std::string& server_ip);
+
+  void OnDatagram(Network& net, const Datagram& dgram) override;
+
+  [[nodiscard]] const std::string& ip() const noexcept { return ip_; }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::uint64_t relayed() const noexcept { return relayed_; }
+
+ private:
+  struct PendingForward {
+    std::string client_ip;
+    std::uint16_t client_port = 0;
+  };
+
+  std::string ip_;
+  std::map<std::string, std::string> zone_;
+  std::map<std::string, std::string> delegations_;  // suffix -> server ip
+  std::map<std::uint16_t, PendingForward> pending_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace connlab::net

@@ -1,0 +1,45 @@
+#include "src/net/sim.hpp"
+
+#include <cstdio>
+
+namespace connlab::net {
+
+std::string Datagram::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s:%u -> %s:%u (%zu bytes)",
+                src_ip.c_str(), src_port, dst_ip.c_str(), dst_port,
+                payload.size());
+  return buf;
+}
+
+void Network::Attach(const std::string& ip, Endpoint* endpoint) {
+  endpoints_[ip] = endpoint;
+}
+
+void Network::Detach(const std::string& ip) { endpoints_.erase(ip); }
+
+util::Status Network::Send(Datagram dgram) {
+  if (dgram.dst_ip.empty()) return util::InvalidArgument("no destination");
+  log_.push_back(dgram);
+  queue_.push_back(std::move(dgram));
+  return util::OkStatus();
+}
+
+int Network::DeliverAll(int max) {
+  int count = 0;
+  while (!queue_.empty() && count < max) {
+    Datagram dgram = std::move(queue_.front());
+    queue_.pop_front();
+    ++count;
+    auto it = endpoints_.find(dgram.dst_ip);
+    if (it == endpoints_.end() || it->second == nullptr) {
+      ++dropped_;
+      continue;
+    }
+    ++delivered_;
+    it->second->OnDatagram(*this, dgram);
+  }
+  return count;
+}
+
+}  // namespace connlab::net

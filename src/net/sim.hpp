@@ -1,0 +1,67 @@
+// The simulated LAN: endpoints addressed by IPv4 string, UDP-like
+// datagrams, a delivery queue and a traffic log. Single-threaded and
+// deterministic — delivery order is send order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::net {
+
+struct Datagram {
+  std::string src_ip;
+  std::uint16_t src_port = 0;
+  std::string dst_ip;
+  std::uint16_t dst_port = 0;
+  util::Bytes payload;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+class Network;
+
+/// Anything that can receive datagrams (devices, servers, routers).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Handles one datagram; may call net.Send() to respond.
+  virtual void OnDatagram(Network& net, const Datagram& dgram) = 0;
+};
+
+class Network {
+ public:
+  /// Attaches `endpoint` at `ip`. Re-attaching an ip replaces the binding
+  /// (devices renumber when they change networks). Endpoint is not owned.
+  void Attach(const std::string& ip, Endpoint* endpoint);
+  void Detach(const std::string& ip);
+
+  /// Queues a datagram for delivery.
+  util::Status Send(Datagram dgram);
+
+  /// Delivers queued datagrams (including ones generated during delivery)
+  /// until the queue drains or `max` deliveries. Returns deliveries made.
+  int DeliverAll(int max = 1000);
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Every datagram ever sent (tcpdump for the tests).
+  [[nodiscard]] const std::vector<Datagram>& log() const noexcept { return log_; }
+
+ private:
+  std::map<std::string, Endpoint*> endpoints_;
+  std::deque<Datagram> queue_;
+  std::vector<Datagram> log_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+inline constexpr std::uint16_t kDnsPort = 53;
+inline constexpr std::uint16_t kDhcpPort = 67;
+
+}  // namespace connlab::net

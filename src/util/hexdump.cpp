@@ -1,0 +1,34 @@
+#include "src/util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace connlab::util {
+
+std::string HexDump(ByteSpan data, std::uint32_t base) {
+  std::string out;
+  char line[128];
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    int n = std::snprintf(line, sizeof(line), "%08x  ",
+                          static_cast<unsigned>(base + row));
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < data.size()) {
+        n = std::snprintf(line, sizeof(line), "%02x ", data[row + col]);
+        out.append(line, static_cast<std::size_t>(n));
+      } else {
+        out.append("   ");
+      }
+      if (col == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    for (std::size_t col = 0; col < 16 && row + col < data.size(); ++col) {
+      const std::uint8_t b = data[row + col];
+      out.push_back(std::isprint(b) != 0 ? static_cast<char>(b) : '.');
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+}  // namespace connlab::util

@@ -1,0 +1,16 @@
+// Classic 16-bytes-per-line hexdump, used by the Debugger and examples to
+// show guest memory the way the paper's authors inspected it with gdb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.hpp"
+
+namespace connlab::util {
+
+/// Renders `data` as an offset/hex/ASCII dump. `base` is the address printed
+/// in the left column (a guest virtual address, usually).
+std::string HexDump(ByteSpan data, std::uint32_t base = 0);
+
+}  // namespace connlab::util

@@ -1,0 +1,38 @@
+#include "src/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace connlab::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "???";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogLine(LogLevel level, std::string_view subsystem, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelTag(level),
+               static_cast<int>(subsystem.size()), subsystem.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace connlab::util

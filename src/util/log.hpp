@@ -1,0 +1,47 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate the attack as it unfolds.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace connlab::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+/// Emits one line to stderr with a level tag. Subsystem is a short label
+/// like "vm" or "dnsproxy".
+void LogLine(LogLevel level, std::string_view subsystem, std::string_view message);
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view subsystem)
+      : level_(level), subsystem_(subsystem) {}
+  ~LogMessage() { LogLine(level_, subsystem_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::string subsystem_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define CONNLAB_LOG(level, subsystem)                                     \
+  if (static_cast<int>(level) < static_cast<int>(::connlab::util::GetLogLevel())) \
+    ;                                                                     \
+  else                                                                    \
+    ::connlab::util::internal::LogMessage(level, subsystem).stream()
+
+#define CONNLAB_DEBUG(subsystem) CONNLAB_LOG(::connlab::util::LogLevel::kDebug, subsystem)
+#define CONNLAB_INFO(subsystem) CONNLAB_LOG(::connlab::util::LogLevel::kInfo, subsystem)
+#define CONNLAB_WARN(subsystem) CONNLAB_LOG(::connlab::util::LogLevel::kWarn, subsystem)
+#define CONNLAB_ERROR(subsystem) CONNLAB_LOG(::connlab::util::LogLevel::kError, subsystem)
+
+}  // namespace connlab::util

@@ -1,0 +1,49 @@
+#include "src/util/rng.hpp"
+
+namespace connlab::util {
+
+std::uint64_t Rng::NextU64() noexcept {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound) - 1;
+  std::uint64_t draw = NextU64();
+  while (draw > limit) draw = NextU64();
+  return draw % bound;
+}
+
+std::uint64_t Rng::NextInRange(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  return lo + NextBelow(hi - lo + 1);
+}
+
+bool Rng::NextBool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  constexpr double kScale = 1.0 / 9007199254740992.0;  // 2^-53
+  const double u = static_cast<double>(NextU64() >> 11) * kScale;
+  return u < p;
+}
+
+std::vector<std::uint8_t> Rng::NextBytes(std::size_t count) {
+  std::vector<std::uint8_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    std::uint64_t word = NextU64();
+    for (int i = 0; i < 8 && out.size() < count; ++i) {
+      out.push_back(static_cast<std::uint8_t>(word & 0xFF));
+      word >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace connlab::util

@@ -1,0 +1,45 @@
+// Deterministic, seedable randomness.
+//
+// Everything stochastic in connlab — ASLR bases, DNS transaction ids,
+// workload generation, fuzzers — draws from an explicitly threaded Rng so
+// every experiment is replayable from a single seed. We use SplitMix64: tiny,
+// fast, and statistically fine for simulation (not cryptographic — nothing in
+// this library needs cryptographic randomness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace connlab::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  std::uint64_t NextU64() noexcept;
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  std::uint32_t NextU32() noexcept {
+    return static_cast<std::uint32_t>(NextU64());
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p) noexcept;
+
+  /// `count` uniformly random bytes.
+  std::vector<std::uint8_t> NextBytes(std::size_t count);
+
+  /// Derives an independent child stream (for parallel subsystems).
+  Rng Fork() noexcept { return Rng(NextU64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace connlab::util

@@ -1,0 +1,121 @@
+// Status / Result error-handling primitives used across connlab.
+//
+// The library does not throw across module boundaries: fallible operations
+// return Status (no payload) or Result<T> (payload or error). Both carry a
+// StatusCode and a human-readable message so failures in deeply simulated
+// code (a guest memory fault, a malformed DNS packet) surface with context.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace connlab::util {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kOutOfRange,        // index / address outside a valid region
+  kNotFound,          // lookup miss (symbol, gadget, cache entry, ...)
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// object not in the required state
+  kPermissionDenied,  // guest memory permission violation
+  kResourceExhausted, // budget / size limit hit
+  kAborted,           // execution aborted (canary check, explicit abort)
+  kMalformed,         // wire-format parse error
+  kInternal,          // invariant violation inside connlab itself
+  kUnimplemented,
+};
+
+/// Human-readable name for a StatusCode ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A cheap, copyable success-or-error value.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "CODE_NAME: message" — for logs and test failures.
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+inline Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+inline Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+inline Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+inline Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+inline Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+inline Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+inline Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+inline Status Malformed(std::string m) { return {StatusCode::kMalformed, std::move(m)}; }
+inline Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+inline Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+
+/// Value-or-Status. Accessing value() on an error is a programming bug and
+/// terminates via assert-like check (we never do it in library code).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : payload_(std::move(status)) {}   // NOLINT implicit
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(payload_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(payload_); }
+  [[nodiscard]] T& value() & { return std::get<T>(payload_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagation helpers. Usage:
+//   CONNLAB_RETURN_IF_ERROR(DoThing());
+//   CONNLAB_ASSIGN_OR_RETURN(auto v, MakeThing());
+#define CONNLAB_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::connlab::util::Status status_ = (expr);          \
+    if (!status_.ok()) return status_;                 \
+  } while (false)
+
+#define CONNLAB_CONCAT_INNER(a, b) a##b
+#define CONNLAB_CONCAT(a, b) CONNLAB_CONCAT_INNER(a, b)
+
+#define CONNLAB_ASSIGN_OR_RETURN(decl, expr)                      \
+  auto CONNLAB_CONCAT(result_, __LINE__) = (expr);                \
+  if (!CONNLAB_CONCAT(result_, __LINE__).ok())                    \
+    return CONNLAB_CONCAT(result_, __LINE__).status();            \
+  decl = std::move(CONNLAB_CONCAT(result_, __LINE__)).value()
+
+}  // namespace connlab::util

@@ -1,0 +1,502 @@
+#include "src/vm/cpu.hpp"
+
+#include <cstdio>
+
+#include "src/isa/disasm.hpp"
+#include "src/isa/varm.hpp"
+#include "src/isa/vx86.hpp"
+#include "src/util/log.hpp"
+#include "src/vm/syscalls.hpp"
+
+namespace connlab::vm {
+
+namespace {
+std::string Hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+}  // namespace
+
+std::string_view StopReasonName(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kRunning: return "running";
+    case StopReason::kHalted: return "halted";
+    case StopReason::kExited: return "exited";
+    case StopReason::kShellSpawned: return "shell-spawned";
+    case StopReason::kProcessExec: return "process-exec";
+    case StopReason::kFault: return "fault";
+    case StopReason::kAbort: return "abort";
+    case StopReason::kStepLimit: return "step-limit";
+    case StopReason::kBreakpoint: return "breakpoint";
+  }
+  return "?";
+}
+
+std::string StopInfo::ToString() const {
+  std::string out(StopReasonName(reason));
+  out += " at pc=" + Hex(pc);
+  if (!detail.empty()) out += " (" + detail + ")";
+  if (fault.has_value()) {
+    out += " [" + mem::AccessKindName(fault->kind) + " fault: " + fault->detail + "]";
+  }
+  return out;
+}
+
+Cpu::Cpu(isa::Arch arch, mem::AddressSpace& space)
+    : arch_(arch), space_(&space) {}
+
+std::uint32_t Cpu::sp() const noexcept {
+  return arch_ == isa::Arch::kVX86 ? regs_[isa::kESP] : regs_[isa::kSP];
+}
+
+void Cpu::set_sp(std::uint32_t value) noexcept {
+  if (arch_ == isa::Arch::kVX86) {
+    regs_[isa::kESP] = value;
+  } else {
+    regs_[isa::kSP] = value;
+  }
+}
+
+util::Status Cpu::Push(std::uint32_t value) {
+  const std::uint32_t next = sp() - 4;
+  CONNLAB_RETURN_IF_ERROR(space_->WriteU32(next, value));
+  set_sp(next);
+  return util::OkStatus();
+}
+
+util::Result<std::uint32_t> Cpu::Pop() {
+  CONNLAB_ASSIGN_OR_RETURN(std::uint32_t value, space_->ReadU32(sp()));
+  set_sp(sp() + 4);
+  return value;
+}
+
+util::Status Cpu::RegisterHostFn(mem::GuestAddr addr, std::string name, HostFn fn) {
+  if (host_fns_.contains(addr)) {
+    return util::AlreadyExists("host function already at " + Hex(addr));
+  }
+  host_fns_[addr] = {std::move(name), std::move(fn)};
+  return util::OkStatus();
+}
+
+std::string Cpu::HostFnName(mem::GuestAddr addr) const {
+  auto it = host_fns_.find(addr);
+  return it == host_fns_.end() ? std::string() : it->second.first;
+}
+
+void Cpu::RequestStop(StopReason reason, std::string detail) {
+  stop_.reason = reason;
+  stop_.detail = std::move(detail);
+  stop_.pc = pc_;
+}
+
+void Cpu::PushEvent(EventKind kind, std::string text) {
+  events_.push_back(Event{kind, std::move(text), pc_, steps_});
+}
+
+bool Cpu::ShadowCheckReturn(std::uint32_t target) noexcept {
+  if (!shadow_enabled_) return true;
+  if (!shadow_.empty() && shadow_.back() == target) {
+    shadow_.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void Cpu::Fault(std::string detail) {
+  stop_.reason = StopReason::kFault;
+  stop_.detail = std::move(detail);
+  stop_.pc = pc_;
+  stop_.fault = space_->last_fault();
+  space_->ClearFault();
+}
+
+StopInfo Cpu::Run(std::uint64_t max_steps) {
+  stop_ = StopInfo{};
+  stop_.reason = StopReason::kRunning;
+  const std::uint64_t start_steps = steps_;
+  while (!stopped()) {
+    if (steps_ - start_steps >= max_steps) {
+      RequestStop(StopReason::kStepLimit, "instruction budget exhausted");
+      break;
+    }
+    if (!skip_breakpoint_once_ && breakpoints_.contains(pc_)) {
+      RequestStop(StopReason::kBreakpoint, "breakpoint");
+      skip_breakpoint_once_ = true;  // next Run steps over it
+      break;
+    }
+    skip_breakpoint_once_ = false;
+    Step();
+  }
+  stop_.steps = steps_ - start_steps;
+  if (stop_.reason != StopReason::kBreakpoint) skip_breakpoint_once_ = false;
+  return stop_;
+}
+
+void Cpu::set_trace_limit(std::size_t limit) {
+  trace_limit_ = limit;
+  if (limit == 0) {
+    trace_.clear();
+  } else {
+    while (trace_.size() > limit) trace_.pop_front();
+  }
+}
+
+std::string Cpu::TraceString() const {
+  std::string out;
+  for (const TraceEntry& entry : trace_) {
+    out += Hex(entry.pc) + ":  " + entry.text + "\n";
+  }
+  return out;
+}
+
+void Cpu::Step() {
+  if (stopped()) return;
+
+  // Host-function trampoline takes priority over decoding.
+  auto host = host_fns_.find(pc_);
+  if (host != host_fns_.end()) {
+    ++steps_;
+    if (trace_limit_ != 0) {
+      trace_.push_back({pc_, "<host: " + host->second.first + ">"});
+      if (trace_.size() > trace_limit_) trace_.pop_front();
+    }
+    CONNLAB_DEBUG("vm") << "host fn " << host->second.first << " at " << Hex(pc_);
+    util::Status status = host->second.second(*this);
+    if (!status.ok() && !stopped()) {
+      Fault("in host function " + host->second.first + ": " + status.ToString());
+    }
+    return;
+  }
+
+  // Fetch (this is where W^X bites: no X permission => fault).
+  const std::uint32_t fetch_len =
+      arch_ == isa::Arch::kVARM ? isa::kVARMInstrSize : 1;
+  auto first = space_->Fetch(pc_, fetch_len);
+  if (!first.ok()) {
+    Fault("instruction fetch failed");
+    return;
+  }
+  util::Bytes window = std::move(first).value();
+  if (arch_ == isa::Arch::kVX86) {
+    const std::uint8_t len = isa::vx86::InstrLength(window[0]);
+    if (len == 0) {
+      Fault("illegal instruction byte " + Hex(window[0]) + " at " + Hex(pc_));
+      return;
+    }
+    if (len > 1) {
+      auto rest = space_->Fetch(pc_, len);
+      if (!rest.ok()) {
+        Fault("instruction fetch failed (tail)");
+        return;
+      }
+      window = std::move(rest).value();
+    }
+  }
+
+  auto decoded = isa::Decode(arch_, window, 0);
+  if (!decoded.ok()) {
+    Fault("illegal instruction at " + Hex(pc_));
+    return;
+  }
+  ++steps_;
+  if (trace_limit_ != 0) {
+    trace_.push_back({pc_, decoded.value().ToString(arch_)});
+    if (trace_.size() > trace_limit_) trace_.pop_front();
+  }
+  ExecuteInstr(decoded.value());
+}
+
+void Cpu::ExecuteInstr(const isa::Instr& ins) {
+  const mem::GuestAddr pc_next = pc_ + ins.length;
+  if (arch_ == isa::Arch::kVX86) {
+    ExecVX86(ins, pc_next);
+  } else {
+    ExecVARM(ins, pc_next);
+  }
+}
+
+void Cpu::ExecVX86(const isa::Instr& ins, mem::GuestAddr pc_next) {
+  using isa::Op;
+  set_pc(pc_next);  // default; control flow overrides below
+  switch (ins.op) {
+    case Op::kNop:
+      break;
+    case Op::kMovImm:
+      regs_[ins.ra] = ins.imm;
+      break;
+    case Op::kMovReg:
+      regs_[ins.ra] = regs_[ins.rb];
+      break;
+    case Op::kXorReg:
+      regs_[ins.ra] ^= regs_[ins.rb];
+      break;
+    case Op::kAddImm:
+      regs_[ins.ra] += ins.imm;
+      break;
+    case Op::kSubImm:
+      regs_[ins.ra] -= ins.imm;
+      break;
+    case Op::kAddReg:
+      regs_[ins.ra] = regs_[ins.rb] + regs_[ins.rc];
+      break;
+    case Op::kCmpImm:
+      zf_ = regs_[ins.ra] == ins.imm;
+      break;
+    case Op::kLoad: {
+      auto value = space_->ReadU32(regs_[ins.rb] + ins.imm);
+      if (!value.ok()) { Fault("load failed"); return; }
+      regs_[ins.ra] = value.value();
+      break;
+    }
+    case Op::kStore: {
+      auto status = space_->WriteU32(regs_[ins.rb] + ins.imm, regs_[ins.ra]);
+      if (!status.ok()) { Fault("store failed"); return; }
+      break;
+    }
+    case Op::kLoadByte: {
+      auto value = space_->ReadU8(regs_[ins.rb] + ins.imm);
+      if (!value.ok()) { Fault("ldrb failed"); return; }
+      regs_[ins.ra] = value.value();
+      break;
+    }
+    case Op::kStoreByte: {
+      auto status = space_->WriteU8(
+          regs_[ins.rb] + ins.imm,
+          static_cast<std::uint8_t>(regs_[ins.ra] & 0xFF));
+      if (!status.ok()) { Fault("strb failed"); return; }
+      break;
+    }
+    case Op::kPush: {
+      auto status = Push(regs_[ins.ra]);
+      if (!status.ok()) { Fault("push failed"); return; }
+      break;
+    }
+    case Op::kPushImm: {
+      auto status = Push(ins.imm);
+      if (!status.ok()) { Fault("push failed"); return; }
+      break;
+    }
+    case Op::kPop: {
+      auto value = Pop();
+      if (!value.ok()) { Fault("pop failed"); return; }
+      regs_[ins.ra] = value.value();
+      break;
+    }
+    case Op::kCall: {
+      auto status = Push(pc_next);
+      if (!status.ok()) { Fault("call push failed"); return; }
+      ShadowPush(pc_next);
+      set_pc(ins.imm);
+      break;
+    }
+    case Op::kRet: {
+      auto target = Pop();
+      if (!target.ok()) { Fault("ret pop failed"); return; }
+      if (!ShadowCheckReturn(target.value())) {
+        PushEvent(EventKind::kCanaryAbort, "CFI: return address mismatch");
+        RequestStop(StopReason::kAbort, "CFI violation on ret");
+        return;
+      }
+      set_pc(target.value());
+      break;
+    }
+    case Op::kJmp:
+      set_pc(ins.imm);
+      break;
+    case Op::kJz:
+      if (zf_) set_pc(ins.imm);
+      break;
+    case Op::kJnz:
+      if (!zf_) set_pc(ins.imm);
+      break;
+    case Op::kJmpInd: {
+      auto target = space_->ReadU32(ins.imm);
+      if (!target.ok()) { Fault("indirect jump load failed"); return; }
+      set_pc(target.value());
+      break;
+    }
+    case Op::kSyscall: {
+      util::Status status = DispatchSyscall(*this);
+      if (!status.ok() && !stopped()) { Fault(status.ToString()); return; }
+      break;
+    }
+    case Op::kHlt:
+      set_pc(pc_next - ins.length);  // halt leaves pc on the hlt itself
+      RequestStop(StopReason::kHalted, "hlt");
+      break;
+    default:
+      Fault("vx86 cannot execute op " + std::string(isa::OpName(ins.op)));
+      break;
+  }
+}
+
+void Cpu::ExecVARM(const isa::Instr& ins, mem::GuestAddr pc_next) {
+  using isa::Op;
+  set_pc(pc_next);
+  switch (ins.op) {
+    case Op::kMovReg:
+      set_reg(ins.ra, regs_[ins.rb]);
+      break;
+    case Op::kMovImm:
+      set_reg(ins.ra, ins.imm & 0xFFFF);
+      break;
+    case Op::kMovT:
+      set_reg(ins.ra, (regs_[ins.ra] & 0xFFFF) | (ins.imm << 16));
+      break;
+    case Op::kMvn:
+      set_reg(ins.ra, ~regs_[ins.rb]);
+      break;
+    case Op::kAddImm:
+      set_reg(ins.ra, regs_[ins.rb] + ins.imm);
+      break;
+    case Op::kSubImm:
+      set_reg(ins.ra, regs_[ins.rb] - ins.imm);
+      break;
+    case Op::kAddReg:
+      set_reg(ins.ra, regs_[ins.rb] + regs_[ins.rc]);
+      break;
+    case Op::kCmpImm:
+      zf_ = regs_[ins.ra] == ins.imm;
+      break;
+    case Op::kLoad: {
+      auto value = space_->ReadU32(regs_[ins.rb] + ins.imm);
+      if (!value.ok()) { Fault("ldr failed"); return; }
+      set_reg(ins.ra, value.value());
+      break;
+    }
+    case Op::kStore: {
+      auto status = space_->WriteU32(regs_[ins.rb] + ins.imm, regs_[ins.ra]);
+      if (!status.ok()) { Fault("str failed"); return; }
+      break;
+    }
+    case Op::kLoadByte: {
+      auto value = space_->ReadU8(regs_[ins.rb] + ins.imm);
+      if (!value.ok()) { Fault("ldrb failed"); return; }
+      set_reg(ins.ra, value.value());
+      break;
+    }
+    case Op::kStoreByte: {
+      auto status = space_->WriteU8(
+          regs_[ins.rb] + ins.imm,
+          static_cast<std::uint8_t>(regs_[ins.ra] & 0xFF));
+      if (!status.ok()) { Fault("strb failed"); return; }
+      break;
+    }
+    case Op::kLdrLit: {
+      const mem::GuestAddr addr =
+          pc_next + static_cast<std::int32_t>(ins.imm);
+      auto value = space_->ReadU32(addr);
+      if (!value.ok()) { Fault("ldrl failed"); return; }
+      set_reg(ins.ra, value.value());
+      break;
+    }
+    case Op::kLdrInd: {
+      auto value = space_->ReadU32(regs_[ins.rb]);
+      if (!value.ok()) { Fault("ldri failed"); return; }
+      set_reg(ins.ra, value.value());
+      break;
+    }
+    case Op::kPush: {
+      // ARM store-multiple, descending: lowest register at lowest address.
+      int count = 0;
+      for (int i = 0; i < 16; ++i) count += (ins.reg_mask >> i) & 1;
+      std::uint32_t addr = sp() - 4 * static_cast<std::uint32_t>(count);
+      const std::uint32_t new_sp = addr;
+      for (int i = 0; i < 16; ++i) {
+        if (((ins.reg_mask >> i) & 1) == 0) continue;
+        auto status = space_->WriteU32(addr, regs_[i]);
+        if (!status.ok()) { Fault("push failed"); return; }
+        addr += 4;
+      }
+      set_sp(new_sp);
+      break;
+    }
+    case Op::kPop: {
+      // ARM load-multiple, ascending; pc (bit 15) loaded last => control
+      // transfer. This is the `pop {..., pc}` return/gadget mechanism.
+      std::uint32_t addr = sp();
+      std::uint32_t new_pc = pc_next;
+      bool has_pc = false;
+      for (int i = 0; i < 16; ++i) {
+        if (((ins.reg_mask >> i) & 1) == 0) continue;
+        auto value = space_->ReadU32(addr);
+        if (!value.ok()) { Fault("pop failed"); return; }
+        addr += 4;
+        if (i == isa::kPC) {
+          new_pc = value.value();
+          has_pc = true;
+        } else if (i == isa::kSP) {
+          // Popping sp is unpredictable on real ARM; we ignore the value
+          // (sp is rewritten below anyway).
+        } else {
+          regs_[i] = value.value();
+        }
+      }
+      set_sp(addr);
+      if (has_pc) {
+        if (!ShadowCheckReturn(new_pc)) {
+          PushEvent(EventKind::kCanaryAbort, "CFI: return address mismatch");
+          RequestStop(StopReason::kAbort, "CFI violation on pop {pc}");
+          return;
+        }
+        set_pc(new_pc);
+      }
+      break;
+    }
+    case Op::kBl: {
+      regs_[isa::kLR] = pc_next;
+      ShadowPush(pc_next);
+      set_pc(pc_next + static_cast<std::int32_t>(ins.imm) * 4);
+      break;
+    }
+    case Op::kBlx:
+      regs_[isa::kLR] = pc_next;
+      ShadowPush(pc_next);
+      set_pc(regs_[ins.ra]);
+      break;
+    case Op::kBx:
+      set_pc(regs_[ins.ra]);
+      break;
+    case Op::kJmp:
+      set_pc(pc_next + static_cast<std::int32_t>(ins.imm) * 4);
+      break;
+    case Op::kJz:
+      if (zf_) set_pc(pc_next + static_cast<std::int32_t>(ins.imm) * 4);
+      break;
+    case Op::kJnz:
+      if (!zf_) set_pc(pc_next + static_cast<std::int32_t>(ins.imm) * 4);
+      break;
+    case Op::kSyscall: {
+      util::Status status = DispatchSyscall(*this);
+      if (!status.ok() && !stopped()) { Fault(status.ToString()); return; }
+      break;
+    }
+    case Op::kHlt:
+      set_pc(pc_next - ins.length);  // halt leaves pc on the hlt itself
+      RequestStop(StopReason::kHalted, "hlt");
+      break;
+    default:
+      Fault("varm cannot execute op " + std::string(isa::OpName(ins.op)));
+      break;
+  }
+}
+
+std::string Cpu::RegistersString() const {
+  std::string out;
+  char buf[32];
+  const int count = arch_ == isa::Arch::kVX86 ? 8 : 16;
+  for (int i = 0; i < count; ++i) {
+    const std::string_view name =
+        arch_ == isa::Arch::kVX86
+            ? isa::VX86RegName(static_cast<std::uint8_t>(i))
+            : isa::VARMRegName(static_cast<std::uint8_t>(i));
+    std::snprintf(buf, sizeof(buf), "%s=%08x ", std::string(name).c_str(), regs_[i]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "pc=%08x zf=%d", pc_, zf_ ? 1 : 0);
+  out += buf;
+  return out;
+}
+
+}  // namespace connlab::vm

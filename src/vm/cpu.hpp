@@ -1,0 +1,187 @@
+// The guest CPU: an interpreter over VX86 / VARM instruction streams with
+// W^X-enforcing fetch, a host-function trampoline registry, breakpoints and
+// an event log.
+//
+// Host functions are how connlab hosts high-level guest code (the simulated
+// Connman parser, libc routines) without a C compiler: a guest address is
+// registered with a callback; when pc reaches it, the callback runs *against
+// guest memory and guest registers* — it reads its arguments per the calling
+// convention, mutates only guest state, and performs the return-sequence
+// itself (popping the return address / reading lr). Hijacked control flow —
+// shellcode, ROP gadgets, PLT stubs — is ordinary interpreted code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/vm/events.hpp"
+
+namespace connlab::vm {
+
+enum class StopReason : std::uint8_t {
+  kRunning,       // not stopped (internal)
+  kHalted,        // hlt or an explicit clean stop from a host function
+  kExited,        // exit() syscall
+  kShellSpawned,  // exec of a shell — the paper's success condition
+  kProcessExec,   // exec of a non-shell program
+  kFault,         // SIGSEGV / SIGILL equivalent
+  kAbort,         // SIGABRT equivalent (canary failure)
+  kStepLimit,     // ran out of instruction budget
+  kBreakpoint,    // debugger breakpoint hit
+};
+
+std::string_view StopReasonName(StopReason reason) noexcept;
+
+struct StopInfo {
+  StopReason reason = StopReason::kRunning;
+  std::string detail;
+  std::optional<mem::FaultInfo> fault;   // populated for kFault
+  std::uint32_t exit_code = 0;           // populated for kExited
+  mem::GuestAddr pc = 0;                 // pc when the CPU stopped
+  std::uint64_t steps = 0;               // instructions retired this Run
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+class Cpu {
+ public:
+  using HostFn = std::function<util::Status(Cpu&)>;
+
+  Cpu(isa::Arch arch, mem::AddressSpace& space);
+
+  [[nodiscard]] isa::Arch arch() const noexcept { return arch_; }
+  [[nodiscard]] mem::AddressSpace& space() noexcept { return *space_; }
+  [[nodiscard]] const mem::AddressSpace& space() const noexcept { return *space_; }
+
+  // --- Register file -------------------------------------------------------
+  [[nodiscard]] std::uint32_t reg(std::uint8_t index) const noexcept {
+    return regs_[index];
+  }
+  void set_reg(std::uint8_t index, std::uint32_t value) noexcept {
+    regs_[index] = value;
+    if (arch_ == isa::Arch::kVARM && index == isa::kPC) pc_ = value;
+  }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  void set_pc(std::uint32_t value) noexcept {
+    pc_ = value;
+    if (arch_ == isa::Arch::kVARM) regs_[isa::kPC] = value;
+  }
+  /// Stack pointer, arch-aware (ESP on VX86, r13 on VARM).
+  [[nodiscard]] std::uint32_t sp() const noexcept;
+  void set_sp(std::uint32_t value) noexcept;
+  [[nodiscard]] bool zf() const noexcept { return zf_; }
+  void set_zf(bool value) noexcept { zf_ = value; }
+
+  // --- Stack helpers (4-byte, descending) -----------------------------------
+  util::Status Push(std::uint32_t value);
+  util::Result<std::uint32_t> Pop();
+
+  // --- Host functions --------------------------------------------------------
+  util::Status RegisterHostFn(mem::GuestAddr addr, std::string name, HostFn fn);
+  [[nodiscard]] bool IsHostFn(mem::GuestAddr addr) const noexcept {
+    return host_fns_.contains(addr);
+  }
+  [[nodiscard]] std::string HostFnName(mem::GuestAddr addr) const;
+
+  // --- Execution --------------------------------------------------------------
+  /// Runs until a stop condition or `max_steps` instructions.
+  StopInfo Run(std::uint64_t max_steps);
+
+  /// Executes exactly one instruction (or host function). The stop state is
+  /// observable through stopped()/stop_info() afterwards.
+  void Step();
+
+  [[nodiscard]] bool stopped() const noexcept {
+    return stop_.reason != StopReason::kRunning;
+  }
+  [[nodiscard]] const StopInfo& stop_info() const noexcept { return stop_; }
+  /// Clears the stop state so execution can continue (debugger `continue`).
+  void ClearStop() noexcept { stop_.reason = StopReason::kRunning; }
+
+  /// For host functions and the syscall layer: requests a stop that Run()
+  /// honours after the current instruction completes.
+  void RequestStop(StopReason reason, std::string detail);
+  void SetExitCode(std::uint32_t code) noexcept { stop_.exit_code = code; }
+
+  // --- Breakpoints -------------------------------------------------------------
+  void AddBreakpoint(mem::GuestAddr addr) { breakpoints_.insert(addr); }
+  void RemoveBreakpoint(mem::GuestAddr addr) { breakpoints_.erase(addr); }
+  [[nodiscard]] bool HasBreakpoint(mem::GuestAddr addr) const noexcept {
+    return breakpoints_.contains(addr);
+  }
+
+  // --- Shadow stack (CFI CaRE-flavoured return protection) -----------------
+  /// When enabled, every call pushes its return address onto a hardware
+  /// shadow stack and every return (ret / pop {…, pc}) must match the top
+  /// entry — a mismatch aborts execution (§IV's hardware CFI model).
+  void set_shadow_stack_enabled(bool enabled) noexcept {
+    shadow_enabled_ = enabled;
+  }
+  [[nodiscard]] bool shadow_stack_enabled() const noexcept {
+    return shadow_enabled_;
+  }
+  void ShadowPush(std::uint32_t return_addr) {
+    if (shadow_enabled_) shadow_.push_back(return_addr);
+  }
+  void ShadowClear() noexcept { shadow_.clear(); }
+  /// Validates a return target against the shadow stack; pops on match.
+  /// Returns true when the return is allowed (or CFI is off).
+  bool ShadowCheckReturn(std::uint32_t target) noexcept;
+
+  // --- Events -------------------------------------------------------------------
+  void PushEvent(EventKind kind, std::string text);
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  void ClearEvents() noexcept { events_.clear(); }
+
+  [[nodiscard]] std::uint64_t steps_executed() const noexcept { return steps_; }
+
+  // --- Execution trace ------------------------------------------------------
+  /// Keeps the last `limit` executed instructions (0 disables). Used by the
+  /// Debugger and the examples to show hijacked control flow gadget by
+  /// gadget. Costs a string per step while enabled.
+  void set_trace_limit(std::size_t limit);
+  struct TraceEntry {
+    mem::GuestAddr pc = 0;
+    std::string text;  // disassembly or host-function name
+  };
+  [[nodiscard]] const std::deque<TraceEntry>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] std::string TraceString() const;
+
+  /// One-line register dump ("eax=... ecx=..." / "r0=... r1=...").
+  [[nodiscard]] std::string RegistersString() const;
+
+ private:
+  void Fault(std::string detail);
+  void ExecuteInstr(const isa::Instr& ins);
+  void ExecVX86(const isa::Instr& ins, mem::GuestAddr pc_next);
+  void ExecVARM(const isa::Instr& ins, mem::GuestAddr pc_next);
+
+  isa::Arch arch_;
+  mem::AddressSpace* space_;
+  std::array<std::uint32_t, 16> regs_{};
+  std::uint32_t pc_ = 0;
+  bool zf_ = false;
+  std::uint64_t steps_ = 0;
+  StopInfo stop_;
+  bool skip_breakpoint_once_ = false;
+  std::map<mem::GuestAddr, std::pair<std::string, HostFn>> host_fns_;
+  std::set<mem::GuestAddr> breakpoints_;
+  std::vector<Event> events_;
+  bool shadow_enabled_ = false;
+  std::vector<std::uint32_t> shadow_;
+  std::size_t trace_limit_ = 0;
+  std::deque<TraceEntry> trace_;
+};
+
+}  // namespace connlab::vm

@@ -1,0 +1,36 @@
+#include "src/vm/events.hpp"
+
+#include <cstdio>
+
+namespace connlab::vm {
+
+std::string EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kShellSpawned: return "shell-spawned";
+    case EventKind::kProcessExec: return "process-exec";
+    case EventKind::kExit: return "exit";
+    case EventKind::kWrite: return "write";
+    case EventKind::kCanaryAbort: return "canary-abort";
+    case EventKind::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string Event::ToString() const {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[step %llu pc=0x%08x] ",
+                static_cast<unsigned long long>(step), pc);
+  return head + (EventKindName(kind) + ": " + text);
+}
+
+bool IsShellPath(std::string_view path) noexcept {
+  if (path == "sh" || path == "/bin/sh" || path == "/bin/bash" ||
+      path == "bash" || path == "/bin/dash" || path == "dash") {
+    return true;
+  }
+  // Anything whose final path component is "sh" also counts.
+  const std::size_t slash = path.rfind('/');
+  return slash != std::string_view::npos && path.substr(slash + 1) == "sh";
+}
+
+}  // namespace connlab::vm

@@ -1,0 +1,41 @@
+// Observable side effects of guest execution.
+//
+// A successful exploit in connlab is not a side effect on the host — it is a
+// ShellSpawned event carrying provenance (what command, from which pc, at
+// which step). The attack orchestrator classifies outcomes purely from these
+// events plus the CPU's stop record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/segment.hpp"
+
+namespace connlab::vm {
+
+enum class EventKind : std::uint8_t {
+  kShellSpawned,  // exec of a shell ("/bin/sh", "sh", ...) — RCE achieved
+  kProcessExec,   // exec of some other program
+  kExit,          // guest called exit()
+  kWrite,         // guest wrote to a descriptor
+  kCanaryAbort,   // stack-protector check failed (__stack_chk_fail analogue)
+  kNote,          // free-form diagnostic from host-implemented functions
+};
+
+std::string EventKindName(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kNote;
+  std::string text;          // command line, written bytes, note, ...
+  mem::GuestAddr pc = 0;     // guest pc at the time of the event
+  std::uint64_t step = 0;    // instruction count at the time of the event
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// True if `path` names a shell for classification purposes. The simulated
+/// execlp performs PATH-style resolution, so both "/bin/sh" and "sh" count.
+bool IsShellPath(std::string_view path) noexcept;
+
+}  // namespace connlab::vm

@@ -1,0 +1,68 @@
+#include "src/vm/syscalls.hpp"
+
+#include "src/isa/isa.hpp"
+#include "src/util/log.hpp"
+#include "src/vm/cpu.hpp"
+
+namespace connlab::vm {
+
+util::Status DispatchSyscall(Cpu& cpu) {
+  std::uint32_t number = 0;
+  std::uint32_t arg0 = 0;
+  std::uint32_t arg1 = 0;
+  std::uint32_t arg2 = 0;
+  if (cpu.arch() == isa::Arch::kVX86) {
+    number = cpu.reg(isa::kEAX);
+    arg0 = cpu.reg(isa::kEBX);
+    arg1 = cpu.reg(isa::kECX);
+    arg2 = cpu.reg(isa::kEDX);
+  } else {
+    number = cpu.reg(isa::kR7);
+    arg0 = cpu.reg(isa::kR0);
+    arg1 = cpu.reg(isa::kR1);
+    arg2 = cpu.reg(isa::kR2);
+  }
+
+  switch (static_cast<Sys>(number)) {
+    case Sys::kExit:
+      cpu.SetExitCode(arg0);
+      cpu.PushEvent(EventKind::kExit, "exit(" + std::to_string(arg0) + ")");
+      cpu.RequestStop(StopReason::kExited, "exit syscall");
+      return util::OkStatus();
+
+    case Sys::kWrite: {
+      // write(fd=arg0, buf=arg1, len=arg2). Contents surface as an event.
+      const std::uint32_t len = arg2 > 4096 ? 4096 : arg2;
+      CONNLAB_ASSIGN_OR_RETURN(util::Bytes data, cpu.space().ReadBytes(arg1, len));
+      std::string text(data.begin(), data.end());
+      cpu.PushEvent(EventKind::kWrite,
+                    "fd=" + std::to_string(arg0) + " \"" + text + "\"");
+      if (cpu.arch() == isa::Arch::kVX86) {
+        cpu.set_reg(isa::kEAX, len);
+      } else {
+        cpu.set_reg(isa::kR0, len);
+      }
+      return util::OkStatus();
+    }
+
+    case Sys::kExec: {
+      // exec(path, argv). The process image would be replaced; we stop the
+      // CPU and record what was executed. Connman runs as root (the paper's
+      // premise), so a shell here is a root shell.
+      CONNLAB_ASSIGN_OR_RETURN(std::string path, cpu.space().ReadCString(arg0));
+      (void)arg1;  // argv contents are not material to the simulation
+      if (IsShellPath(path)) {
+        cpu.PushEvent(EventKind::kShellSpawned,
+                      "exec(\"" + path + "\") as uid=0 (root)");
+        cpu.RequestStop(StopReason::kShellSpawned, "root shell: " + path);
+      } else {
+        cpu.PushEvent(EventKind::kProcessExec, "exec(\"" + path + "\")");
+        cpu.RequestStop(StopReason::kProcessExec, "exec: " + path);
+      }
+      return util::OkStatus();
+    }
+  }
+  return util::InvalidArgument("unknown syscall " + std::to_string(number));
+}
+
+}  // namespace connlab::vm

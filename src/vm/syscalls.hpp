@@ -1,0 +1,32 @@
+// The simulated kernel surface: a handful of syscall numbers and the
+// dispatcher the CPU calls on a `syscall` instruction.
+//
+// Conventions mirror 32-bit Linux flavours:
+//   VX86: number in eax, arguments in ebx / ecx / edx (int 0x80 style)
+//   VARM: number in r7, arguments in r0 / r1 / r2 (EABI style)
+//
+// exec of a shell is the paper's success condition (Connman runs as root, so
+// the spawned shell is a root shell); the dispatcher turns it into a
+// ShellSpawned event and stops the CPU.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/status.hpp"
+
+namespace connlab::vm {
+
+class Cpu;  // defined in cpu.hpp
+
+enum class Sys : std::uint32_t {
+  kExit = 1,
+  kWrite = 4,
+  kExec = 11,  // execve analogue: arg0 = path cstring, arg1 = argv (may be 0)
+};
+
+/// Executes the syscall currently requested by `cpu`'s registers. On kExit /
+/// kExec the CPU's stop state is set. Returns a non-OK status only for
+/// faults (bad pointers) — which the CPU turns into a SIGSEGV-equivalent.
+util::Status DispatchSyscall(Cpu& cpu);
+
+}  // namespace connlab::vm

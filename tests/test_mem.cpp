@@ -1,0 +1,177 @@
+// Unit tests for the guest memory model: segments, permissions, faults.
+#include <gtest/gtest.h>
+
+#include "src/mem/address_space.hpp"
+#include "src/mem/perms.hpp"
+
+namespace connlab::mem {
+namespace {
+
+using util::StatusCode;
+
+AddressSpace MakeSpace() {
+  AddressSpace space;
+  EXPECT_TRUE(space.Map(".text", 0x1000, 0x1000, kPermRX).ok());
+  EXPECT_TRUE(space.Map(".data", 0x3000, 0x1000, kPermRW).ok());
+  EXPECT_TRUE(space.Map("stack", 0x8000, 0x2000, kPermRW).ok());
+  return space;
+}
+
+TEST(Perms, StringForms) {
+  EXPECT_EQ(PermString(kPermRWX), "rwx");
+  EXPECT_EQ(PermString(kPermRX), "r-x");
+  EXPECT_EQ(PermString(kPermRW), "rw-");
+  EXPECT_EQ(PermString(Perm::kNone), "---");
+}
+
+TEST(Perms, HasChecksBits) {
+  EXPECT_TRUE(Has(kPermRX, Perm::kExec));
+  EXPECT_FALSE(Has(kPermRW, Perm::kExec));
+  EXPECT_TRUE(Has(kPermRW, Perm::kWrite));
+}
+
+TEST(Segment, ContainsRange) {
+  Segment seg("s", 0x100, 0x10, kPermRW);
+  EXPECT_TRUE(seg.Contains(0x100));
+  EXPECT_TRUE(seg.Contains(0x10F));
+  EXPECT_FALSE(seg.Contains(0x110));
+  EXPECT_TRUE(seg.ContainsRange(0x108, 8));
+  EXPECT_FALSE(seg.ContainsRange(0x108, 9));
+  EXPECT_FALSE(seg.ContainsRange(0xFF, 2));
+}
+
+TEST(AddressSpace, MapRejectsOverlap) {
+  AddressSpace space = MakeSpace();
+  EXPECT_EQ(space.Map("overlap", 0x1800, 0x100, kPermRW).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(space.Map("touching-ok", 0x2000, 0x100, kPermRW).code(),
+            StatusCode::kOk);
+}
+
+TEST(AddressSpace, MapRejectsEmptyAnd32BitOverflow) {
+  AddressSpace space;
+  EXPECT_FALSE(space.Map("empty", 0x1000, 0, kPermRW).ok());
+  EXPECT_FALSE(space.Map("huge", 0xFFFFF000, 0x2000, kPermRW).ok());
+  EXPECT_TRUE(space.Map("edge", 0xFFFFF000, 0x1000, kPermRW).ok());
+}
+
+TEST(AddressSpace, ReadWriteRoundTrip) {
+  AddressSpace space = MakeSpace();
+  ASSERT_TRUE(space.WriteU32(0x3000, 0xdeadbeef).ok());
+  EXPECT_EQ(space.ReadU32(0x3000).value(), 0xdeadbeefu);
+  ASSERT_TRUE(space.WriteU8(0x3004, 0x7F).ok());
+  EXPECT_EQ(space.ReadU8(0x3004).value(), 0x7F);
+}
+
+TEST(AddressSpace, LittleEndianLayout) {
+  AddressSpace space = MakeSpace();
+  ASSERT_TRUE(space.WriteU32(0x3000, 0x11223344).ok());
+  EXPECT_EQ(space.ReadU8(0x3000).value(), 0x44);
+  EXPECT_EQ(space.ReadU8(0x3003).value(), 0x11);
+}
+
+TEST(AddressSpace, WriteToReadOnlyFails) {
+  AddressSpace space = MakeSpace();
+  auto status = space.WriteU32(0x1000, 1);
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(space.last_fault().has_value());
+  EXPECT_EQ(space.last_fault()->kind, AccessKind::kWrite);
+  EXPECT_EQ(space.last_fault()->addr, 0x1000u);
+}
+
+TEST(AddressSpace, UnmappedAccessFails) {
+  AddressSpace space = MakeSpace();
+  EXPECT_EQ(space.ReadU32(0x7000).status().code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(space.last_fault().has_value());
+  EXPECT_NE(space.last_fault()->detail.find("unmapped"), std::string::npos);
+}
+
+TEST(AddressSpace, RangeMayNotStraddleSegments) {
+  AddressSpace space = MakeSpace();
+  // 0x3FFE..0x4002 runs off the end of .data.
+  EXPECT_FALSE(space.WriteU32(0x3FFE, 1).ok());
+  EXPECT_FALSE(space.ReadU32(0x3FFE).ok());
+}
+
+TEST(AddressSpace, FetchEnforcesExec) {
+  AddressSpace space = MakeSpace();
+  EXPECT_TRUE(space.Fetch(0x1000, 4).ok());
+  auto r = space.Fetch(0x8000, 4);  // stack is rw- : W^X blocks this
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(space.last_fault().has_value());
+  EXPECT_EQ(space.last_fault()->kind, AccessKind::kFetch);
+}
+
+TEST(AddressSpace, FetchFromRwxStackAllowed) {
+  AddressSpace space = MakeSpace();
+  ASSERT_TRUE(space.Protect("stack", kPermRWX).ok());
+  EXPECT_TRUE(space.Fetch(0x8000, 4).ok());
+}
+
+TEST(AddressSpace, ProtectUnknownSegment) {
+  AddressSpace space = MakeSpace();
+  EXPECT_EQ(space.Protect("nope", kPermRW).code(), StatusCode::kNotFound);
+}
+
+TEST(AddressSpace, ReadCString) {
+  AddressSpace space = MakeSpace();
+  const util::Bytes s = util::BytesOf("/bin/sh");
+  ASSERT_TRUE(space.WriteBytes(0x3100, s).ok());
+  ASSERT_TRUE(space.WriteU8(0x3107, 0).ok());
+  EXPECT_EQ(space.ReadCString(0x3100).value(), "/bin/sh");
+  // Unterminated within max_len:
+  EXPECT_FALSE(space.ReadCString(0x3100, 3).ok());
+}
+
+TEST(AddressSpace, DebugAccessIgnoresPerms) {
+  AddressSpace space = MakeSpace();
+  // .text is not writable, but the loader/debugger may write it.
+  EXPECT_TRUE(space.DebugWrite(0x1000, util::Bytes{1, 2, 3}).ok());
+  EXPECT_EQ(space.DebugRead(0x1000, 3).value(), (util::Bytes{1, 2, 3}));
+  // But never unmapped memory.
+  EXPECT_FALSE(space.DebugWrite(0x6000, util::Bytes{1}).ok());
+  EXPECT_FALSE(space.DebugRead(0x6000, 1).ok());
+}
+
+TEST(AddressSpace, FindSegment) {
+  AddressSpace space = MakeSpace();
+  ASSERT_NE(space.FindSegment(0x1234), nullptr);
+  EXPECT_EQ(space.FindSegment(0x1234)->name(), ".text");
+  EXPECT_EQ(space.FindSegment(0x0), nullptr);
+  EXPECT_EQ(space.FindSegment(0x2000), nullptr);
+  ASSERT_NE(space.FindSegmentByName("stack"), nullptr);
+  EXPECT_EQ(space.FindSegmentByName("stack")->base(), 0x8000u);
+  EXPECT_EQ(space.FindSegmentByName("nope"), nullptr);
+}
+
+TEST(AddressSpace, MapsStringListsSegmentsInOrder) {
+  AddressSpace space = MakeSpace();
+  const std::string maps = space.MapsString();
+  const auto text_pos = maps.find(".text");
+  const auto data_pos = maps.find(".data");
+  const auto stack_pos = maps.find("stack");
+  EXPECT_NE(text_pos, std::string::npos);
+  EXPECT_LT(text_pos, data_pos);
+  EXPECT_LT(data_pos, stack_pos);
+  EXPECT_NE(maps.find("r-x"), std::string::npos);
+}
+
+TEST(AddressSpace, WriteBytesBulk) {
+  AddressSpace space = MakeSpace();
+  util::Bytes big(0x800, 0xAB);
+  ASSERT_TRUE(space.WriteBytes(0x3000, big).ok());
+  auto back = space.ReadBytes(0x3000, 0x800);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), big);
+}
+
+TEST(AddressSpace, ClearFault) {
+  AddressSpace space = MakeSpace();
+  (void)space.ReadU8(0x0);
+  ASSERT_TRUE(space.last_fault().has_value());
+  space.ClearFault();
+  EXPECT_FALSE(space.last_fault().has_value());
+}
+
+}  // namespace
+}  // namespace connlab::mem

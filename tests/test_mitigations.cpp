@@ -1,0 +1,214 @@
+// §IV mitigation-model tests: CFI shadow stack and compile-time software
+// diversity, plus their interaction with the paper's strongest exploit.
+#include <gtest/gtest.h>
+
+#include "src/attack/scenario.hpp"
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/exploit/profile.hpp"
+#include "src/isa/assembler.hpp"
+#include "src/isa/varm.hpp"
+#include "src/isa/vx86.hpp"
+#include "src/gadget/finder.hpp"
+#include "src/loader/boot.hpp"
+
+namespace connlab {
+namespace {
+
+using connman::DnsProxy;
+using connman::ProxyOutcome;
+using connman::Version;
+using isa::Arch;
+using loader::Boot;
+using loader::ProtectionConfig;
+using Kind = ProxyOutcome::Kind;
+
+// ------------------------------------------------------------ CFI model ----
+
+TEST(Cfi, ShadowStackAllowsMatchedReturns) {
+  mem::AddressSpace space;
+  ASSERT_TRUE(space.Map(".text", 0x1000, 0x1000, mem::kPermRX).ok());
+  ASSERT_TRUE(space.Map("stack", 0x8000, 0x1000, mem::kPermRW).ok());
+  isa::Assembler a(Arch::kVX86, 0x1000);
+  a.CallLabel("fn");
+  isa::vx86::EncHlt(a.w());
+  a.Label("fn");
+  isa::vx86::EncRet(a.w());
+  ASSERT_TRUE(space.DebugWrite(0x1000, a.Finish().value()).ok());
+  vm::Cpu cpu(Arch::kVX86, space);
+  cpu.set_shadow_stack_enabled(true);
+  cpu.set_pc(0x1000);
+  cpu.set_sp(0x9000);
+  auto stop = cpu.Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kHalted) << stop.ToString();
+}
+
+TEST(Cfi, ShadowStackAbortsForgedReturn) {
+  mem::AddressSpace space;
+  ASSERT_TRUE(space.Map(".text", 0x1000, 0x1000, mem::kPermRX).ok());
+  ASSERT_TRUE(space.Map("stack", 0x8000, 0x1000, mem::kPermRW).ok());
+  util::ByteWriter w;
+  isa::vx86::EncRet(w);  // return with nothing legitimately called
+  ASSERT_TRUE(space.DebugWrite(0x1000, w.bytes()).ok());
+  vm::Cpu cpu(Arch::kVX86, space);
+  cpu.set_shadow_stack_enabled(true);
+  cpu.set_pc(0x1000);
+  cpu.set_sp(0x8ffc);
+  ASSERT_TRUE(space.WriteU32(0x8ffc, 0x1000).ok());  // forged target
+  auto stop = cpu.Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kAbort);
+  ASSERT_FALSE(cpu.events().empty());
+  EXPECT_EQ(cpu.events().back().kind, vm::EventKind::kCanaryAbort);
+}
+
+TEST(Cfi, VarmPopPcChecked) {
+  mem::AddressSpace space;
+  ASSERT_TRUE(space.Map(".text", 0x1000, 0x1000, mem::kPermRX).ok());
+  ASSERT_TRUE(space.Map("stack", 0x8000, 0x1000, mem::kPermRW).ok());
+  util::ByteWriter w;
+  isa::varm::EncPop(w, isa::varm::Mask({isa::kPC}));
+  ASSERT_TRUE(space.DebugWrite(0x1000, w.bytes()).ok());
+  vm::Cpu cpu(Arch::kVARM, space);
+  cpu.set_shadow_stack_enabled(true);
+  cpu.set_pc(0x1000);
+  cpu.set_sp(0x8ffc);
+  ASSERT_TRUE(space.WriteU32(0x8ffc, 0x1000).ok());
+  auto stop = cpu.Run(100);
+  EXPECT_EQ(stop.reason, vm::StopReason::kAbort);
+}
+
+TEST(Cfi, BenignProxyTrafficUnaffected) {
+  for (Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    auto sys = Boot(arch, ProtectionConfig::WxAslrCfi(), 31).value();
+    DnsProxy proxy(*sys, Version::k134);
+    dns::Message query = dns::Message::Query(0x10, "ok.example");
+    ASSERT_TRUE(proxy.AcceptClientQuery(dns::Encode(query).value()).ok());
+    dns::Message response = dns::Message::ResponseFor(query);
+    response.answers.push_back(dns::MakeA("ok.example", "1.2.3.4"));
+    auto outcome = proxy.HandleServerResponse(dns::Encode(response).value());
+    EXPECT_EQ(outcome.kind, Kind::kParsedOk) << outcome.ToString();
+  }
+}
+
+TEST(Cfi, StopsTheRopChainOnBothArchs) {
+  for (Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    attack::ScenarioConfig config;
+    config.arch = arch;
+    config.prot = ProtectionConfig::WxAslr();  // attacker's lab: no CFI
+    auto lab = attack::RunControlledScenario(config);
+    ASSERT_TRUE(lab.ok());
+    ASSERT_TRUE(lab.value().shell);  // exploit is genuinely live
+
+    // Same exploit against a CFI-hardened target.
+    auto sys = Boot(arch, ProtectionConfig::WxAslrCfi(), 4242).value();
+    DnsProxy proxy(*sys, Version::k134);
+    // Rebuild the payload from the non-CFI profile.
+    auto lab_sys = Boot(arch, ProtectionConfig::WxAslr(), 100).value();
+    DnsProxy lab_proxy(*lab_sys, Version::k134);
+    exploit::ProfileExtractor extractor(*lab_sys, lab_proxy);
+    auto profile = extractor.Extract();
+    ASSERT_TRUE(profile.ok());
+    exploit::ExploitGenerator generator(profile.value());
+    dns::Message query = dns::Message::Query(0x7E57, "victim.example");
+    ASSERT_TRUE(proxy.AcceptClientQuery(dns::Encode(query).value()).ok());
+    auto response =
+        generator.BuildResponse(query, exploit::Technique::kRopMemcpyChain);
+    ASSERT_TRUE(response.ok());
+    auto outcome =
+        proxy.HandleServerResponse(dns::Encode(response.value()).value());
+    EXPECT_EQ(outcome.kind, Kind::kAbort) << outcome.ToString();
+    EXPECT_NE(outcome.detail.find("CFI"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------- software diversity ----
+
+TEST(Diversity, DifferentBuildsHaveDifferentLayouts) {
+  for (Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    auto build_a = Boot(arch, ProtectionConfig::Diversified(1), 1).value();
+    auto build_b = Boot(arch, ProtectionConfig::Diversified(2), 1).value();
+    // Individual symbols can collide across shuffles; the overall layout
+    // (image bytes) must differ.
+    const auto& la = build_a->layout;
+    auto ta = build_a->space.DebugRead(la.text_base, la.text_size).value();
+    auto tb = build_b->space.DebugRead(la.text_base, la.text_size).value();
+    EXPECT_NE(ta, tb) << isa::ArchName(arch);
+    // And across several address-bearing symbols, at least one moves.
+    int moved = 0;
+    for (const char* sym : {"plt.memcpy", "plt.execlp", "fn.decor_0",
+                            "fn.decor_10", "fn.decor_30"}) {
+      moved += build_a->Sym(sym).value() != build_b->Sym(sym).value() ? 1 : 0;
+    }
+    EXPECT_GE(moved, 1) << isa::ArchName(arch);
+  }
+}
+
+TEST(Diversity, SameBuildIdIsReproducible) {
+  auto a = Boot(Arch::kVARM, ProtectionConfig::Diversified(7), 1).value();
+  auto b = Boot(Arch::kVARM, ProtectionConfig::Diversified(7), 99).value();
+  EXPECT_EQ(a->Sym("gadget.pop_regs_pc").value(),
+            b->Sym("gadget.pop_regs_pc").value());
+  EXPECT_EQ(a->Sym("plt.execlp").value(), b->Sym("plt.execlp").value());
+}
+
+TEST(Diversity, GadgetsStillExistInEveryBuild) {
+  // Diversity moves gadgets; it does not remove them — an attacker with
+  // the *matching* build can still find everything.
+  for (std::uint64_t build : {1ull, 2ull, 3ull, 4ull}) {
+    auto sys = Boot(Arch::kVARM, ProtectionConfig::Diversified(build), 1).value();
+    gadget::Finder finder(*sys);
+    EXPECT_TRUE(finder
+                    .FindPopRegsPc(isa::varm::Mask({isa::kR0, isa::kR1,
+                                                    isa::kR2, isa::kR3}))
+                    .ok())
+        << build;
+    EXPECT_TRUE(finder.FindBlx(isa::kR3).ok()) << build;
+  }
+}
+
+TEST(Diversity, ExploitPortsWithinABuildButNotAcrossBuilds) {
+  for (Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    // Attacker profiles build 1...
+    loader::ProtectionConfig prot_a = ProtectionConfig::Diversified(1);
+    auto lab = Boot(arch, prot_a, 100).value();
+    DnsProxy lab_proxy(*lab, Version::k134);
+    exploit::ProfileExtractor extractor(*lab, lab_proxy);
+    auto profile = extractor.Extract();
+    ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+    exploit::ExploitGenerator generator(profile.value());
+
+    const auto fire = [&](loader::ProtectionConfig prot) {
+      auto target = Boot(arch, prot, 4242).value();
+      DnsProxy proxy(*target, Version::k134);
+      dns::Message query = dns::Message::Query(0x7E57, "victim.example");
+      EXPECT_TRUE(proxy.AcceptClientQuery(dns::Encode(query).value()).ok());
+      auto response =
+          generator.BuildResponse(query, exploit::Technique::kRopMemcpyChain);
+      EXPECT_TRUE(response.ok());
+      return proxy.HandleServerResponse(dns::Encode(response.value()).value());
+    };
+
+    // ...owns every device running build 1...
+    EXPECT_EQ(fire(prot_a).kind, Kind::kShell) << isa::ArchName(arch);
+    // ...but the same payload fails on build 2 — "a successful attack is
+    // not guaranteed to work on multiple systems" (§IV).
+    auto cross = fire(ProtectionConfig::Diversified(2));
+    EXPECT_NE(cross.kind, Kind::kShell) << isa::ArchName(arch);
+  }
+}
+
+TEST(Diversity, CanonicalBuildUnchangedWhenOff) {
+  // Adding the flags to the config struct must not perturb the canonical
+  // image (regression guard for every address-sensitive test above).
+  auto plain = Boot(Arch::kVX86, ProtectionConfig::WxAslr(), 1).value();
+  EXPECT_EQ(plain->Sym("gadget.pppr").value_or(0) != 0, true);
+}
+
+TEST(Mitigations, ProtectionStringMentionsModels) {
+  EXPECT_EQ(ProtectionConfig::WxAslrCfi().ToString(), "W^X+ASLR+CFI");
+  EXPECT_EQ(ProtectionConfig::Diversified(3).ToString(), "W^X+ASLR+ASD");
+}
+
+}  // namespace
+}  // namespace connlab

@@ -1,0 +1,310 @@
+// Network simulation tests: datagram delivery, DHCP, AP association, DNS
+// servers, the victim device, and the Pineapple's rogue-AP mechanics.
+#include <gtest/gtest.h>
+
+#include "src/loader/boot.hpp"
+#include "src/net/dns_client.hpp"
+#include "src/net/fake_dns_server.hpp"
+#include "src/net/pineapple.hpp"
+
+namespace connlab::net {
+namespace {
+
+using isa::Arch;
+using loader::ProtectionConfig;
+
+class Sink : public Endpoint {
+ public:
+  void OnDatagram(Network&, const Datagram& dgram) override {
+    received.push_back(dgram);
+  }
+  std::vector<Datagram> received;
+};
+
+class Echo : public Endpoint {
+ public:
+  void OnDatagram(Network& net, const Datagram& dgram) override {
+    Datagram reply = dgram;
+    std::swap(reply.src_ip, reply.dst_ip);
+    std::swap(reply.src_port, reply.dst_port);
+    (void)net.Send(std::move(reply));
+  }
+};
+
+TEST(Network, DeliversToAttachedEndpoint) {
+  Network net;
+  Sink sink;
+  net.Attach("10.0.0.2", &sink);
+  ASSERT_TRUE(net.Send({"10.0.0.1", 1000, "10.0.0.2", 53, {1, 2, 3}}).ok());
+  EXPECT_EQ(net.DeliverAll(), 1);
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].payload, (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(net.delivered(), 1u);
+}
+
+TEST(Network, DropsUnroutable) {
+  Network net;
+  ASSERT_TRUE(net.Send({"a", 1, "nowhere", 2, {}}).ok());
+  net.DeliverAll();
+  EXPECT_EQ(net.dropped(), 1u);
+}
+
+TEST(Network, RejectsEmptyDestination) {
+  Network net;
+  EXPECT_FALSE(net.Send({"a", 1, "", 2, {}}).ok());
+}
+
+TEST(Network, ChainedResponsesDeliverInOneDrain) {
+  Network net;
+  Sink sink;
+  Echo echo;
+  net.Attach("client", &sink);
+  net.Attach("server", &echo);
+  ASSERT_TRUE(net.Send({"client", 9, "server", 7, {0xAB}}).ok());
+  EXPECT_EQ(net.DeliverAll(), 2);  // request + echoed reply
+  ASSERT_EQ(sink.received.size(), 1u);
+}
+
+TEST(Network, LogCapturesAllTraffic) {
+  Network net;
+  Sink sink;
+  net.Attach("x", &sink);
+  (void)net.Send({"a", 1, "x", 2, {1}});
+  (void)net.Send({"a", 1, "y", 2, {2}});
+  net.DeliverAll();
+  EXPECT_EQ(net.log().size(), 2u);
+  EXPECT_NE(net.log()[0].Summary().find("a:1 -> x:2"), std::string::npos);
+}
+
+TEST(Dhcp, LeasesAreStableAndOptionsRefresh) {
+  DhcpServer dhcp("192.168.7", "192.168.7.1", "192.168.7.53");
+  auto lease1 = dhcp.Offer("device-a");
+  ASSERT_TRUE(lease1.ok());
+  EXPECT_EQ(lease1.value().ip, "192.168.7.100");
+  EXPECT_EQ(lease1.value().dns_server, "192.168.7.53");
+  auto lease2 = dhcp.Offer("device-b");
+  ASSERT_TRUE(lease2.ok());
+  EXPECT_EQ(lease2.value().ip, "192.168.7.101");
+  // Renewal keeps the ip, refreshes options.
+  dhcp.set_dns_server("6.6.6.6");
+  auto renewed = dhcp.Offer("device-a");
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(renewed.value().ip, "192.168.7.100");
+  EXPECT_EQ(renewed.value().dns_server, "6.6.6.6");
+}
+
+TEST(Dhcp, PoolExhaustion) {
+  DhcpServer dhcp("10.1.1", "10.1.1.1", "10.1.1.53", /*pool_size=*/2);
+  EXPECT_TRUE(dhcp.Offer("a").ok());
+  EXPECT_TRUE(dhcp.Offer("b").ok());
+  EXPECT_FALSE(dhcp.Offer("c").ok());
+  EXPECT_TRUE(dhcp.Offer("a").ok());  // renewal still fine
+}
+
+TEST(Radio, StrongestSignalWinsAssociation) {
+  Radio radio;
+  AccessPoint weak("Net", -70, DhcpServer("10.0.0", "10.0.0.1", "10.0.0.53"));
+  AccessPoint strong("Net", -30, DhcpServer("10.9.0", "10.9.0.1", "10.9.0.53"));
+  AccessPoint other("Other", -10, DhcpServer("10.8.0", "10.8.0.1", "10.8.0.53"));
+  radio.AddAp(&weak);
+  radio.AddAp(&strong);
+  radio.AddAp(&other);
+  auto best = radio.StrongestFor("Net");
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value(), &strong);
+  EXPECT_FALSE(radio.StrongestFor("Missing").ok());
+  radio.RemoveAp(&strong);
+  EXPECT_EQ(radio.StrongestFor("Net").value(), &weak);
+}
+
+TEST(LegitDns, AnswersFromZoneAndNxdomains) {
+  Network net;
+  Sink sink;
+  LegitDnsServer dns("1.1.1.1");
+  dns.AddRecord("known.example", "9.9.9.9");
+  net.Attach("1.1.1.1", &dns);
+  net.Attach("client", &sink);
+
+  auto q1 = dns::Encode(dns::Message::Query(7, "known.example")).value();
+  (void)net.Send({"client", 5353, "1.1.1.1", kDnsPort, q1});
+  auto q2 = dns::Encode(dns::Message::Query(8, "unknown.example")).value();
+  (void)net.Send({"client", 5353, "1.1.1.1", kDnsPort, q2});
+  net.DeliverAll();
+
+  ASSERT_EQ(sink.received.size(), 2u);
+  auto r1 = dns::Decode(sink.received[0].payload).value();
+  EXPECT_EQ(r1.answers.size(), 1u);
+  auto r2 = dns::Decode(sink.received[1].payload).value();
+  EXPECT_EQ(r2.header.rcode, dns::Rcode::kNXDomain);
+  EXPECT_EQ(dns.queries_served(), 2u);
+}
+
+TEST(FakeDns, EchoesQueryIdentityIntoMaliciousResponse) {
+  Network net;
+  Sink sink;
+  FakeDnsServer fake("6.6.6.6", FakeDnsServer::Mode::kDos);
+  net.Attach("6.6.6.6", &fake);
+  net.Attach("victim", &sink);
+  auto q = dns::Encode(dns::Message::Query(0xBEEF, "anything.example")).value();
+  (void)net.Send({"victim", 4000, "6.6.6.6", kDnsPort, q});
+  net.DeliverAll();
+  ASSERT_EQ(sink.received.size(), 1u);
+  const util::Bytes& wire = sink.received[0].payload;
+  // Header: echoed id, QR set; question echo follows.
+  EXPECT_EQ(wire[0], 0xBE);
+  EXPECT_EQ(wire[1], 0xEF);
+  EXPECT_NE(wire[2] & 0x80, 0);
+  EXPECT_GT(wire.size(), 4096u);  // oversized name
+  EXPECT_EQ(fake.queries_seen(), 1u);
+  EXPECT_EQ(fake.payloads_sent(), 1u);
+}
+
+TEST(FakeDns, IgnoresNonQueries) {
+  Network net;
+  FakeDnsServer fake("6.6.6.6", FakeDnsServer::Mode::kDos);
+  net.Attach("6.6.6.6", &fake);
+  auto resp =
+      dns::Encode(dns::Message::ResponseFor(dns::Message::Query(1, "x.y")))
+          .value();
+  (void)net.Send({"victim", 4000, "6.6.6.6", kDnsPort, resp});
+  net.DeliverAll();
+  EXPECT_EQ(fake.queries_seen(), 0u);
+}
+
+TEST(Victim, JoinsLooksUpAndCaches) {
+  Network net;
+  Radio radio;
+  LegitDnsServer dns("192.168.1.53");
+  dns.AddRecord("cloud.example", "5.5.5.5");
+  net.Attach(dns.ip(), &dns);
+  AccessPoint ap("HomeWiFi", -55,
+                 DhcpServer("192.168.1", "192.168.1.1", dns.ip()));
+  radio.AddAp(&ap);
+
+  auto sys = loader::Boot(Arch::kVX86, ProtectionConfig::WxAslr(), 2).value();
+  VictimDevice victim(*sys, connman::Version::k134, "HomeWiFi");
+  ASSERT_TRUE(victim.JoinWifi(radio, net).ok());
+  EXPECT_EQ(victim.lease().dns_server, "192.168.1.53");
+
+  ASSERT_TRUE(victim.Lookup(net, "cloud.example").ok());
+  net.DeliverAll();
+  ASSERT_EQ(victim.outcomes().size(), 1u);
+  EXPECT_EQ(victim.outcomes()[0].kind, connman::ProxyOutcome::Kind::kParsedOk);
+  EXPECT_FALSE(victim.compromised());
+  EXPECT_FALSE(victim.crashed());
+  EXPECT_EQ(victim.proxy()
+                .cache()
+                .Lookup("cloud.example", victim.proxy().now() + 1)
+                .size(),
+            1u);
+}
+
+TEST(Victim, LookupRequiresNetwork) {
+  Network net;
+  auto sys = loader::Boot(Arch::kVX86, ProtectionConfig::None(), 2).value();
+  VictimDevice victim(*sys, connman::Version::k134, "HomeWiFi");
+  EXPECT_FALSE(victim.Lookup(net, "x.example").ok());
+}
+
+TEST(Pineapple, OutbroadcastsAndServesMaliciousDns) {
+  Network net;
+  Radio radio;
+  LegitDnsServer dns("192.168.1.53");
+  dns.AddRecord("cloud.example", "5.5.5.5");
+  net.Attach(dns.ip(), &dns);
+  AccessPoint home("HomeWiFi", -60,
+                   DhcpServer("192.168.1", "192.168.1.1", dns.ip()));
+  radio.AddAp(&home);
+
+  auto sys = loader::Boot(Arch::kVX86, ProtectionConfig::None(), 2).value();
+  VictimDevice victim(*sys, connman::Version::k134, "HomeWiFi");
+  ASSERT_TRUE(victim.JoinWifi(radio, net).ok());
+  EXPECT_EQ(victim.lease().dns_server, dns.ip());
+
+  Pineapple pineapple("HomeWiFi", -30);
+  pineapple.set_dns_mode(FakeDnsServer::Mode::kDos);
+  pineapple.PowerOn(radio, net);
+
+  // Roam: the rogue AP wins, DHCP reassigns DNS to the attacker.
+  ASSERT_TRUE(victim.JoinWifi(radio, net).ok());
+  EXPECT_EQ(victim.lease().dns_server, pineapple.ip());
+
+  ASSERT_TRUE(victim.Lookup(net, "cloud.example").ok());
+  net.DeliverAll();
+  EXPECT_EQ(pineapple.dns().queries_seen(), 1u);
+  EXPECT_TRUE(victim.crashed());  // the DoS payload landed
+
+  // Power off: the legitimate AP is the strongest again.
+  pineapple.PowerOff(radio, net);
+  auto best = radio.StrongestFor("HomeWiFi");
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value(), &home);
+}
+
+}  // namespace
+}  // namespace connlab::net
+
+#include "src/net/resolver.hpp"
+
+namespace connlab::net {
+namespace {
+
+TEST(ForwardingResolver, AnswersLocalZoneAndNxdomain) {
+  Network net;
+  Sink sink;
+  ForwardingResolver resolver("1.1.1.1");
+  resolver.AddRecord("local.example", "10.0.0.5");
+  net.Attach(resolver.ip(), &resolver);
+  net.Attach("client", &sink);
+  (void)net.Send({"client", 5000, "1.1.1.1", kDnsPort,
+                  dns::Encode(dns::Message::Query(1, "local.example")).value()});
+  (void)net.Send({"client", 5000, "1.1.1.1", kDnsPort,
+                  dns::Encode(dns::Message::Query(2, "missing.example")).value()});
+  net.DeliverAll();
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(dns::Decode(sink.received[0].payload).value().answers.size(), 1u);
+  EXPECT_EQ(dns::Decode(sink.received[1].payload).value().header.rcode,
+            dns::Rcode::kNXDomain);
+  EXPECT_EQ(resolver.forwarded(), 0u);
+}
+
+TEST(ForwardingResolver, ForwardsDelegatedAndRelaysVerbatim) {
+  Network net;
+  Sink client;
+  ForwardingResolver resolver("1.1.1.1");
+  FakeDnsServer evil_ns("6.6.6.6", FakeDnsServer::Mode::kDos);
+  resolver.AddDelegation("evil.example", evil_ns.ip());
+  net.Attach(resolver.ip(), &resolver);
+  net.Attach(evil_ns.ip(), &evil_ns);
+  net.Attach("victim", &client);
+
+  auto q = dns::Encode(dns::Message::Query(0x1234, "cdn.evil.example")).value();
+  (void)net.Send({"victim", 5000, "1.1.1.1", kDnsPort, q});
+  net.DeliverAll();
+
+  EXPECT_EQ(resolver.forwarded(), 1u);
+  EXPECT_EQ(resolver.relayed(), 1u);
+  EXPECT_EQ(evil_ns.queries_seen(), 1u);
+  ASSERT_EQ(client.received.size(), 1u);
+  // The relayed payload is the attacker's response, verbatim: echoed id,
+  // oversized name and all.
+  const util::Bytes& wire = client.received[0].payload;
+  EXPECT_EQ(wire[0], 0x12);
+  EXPECT_EQ(wire[1], 0x34);
+  EXPECT_GT(wire.size(), 4096u);
+  EXPECT_EQ(client.received[0].src_ip, resolver.ip());  // looks legitimate
+}
+
+TEST(ForwardingResolver, IgnoresUnsolicitedResponses) {
+  Network net;
+  ForwardingResolver resolver("1.1.1.1");
+  net.Attach(resolver.ip(), &resolver);
+  dns::Message fake = dns::Message::ResponseFor(dns::Message::Query(9, "x.y"));
+  (void)net.Send({"6.6.6.6", kDnsPort, "1.1.1.1", kDnsPort,
+                  dns::Encode(fake).value()});
+  net.DeliverAll();
+  EXPECT_EQ(resolver.relayed(), 0u);
+}
+
+}  // namespace
+}  // namespace connlab::net

@@ -1,0 +1,216 @@
+// Unit tests for src/util: Status/Result, byte cursors, RNG, hexdump.
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.hpp"
+#include "src/util/hexdump.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("missing widget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing widget");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing widget");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(OutOfRange("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Status UseReturnIfError(bool fail) {
+  CONNLAB_RETURN_IF_ERROR(fail ? Internal("boom") : OkStatus());
+  return OkStatus();
+}
+
+TEST(Result, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+Result<int> Doubled(Result<int> in) {
+  CONNLAB_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(InvalidArgument("x")).ok());
+}
+
+TEST(Bytes, BytesOfAndToHex) {
+  Bytes b = BytesOf("AB");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 'A');
+  EXPECT_EQ(ToHex(b), "4142");
+  EXPECT_EQ(ToHex(Bytes{}), "");
+}
+
+TEST(ByteReader, ReadsScalarsBigEndian) {
+  Bytes data{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc};
+  ByteReader r(data);
+  EXPECT_EQ(r.ReadU16BE().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32BE().value(), 0x56789abcu);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ReadsScalarsLittleEndian) {
+  Bytes data{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc};
+  ByteReader r(data);
+  EXPECT_EQ(r.ReadU16LE().value(), 0x3412);
+  EXPECT_EQ(r.ReadU32LE().value(), 0xbc9a7856u);
+}
+
+TEST(ByteReader, TruncationIsMalformedNotFatal) {
+  Bytes data{0x01};
+  ByteReader r(data);
+  EXPECT_EQ(r.ReadU16BE().status().code(), StatusCode::kMalformed);
+  EXPECT_EQ(r.ReadU8().value(), 0x01);  // cursor unchanged by failed read
+  EXPECT_EQ(r.ReadU8().status().code(), StatusCode::kMalformed);
+}
+
+TEST(ByteReader, SeekSupportsCompressionJumps) {
+  Bytes data{0xAA, 0xBB, 0xCC};
+  ByteReader r(data);
+  ASSERT_TRUE(r.Seek(2).ok());
+  EXPECT_EQ(r.ReadU8().value(), 0xCC);
+  ASSERT_TRUE(r.Seek(0).ok());
+  EXPECT_EQ(r.ReadU8().value(), 0xAA);
+  EXPECT_FALSE(r.Seek(4).ok());
+}
+
+TEST(ByteReader, ReadBytesAndSkip) {
+  Bytes data{1, 2, 3, 4, 5};
+  ByteReader r(data);
+  ASSERT_TRUE(r.Skip(1).ok());
+  auto chunk = r.ReadBytes(3);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk.value(), (Bytes{2, 3, 4}));
+  EXPECT_FALSE(r.Skip(2).ok());
+}
+
+TEST(ByteWriter, RoundTripsThroughReader) {
+  ByteWriter w;
+  w.WriteU8(0xFF);
+  w.WriteU16BE(0x1234);
+  w.WriteU32LE(0xdeadbeef);
+  w.WriteString("hi");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU8().value(), 0xFF);
+  EXPECT_EQ(r.ReadU16BE().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32LE().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadBytes(2).value(), BytesOf("hi"));
+}
+
+TEST(ByteWriter, PatchU16BE) {
+  ByteWriter w;
+  w.WriteU16BE(0);
+  w.WriteU8(0x55);
+  ASSERT_TRUE(w.PatchU16BE(0, 0xABCD).ok());
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  EXPECT_EQ(w.bytes()[1], 0xCD);
+  EXPECT_FALSE(w.PatchU16BE(2, 1).ok());  // would run past the end
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, NextBytesLengthAndVariety) {
+  Rng rng(13);
+  auto data = rng.NextBytes(1000);
+  ASSERT_EQ(data.size(), 1000u);
+  bool varied = false;
+  for (std::size_t i = 1; i < data.size(); ++i) varied |= data[i] != data[0];
+  EXPECT_TRUE(varied);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(42);
+  Rng child = a.Fork();
+  EXPECT_NE(child.NextU64(), a.NextU64());
+}
+
+TEST(HexDump, FormatsRows) {
+  Bytes data = BytesOf("ABCDEFGHIJKLMNOPQR");  // 18 bytes -> 2 rows
+  std::string dump = HexDump(data, 0x1000);
+  EXPECT_NE(dump.find("00001000"), std::string::npos);
+  EXPECT_NE(dump.find("00001010"), std::string::npos);
+  EXPECT_NE(dump.find("|ABCDEFGHIJKLMNOP|"), std::string::npos);
+  EXPECT_NE(dump.find("41 42 43"), std::string::npos);
+}
+
+TEST(HexDump, NonPrintableAsDots) {
+  Bytes data{0x00, 0x1F, 0x41};
+  std::string dump = HexDump(data);
+  EXPECT_NE(dump.find("|..A|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace connlab::util

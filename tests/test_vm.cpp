@@ -1,0 +1,509 @@
+// CPU interpreter tests: arithmetic, control flow, stack ops, syscalls,
+// W^X fetch enforcement, host functions, breakpoints, step limits.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hpp"
+#include "src/isa/varm.hpp"
+#include "src/isa/vx86.hpp"
+#include "src/vm/cpu.hpp"
+#include "src/vm/syscalls.hpp"
+
+namespace connlab::vm {
+namespace {
+
+using isa::Arch;
+namespace x = isa::vx86;
+namespace v = isa::varm;
+
+struct Machine {
+  mem::AddressSpace space;
+  std::unique_ptr<Cpu> cpu;
+};
+
+Machine MakeMachine(Arch arch, const util::Bytes& text,
+                    mem::Perm stack_perm = mem::kPermRW) {
+  Machine m;
+  EXPECT_TRUE(m.space.Map(".text", 0x1000, 0x1000, mem::kPermRX).ok());
+  EXPECT_TRUE(m.space.Map(".data", 0x4000, 0x1000, mem::kPermRW).ok());
+  EXPECT_TRUE(m.space.Map("stack", 0x8000, 0x1000, stack_perm).ok());
+  EXPECT_TRUE(m.space.DebugWrite(0x1000, text).ok());
+  m.cpu = std::make_unique<Cpu>(arch, m.space);
+  m.cpu->set_pc(0x1000);
+  m.cpu->set_sp(0x9000);
+  return m;
+}
+
+TEST(CpuVX86, ArithmeticAndFlags) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 40);
+  x::EncAddImm(w, isa::kEAX, 2);
+  x::EncCmpImm(w, isa::kEAX, 42);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 42u);
+  EXPECT_TRUE(m.cpu->zf());
+}
+
+TEST(CpuVX86, SubXorMovReg) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEBX, 100);
+  x::EncSubImm(w, isa::kEBX, 58);
+  x::EncMovReg(w, isa::kECX, isa::kEBX);
+  x::EncXorReg(w, isa::kEBX, isa::kEBX);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  m.cpu->Run(100);
+  EXPECT_EQ(m.cpu->reg(isa::kECX), 42u);
+  EXPECT_EQ(m.cpu->reg(isa::kEBX), 0u);
+}
+
+TEST(CpuVX86, PushPopAndMemory) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 0xABCD);
+  x::EncPushReg(w, isa::kEAX);
+  x::EncPopReg(w, isa::kEDX);
+  x::EncMovImm(w, isa::kEDI, 0x4000);
+  x::EncStore(w, isa::kEDX, isa::kEDI, 0x10);  // [edi+0x10] = edx
+  x::EncLoad(w, isa::kESI, isa::kEDI, 0x10);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  m.cpu->Run(100);
+  EXPECT_EQ(m.cpu->reg(isa::kEDX), 0xABCDu);
+  EXPECT_EQ(m.cpu->reg(isa::kESI), 0xABCDu);
+  EXPECT_EQ(m.cpu->sp(), 0x9000u);  // balanced
+}
+
+TEST(CpuVX86, CallRetRoundTrip) {
+  isa::Assembler a(Arch::kVX86, 0x1000);
+  a.CallLabel("fn");
+  x::EncHlt(a.w());
+  a.Label("fn");
+  x::EncMovImm(a.w(), isa::kEAX, 7);
+  x::EncRet(a.w());
+  auto m = MakeMachine(Arch::kVX86, a.Finish().value());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 7u);
+  EXPECT_EQ(m.cpu->sp(), 0x9000u);
+}
+
+TEST(CpuVX86, ConditionalJumps) {
+  isa::Assembler a(Arch::kVX86, 0x1000);
+  x::EncMovImm(a.w(), isa::kEAX, 5);
+  x::EncCmpImm(a.w(), isa::kEAX, 5);
+  a.JzLabel("taken");
+  x::EncMovImm(a.w(), isa::kEBX, 1);  // skipped
+  a.Label("taken");
+  x::EncCmpImm(a.w(), isa::kEAX, 6);
+  a.JnzLabel("also");
+  x::EncMovImm(a.w(), isa::kECX, 1);  // skipped
+  a.Label("also");
+  x::EncHlt(a.w());
+  auto m = MakeMachine(Arch::kVX86, a.Finish().value());
+  m.cpu->Run(100);
+  EXPECT_EQ(m.cpu->reg(isa::kEBX), 0u);
+  EXPECT_EQ(m.cpu->reg(isa::kECX), 0u);
+}
+
+TEST(CpuVX86, JmpIndirectThroughMemory) {
+  util::ByteWriter w;
+  x::EncJmpInd(w, 0x4000);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  // Plant target pointing at an hlt we also plant.
+  util::ByteWriter t;
+  x::EncHlt(t);
+  ASSERT_TRUE(m.space.DebugWrite(0x1800, t.bytes()).ok());
+  ASSERT_TRUE(m.space.WriteU32(0x4000, 0x1800).ok());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(stop.pc, 0x1800u);
+}
+
+TEST(CpuVX86, ExecSyscallSpawnsShell) {
+  // Shellcode shape used by the code-injection exploit: point ebx at the
+  // command string, eax = SYS_exec, syscall.
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEBX, 0x4000);
+  x::EncMovImm(w, isa::kECX, 0);
+  x::EncMovImm(w, isa::kEAX, static_cast<std::uint32_t>(Sys::kExec));
+  x::EncSyscall(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  util::Bytes cmd = util::BytesOf("/bin/sh");
+  cmd.push_back(0);
+  ASSERT_TRUE(m.space.WriteBytes(0x4000, cmd).ok());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kShellSpawned);
+  ASSERT_EQ(m.cpu->events().size(), 1u);
+  EXPECT_EQ(m.cpu->events()[0].kind, EventKind::kShellSpawned);
+  EXPECT_NE(m.cpu->events()[0].text.find("root"), std::string::npos);
+}
+
+TEST(CpuVX86, ExitAndWriteSyscalls) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEBX, 1);       // fd
+  x::EncMovImm(w, isa::kECX, 0x4000);  // buf
+  x::EncMovImm(w, isa::kEDX, 2);       // len
+  x::EncMovImm(w, isa::kEAX, static_cast<std::uint32_t>(Sys::kWrite));
+  x::EncSyscall(w);
+  x::EncMovImm(w, isa::kEBX, 3);
+  x::EncMovImm(w, isa::kEAX, static_cast<std::uint32_t>(Sys::kExit));
+  x::EncSyscall(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  ASSERT_TRUE(m.space.WriteBytes(0x4000, util::BytesOf("ok")).ok());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kExited);
+  EXPECT_EQ(stop.exit_code, 3u);
+  ASSERT_EQ(m.cpu->events().size(), 2u);
+  EXPECT_EQ(m.cpu->events()[0].kind, EventKind::kWrite);
+}
+
+TEST(CpuVX86, WxBlocksStackExecution) {
+  util::ByteWriter w;
+  x::EncJmp(w, 0x8100);  // jump into the stack
+  // Stack contains valid code, but is rw- (W^X).
+  auto m = MakeMachine(Arch::kVX86, w.bytes(), mem::kPermRW);
+  util::ByteWriter payload;
+  x::EncHlt(payload);
+  ASSERT_TRUE(m.space.DebugWrite(0x8100, payload.bytes()).ok());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kFault);
+  ASSERT_TRUE(stop.fault.has_value());
+  EXPECT_EQ(stop.fault->kind, mem::AccessKind::kFetch);
+}
+
+TEST(CpuVX86, ExecutableStackRunsShellcode) {
+  util::ByteWriter w;
+  x::EncJmp(w, 0x8100);
+  auto m = MakeMachine(Arch::kVX86, w.bytes(), mem::kPermRWX);
+  util::ByteWriter payload;
+  for (int i = 0; i < 16; ++i) x::EncNop(payload);  // NOP sled
+  x::EncHlt(payload);
+  ASSERT_TRUE(m.space.DebugWrite(0x8100, payload.bytes()).ok());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+}
+
+TEST(CpuVX86, IllegalOpcodeFaults) {
+  auto m = MakeMachine(Arch::kVX86, util::Bytes{0xFE});
+  auto stop = m.cpu->Run(10);
+  EXPECT_EQ(stop.reason, StopReason::kFault);
+}
+
+TEST(CpuVX86, UnmappedFetchFaults) {
+  auto m = MakeMachine(Arch::kVX86, util::Bytes{0x90});
+  m.cpu->set_pc(0x7000);
+  auto stop = m.cpu->Run(10);
+  EXPECT_EQ(stop.reason, StopReason::kFault);
+}
+
+TEST(CpuVX86, StepLimitStops) {
+  isa::Assembler a(Arch::kVX86, 0x1000);
+  a.Label("loop");
+  a.JmpLabel("loop");
+  auto m = MakeMachine(Arch::kVX86, a.Finish().value());
+  auto stop = m.cpu->Run(50);
+  EXPECT_EQ(stop.reason, StopReason::kStepLimit);
+  EXPECT_EQ(stop.steps, 50u);
+}
+
+TEST(CpuVARM, MovwMovtBuilds32Bit) {
+  util::ByteWriter w;
+  v::EncMovImm32(w, isa::kR0, 0xDEADBEEF);
+  v::EncHlt(w);
+  auto m = MakeMachine(Arch::kVARM, w.bytes());
+  m.cpu->Run(100);
+  EXPECT_EQ(m.cpu->reg(isa::kR0), 0xDEADBEEFu);
+}
+
+TEST(CpuVARM, PushPopDescendingOrder) {
+  util::ByteWriter w;
+  v::EncMovW(w, isa::kR0, 0x11);
+  v::EncMovW(w, isa::kR1, 0x22);
+  v::EncPush(w, v::Mask({isa::kR0, isa::kR1}));
+  v::EncHlt(w);
+  auto m = MakeMachine(Arch::kVARM, w.bytes());
+  m.cpu->Run(100);
+  // Lowest register at lowest address.
+  EXPECT_EQ(m.cpu->sp(), 0x9000u - 8);
+  EXPECT_EQ(m.space.ReadU32(0x9000 - 8).value(), 0x11u);
+  EXPECT_EQ(m.space.ReadU32(0x9000 - 4).value(), 0x22u);
+}
+
+TEST(CpuVARM, PopIntoPcTransfersControl) {
+  util::ByteWriter w;
+  v::EncPop(w, v::Mask({isa::kR4, isa::kPC}));
+  auto m = MakeMachine(Arch::kVARM, w.bytes());
+  // Stack: r4 value then pc target (an hlt at 0x1800).
+  util::ByteWriter t;
+  v::EncHlt(t);
+  ASSERT_TRUE(m.space.DebugWrite(0x1800, t.bytes()).ok());
+  m.cpu->set_sp(0x8800);
+  ASSERT_TRUE(m.space.WriteU32(0x8800, 0x99).ok());
+  ASSERT_TRUE(m.space.WriteU32(0x8804, 0x1800).ok());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(stop.pc, 0x1800u);
+  EXPECT_EQ(m.cpu->reg(isa::kR4), 0x99u);
+  EXPECT_EQ(m.cpu->sp(), 0x8808u);
+}
+
+TEST(CpuVARM, BlSetsLrAndBxReturns) {
+  isa::Assembler a(Arch::kVARM, 0x1000);
+  a.BlLabel("fn");
+  v::EncHlt(a.w());
+  a.Label("fn");
+  v::EncMovW(a.w(), isa::kR0, 9);
+  v::EncBx(a.w(), isa::kLR);
+  auto m = MakeMachine(Arch::kVARM, a.Finish().value());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kR0), 9u);
+}
+
+TEST(CpuVARM, BlxBranchesThroughRegister) {
+  util::ByteWriter w;
+  v::EncMovImm32(w, isa::kR3, 0x1800);
+  v::EncBlx(w, isa::kR3);
+  auto m = MakeMachine(Arch::kVARM, w.bytes());
+  util::ByteWriter t;
+  v::EncBx(t, isa::kLR);  // return to instruction after blx
+  ASSERT_TRUE(m.space.DebugWrite(0x1800, t.bytes()).ok());
+  util::ByteWriter after;
+  v::EncHlt(after);
+  ASSERT_TRUE(m.space.DebugWrite(0x100C, after.bytes()).ok());
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(stop.pc, 0x100Cu);
+}
+
+TEST(CpuVARM, LdrLitLoadsFromPool) {
+  isa::Assembler a(Arch::kVARM, 0x1000);
+  a.LdrLitLabel(isa::kR5, "pool");
+  v::EncHlt(a.w());
+  a.Label("pool");
+  a.Word32(0xFEEDC0DE);
+  auto m = MakeMachine(Arch::kVARM, a.Finish().value());
+  m.cpu->Run(10);
+  EXPECT_EQ(m.cpu->reg(isa::kR5), 0xFEEDC0DEu);
+}
+
+TEST(CpuVARM, MvnNegates) {
+  util::ByteWriter w;
+  v::EncMovW(w, isa::kR1, 0x00FF);
+  v::EncMvn(w, isa::kR0, isa::kR1);
+  v::EncHlt(w);
+  auto m = MakeMachine(Arch::kVARM, w.bytes());
+  m.cpu->Run(10);
+  EXPECT_EQ(m.cpu->reg(isa::kR0), 0xFFFFFF00u);
+}
+
+TEST(CpuVARM, SyscallConventionUsesR7) {
+  util::ByteWriter w;
+  v::EncMovW(w, isa::kR0, 5);
+  v::EncMovW(w, isa::kR7, static_cast<std::uint16_t>(Sys::kExit));
+  v::EncSyscall(w);
+  auto m = MakeMachine(Arch::kVARM, w.bytes());
+  auto stop = m.cpu->Run(10);
+  EXPECT_EQ(stop.reason, StopReason::kExited);
+  EXPECT_EQ(stop.exit_code, 5u);
+}
+
+TEST(CpuVARM, ConditionalBranches) {
+  isa::Assembler a(Arch::kVARM, 0x1000);
+  v::EncMovW(a.w(), isa::kR0, 1);
+  v::EncCmpImm(a.w(), isa::kR0, 1);
+  a.BeqLabel("skip");
+  v::EncMovW(a.w(), isa::kR4, 0xBAD);
+  a.Label("skip");
+  v::EncCmpImm(a.w(), isa::kR0, 2);
+  a.BneLabel("end");
+  v::EncMovW(a.w(), isa::kR5, 0xBAD);
+  a.Label("end");
+  v::EncHlt(a.w());
+  auto m = MakeMachine(Arch::kVARM, a.Finish().value());
+  m.cpu->Run(100);
+  EXPECT_EQ(m.cpu->reg(isa::kR4), 0u);
+  EXPECT_EQ(m.cpu->reg(isa::kR5), 0u);
+}
+
+TEST(Cpu, HostFnInterceptsExecution) {
+  auto m = MakeMachine(Arch::kVX86, util::Bytes{0x90});
+  bool called = false;
+  ASSERT_TRUE(m.cpu
+                  ->RegisterHostFn(0x1000, "probe",
+                                   [&called](Cpu& cpu) {
+                                     called = true;
+                                     cpu.RequestStop(StopReason::kHalted, "probe");
+                                     return util::OkStatus();
+                                   })
+                  .ok());
+  EXPECT_TRUE(m.cpu->IsHostFn(0x1000));
+  EXPECT_EQ(m.cpu->HostFnName(0x1000), "probe");
+  auto stop = m.cpu->Run(10);
+  EXPECT_TRUE(called);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+}
+
+TEST(Cpu, HostFnErrorBecomesFault) {
+  auto m = MakeMachine(Arch::kVX86, util::Bytes{0x90});
+  ASSERT_TRUE(m.cpu
+                  ->RegisterHostFn(0x1000, "bad",
+                                   [](Cpu&) {
+                                     return util::PermissionDenied("simulated");
+                                   })
+                  .ok());
+  auto stop = m.cpu->Run(10);
+  EXPECT_EQ(stop.reason, StopReason::kFault);
+}
+
+TEST(Cpu, DuplicateHostFnRejected) {
+  auto m = MakeMachine(Arch::kVX86, util::Bytes{0x90});
+  auto ok = [](Cpu&) { return util::OkStatus(); };
+  ASSERT_TRUE(m.cpu->RegisterHostFn(0x1000, "a", ok).ok());
+  EXPECT_FALSE(m.cpu->RegisterHostFn(0x1000, "b", ok).ok());
+}
+
+TEST(Cpu, BreakpointStopsAndResumes) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 1);
+  x::EncMovImm(w, isa::kEBX, 2);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  m.cpu->AddBreakpoint(0x1006);  // second instruction
+  auto stop1 = m.cpu->Run(100);
+  EXPECT_EQ(stop1.reason, StopReason::kBreakpoint);
+  EXPECT_EQ(m.cpu->pc(), 0x1006u);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 1u);
+  EXPECT_EQ(m.cpu->reg(isa::kEBX), 0u);
+  m.cpu->ClearStop();
+  auto stop2 = m.cpu->Run(100);
+  EXPECT_EQ(stop2.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEBX), 2u);
+}
+
+TEST(Cpu, RegistersStringMentionsAllRegisters) {
+  auto m = MakeMachine(Arch::kVARM, util::Bytes{});
+  const std::string s = m.cpu->RegistersString();
+  EXPECT_NE(s.find("r0="), std::string::npos);
+  EXPECT_NE(s.find("lr="), std::string::npos);
+  EXPECT_NE(s.find("pc="), std::string::npos);
+}
+
+TEST(Cpu, StackOverflowOffMappingFaults) {
+  util::ByteWriter w;
+  x::EncPushReg(w, isa::kEAX);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  m.cpu->set_sp(0x8000);  // at the bottom of the stack segment
+  auto stop = m.cpu->Run(10);
+  EXPECT_EQ(stop.reason, StopReason::kFault);
+}
+
+}  // namespace
+}  // namespace connlab::vm
+
+namespace connlab::vm {
+namespace {
+
+TEST(CpuTrace, DisabledByDefault) {
+  util::ByteWriter w;
+  isa::vx86::EncNop(w);
+  isa::vx86::EncHlt(w);
+  auto m = MakeMachine(isa::Arch::kVX86, w.bytes());
+  m.cpu->Run(10);
+  EXPECT_TRUE(m.cpu->trace().empty());
+}
+
+TEST(CpuTrace, RecordsInstructionsAndHostFns) {
+  util::ByteWriter w;
+  isa::vx86::EncMovImm(w, isa::kEAX, 7);
+  isa::vx86::EncJmp(w, 0x1800);
+  auto m = MakeMachine(isa::Arch::kVX86, w.bytes());
+  ASSERT_TRUE(m.cpu
+                  ->RegisterHostFn(0x1800, "stopper",
+                                   [](Cpu& cpu) {
+                                     cpu.RequestStop(StopReason::kHalted, "x");
+                                     return util::OkStatus();
+                                   })
+                  .ok());
+  m.cpu->set_trace_limit(16);
+  m.cpu->Run(10);
+  ASSERT_EQ(m.cpu->trace().size(), 3u);
+  EXPECT_EQ(m.cpu->trace()[0].text, "mov eax, #0x7");
+  EXPECT_EQ(m.cpu->trace()[2].text, "<host: stopper>");
+  const std::string rendered = m.cpu->TraceString();
+  EXPECT_NE(rendered.find("0x00001000:  mov eax, #0x7"), std::string::npos);
+}
+
+TEST(CpuTrace, RingBufferKeepsOnlyLastN) {
+  isa::Assembler a(isa::Arch::kVX86, 0x1000);
+  for (int i = 0; i < 20; ++i) isa::vx86::EncNop(a.w());
+  isa::vx86::EncHlt(a.w());
+  auto m = MakeMachine(isa::Arch::kVX86, a.Finish().value());
+  m.cpu->set_trace_limit(5);
+  m.cpu->Run(100);
+  EXPECT_EQ(m.cpu->trace().size(), 5u);
+  EXPECT_EQ(m.cpu->trace().back().text, "hlt");
+  // Disabling clears.
+  m.cpu->set_trace_limit(0);
+  EXPECT_TRUE(m.cpu->trace().empty());
+}
+
+}  // namespace
+}  // namespace connlab::vm
+
+namespace connlab::vm {
+namespace {
+
+TEST(CpuByteOps, LoadZeroExtendsStoreTruncates) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 0xFFFFFFFF);
+  x::EncMovImm(w, isa::kEDI, 0x4000);
+  x::EncStoreByte(w, isa::kEAX, isa::kEDI, 0);   // writes 0xFF only
+  x::EncMovImm(w, isa::kEBX, 0);
+  x::EncLoadByte(w, isa::kEBX, isa::kEDI, 0);    // reads back 0x000000FF
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  ASSERT_TRUE(m.space.WriteU32(0x4000, 0x11223344).ok());
+  m.cpu->Run(100);
+  EXPECT_EQ(m.cpu->reg(isa::kEBX), 0xFFu);
+  // Only the low byte of the word changed.
+  EXPECT_EQ(m.space.ReadU32(0x4000).value(), 0x112233FFu);
+}
+
+TEST(CpuByteOps, VarmByteCopyLoop) {
+  // The copy_label shape: a byte-granular guest memcpy.
+  isa::Assembler a(Arch::kVARM, 0x1000);
+  a.Label("loop");
+  v::EncCmpImm(a.w(), isa::kR2, 0);
+  a.BeqLabel("done");
+  v::EncLdrb(a.w(), isa::kR3, isa::kR1, 0);
+  v::EncStrb(a.w(), isa::kR3, isa::kR0, 0);
+  v::EncAddImm(a.w(), isa::kR0, isa::kR0, 1);
+  v::EncAddImm(a.w(), isa::kR1, isa::kR1, 1);
+  v::EncSubImm(a.w(), isa::kR2, isa::kR2, 1);
+  a.BLabel("loop");
+  a.Label("done");
+  v::EncHlt(a.w());
+  auto m = MakeMachine(Arch::kVARM, a.Finish().value());
+  ASSERT_TRUE(m.space.WriteBytes(0x4000, util::BytesOf("HELLO")).ok());
+  m.cpu->set_reg(isa::kR0, 0x4100);
+  m.cpu->set_reg(isa::kR1, 0x4000);
+  m.cpu->set_reg(isa::kR2, 5);
+  auto stop = m.cpu->Run(1000);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(m.space.ReadBytes(0x4100, 5).value(), util::BytesOf("HELLO"));
+}
+
+TEST(CpuByteOps, ByteStoreToReadOnlyFaults) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEDI, 0x1000);  // .text
+  x::EncStoreByte(w, isa::kEAX, isa::kEDI, 0);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  auto stop = m.cpu->Run(10);
+  EXPECT_EQ(stop.reason, StopReason::kFault);
+}
+
+}  // namespace
+}  // namespace connlab::vm
