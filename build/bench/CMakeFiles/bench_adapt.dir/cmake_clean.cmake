@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adapt.dir/bench_adapt.cpp.o"
+  "CMakeFiles/bench_adapt.dir/bench_adapt.cpp.o.d"
+  "bench_adapt"
+  "bench_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

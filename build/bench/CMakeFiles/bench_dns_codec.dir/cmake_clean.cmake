@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dns_codec.dir/bench_dns_codec.cpp.o"
+  "CMakeFiles/bench_dns_codec.dir/bench_dns_codec.cpp.o.d"
+  "bench_dns_codec"
+  "bench_dns_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dns_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gadget_finder.dir/bench_gadget_finder.cpp.o"
+  "CMakeFiles/bench_gadget_finder.dir/bench_gadget_finder.cpp.o.d"
+  "bench_gadget_finder"
+  "bench_gadget_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gadget_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_get_name.dir/bench_get_name.cpp.o"
+  "CMakeFiles/bench_get_name.dir/bench_get_name.cpp.o.d"
+  "bench_get_name"
+  "bench_get_name.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_get_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

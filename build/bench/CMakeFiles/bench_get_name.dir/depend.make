@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_get_name.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_payload_gen.dir/bench_payload_gen.cpp.o"
+  "CMakeFiles/bench_payload_gen.dir/bench_payload_gen.cpp.o.d"
+  "bench_payload_gen"
+  "bench_payload_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_payload_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

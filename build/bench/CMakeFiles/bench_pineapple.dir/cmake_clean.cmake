@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pineapple.dir/bench_pineapple.cpp.o"
+  "CMakeFiles/bench_pineapple.dir/bench_pineapple.cpp.o.d"
+  "bench_pineapple"
+  "bench_pineapple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pineapple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rop_arm.dir/bench_rop_arm.cpp.o"
+  "CMakeFiles/bench_rop_arm.dir/bench_rop_arm.cpp.o.d"
+  "bench_rop_arm"
+  "bench_rop_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rop_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rop_x86.dir/bench_rop_x86.cpp.o"
+  "CMakeFiles/bench_rop_x86.dir/bench_rop_x86.cpp.o.d"
+  "bench_rop_x86"
+  "bench_rop_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rop_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_targets.dir/adapt_targets.cpp.o"
+  "CMakeFiles/adapt_targets.dir/adapt_targets.cpp.o.d"
+  "adapt_targets"
+  "adapt_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

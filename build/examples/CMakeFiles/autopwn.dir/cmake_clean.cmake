@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopwn.dir/autopwn.cpp.o"
+  "CMakeFiles/autopwn.dir/autopwn.cpp.o.d"
+  "autopwn"
+  "autopwn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopwn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

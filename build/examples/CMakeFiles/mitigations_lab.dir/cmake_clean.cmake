@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigations_lab.dir/mitigations_lab.cpp.o"
+  "CMakeFiles/mitigations_lab.dir/mitigations_lab.cpp.o.d"
+  "mitigations_lab"
+  "mitigations_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigations_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mitigations_lab.
+# This may be replaced when dependencies are built.

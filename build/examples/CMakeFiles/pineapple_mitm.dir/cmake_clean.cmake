@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pineapple_mitm.dir/pineapple_mitm.cpp.o"
+  "CMakeFiles/pineapple_mitm.dir/pineapple_mitm.cpp.o.d"
+  "pineapple_mitm"
+  "pineapple_mitm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pineapple_mitm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

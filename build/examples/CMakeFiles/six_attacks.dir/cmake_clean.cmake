@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/six_attacks.dir/six_attacks.cpp.o"
+  "CMakeFiles/six_attacks.dir/six_attacks.cpp.o.d"
+  "six_attacks"
+  "six_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/six_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

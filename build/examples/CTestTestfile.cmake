@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_six_attacks "/root/repo/build/examples/six_attacks")
+set_tests_properties(example_six_attacks PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pineapple_mitm "/root/repo/build/examples/pineapple_mitm")
+set_tests_properties(example_pineapple_mitm PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_exploit_anatomy "/root/repo/build/examples/exploit_anatomy")
+set_tests_properties(example_exploit_anatomy PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adapt_targets "/root/repo/build/examples/adapt_targets")
+set_tests_properties(example_adapt_targets PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mitigations_lab "/root/repo/build/examples/mitigations_lab")
+set_tests_properties(example_mitigations_lab PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autopwn "/root/repo/build/examples/autopwn" "--arch=arm" "--prot=wx_aslr" "--trace")
+set_tests_properties(example_autopwn PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autopwn_x86 "/root/repo/build/examples/autopwn" "--arch=x86" "--prot=wx")
+set_tests_properties(example_autopwn_x86 PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autopwn_canary_blocked "/root/repo/build/examples/autopwn" "--arch=arm" "--prot=all")
+set_tests_properties(example_autopwn_canary_blocked PROPERTIES  TIMEOUT "120" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

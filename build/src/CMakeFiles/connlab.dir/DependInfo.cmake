@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/httpcamd.cpp" "src/CMakeFiles/connlab.dir/adapt/httpcamd.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/adapt/httpcamd.cpp.o.d"
+  "/root/repo/src/adapt/minimasq.cpp" "src/CMakeFiles/connlab.dir/adapt/minimasq.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/adapt/minimasq.cpp.o.d"
+  "/root/repo/src/adapt/retarget.cpp" "src/CMakeFiles/connlab.dir/adapt/retarget.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/adapt/retarget.cpp.o.d"
+  "/root/repo/src/attack/campaign.cpp" "src/CMakeFiles/connlab.dir/attack/campaign.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/attack/campaign.cpp.o.d"
+  "/root/repo/src/attack/firmware.cpp" "src/CMakeFiles/connlab.dir/attack/firmware.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/attack/firmware.cpp.o.d"
+  "/root/repo/src/attack/matrix.cpp" "src/CMakeFiles/connlab.dir/attack/matrix.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/attack/matrix.cpp.o.d"
+  "/root/repo/src/attack/outcome.cpp" "src/CMakeFiles/connlab.dir/attack/outcome.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/attack/outcome.cpp.o.d"
+  "/root/repo/src/attack/report.cpp" "src/CMakeFiles/connlab.dir/attack/report.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/attack/report.cpp.o.d"
+  "/root/repo/src/attack/scenario.cpp" "src/CMakeFiles/connlab.dir/attack/scenario.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/attack/scenario.cpp.o.d"
+  "/root/repo/src/connman/cache.cpp" "src/CMakeFiles/connlab.dir/connman/cache.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/connman/cache.cpp.o.d"
+  "/root/repo/src/connman/dnsproxy.cpp" "src/CMakeFiles/connlab.dir/connman/dnsproxy.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/connman/dnsproxy.cpp.o.d"
+  "/root/repo/src/connman/frame.cpp" "src/CMakeFiles/connlab.dir/connman/frame.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/connman/frame.cpp.o.d"
+  "/root/repo/src/dbg/debugger.cpp" "src/CMakeFiles/connlab.dir/dbg/debugger.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/dbg/debugger.cpp.o.d"
+  "/root/repo/src/dns/craft.cpp" "src/CMakeFiles/connlab.dir/dns/craft.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/dns/craft.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/CMakeFiles/connlab.dir/dns/message.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/dns/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/CMakeFiles/connlab.dir/dns/name.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/dns/name.cpp.o.d"
+  "/root/repo/src/dns/record.cpp" "src/CMakeFiles/connlab.dir/dns/record.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/dns/record.cpp.o.d"
+  "/root/repo/src/exploit/code_inject.cpp" "src/CMakeFiles/connlab.dir/exploit/code_inject.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/exploit/code_inject.cpp.o.d"
+  "/root/repo/src/exploit/generator.cpp" "src/CMakeFiles/connlab.dir/exploit/generator.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/exploit/generator.cpp.o.d"
+  "/root/repo/src/exploit/profile.cpp" "src/CMakeFiles/connlab.dir/exploit/profile.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/exploit/profile.cpp.o.d"
+  "/root/repo/src/exploit/ret2libc.cpp" "src/CMakeFiles/connlab.dir/exploit/ret2libc.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/exploit/ret2libc.cpp.o.d"
+  "/root/repo/src/exploit/rop_arm.cpp" "src/CMakeFiles/connlab.dir/exploit/rop_arm.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/exploit/rop_arm.cpp.o.d"
+  "/root/repo/src/exploit/rop_x86.cpp" "src/CMakeFiles/connlab.dir/exploit/rop_x86.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/exploit/rop_x86.cpp.o.d"
+  "/root/repo/src/exploit/shellcode.cpp" "src/CMakeFiles/connlab.dir/exploit/shellcode.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/exploit/shellcode.cpp.o.d"
+  "/root/repo/src/gadget/finder.cpp" "src/CMakeFiles/connlab.dir/gadget/finder.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/gadget/finder.cpp.o.d"
+  "/root/repo/src/gadget/memstr.cpp" "src/CMakeFiles/connlab.dir/gadget/memstr.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/gadget/memstr.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/connlab.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/connlab.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/connlab.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/isa/varm.cpp" "src/CMakeFiles/connlab.dir/isa/varm.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/isa/varm.cpp.o.d"
+  "/root/repo/src/isa/vx86.cpp" "src/CMakeFiles/connlab.dir/isa/vx86.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/isa/vx86.cpp.o.d"
+  "/root/repo/src/loader/boot.cpp" "src/CMakeFiles/connlab.dir/loader/boot.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/loader/boot.cpp.o.d"
+  "/root/repo/src/loader/connman_image.cpp" "src/CMakeFiles/connlab.dir/loader/connman_image.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/loader/connman_image.cpp.o.d"
+  "/root/repo/src/loader/image.cpp" "src/CMakeFiles/connlab.dir/loader/image.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/loader/image.cpp.o.d"
+  "/root/repo/src/loader/layout.cpp" "src/CMakeFiles/connlab.dir/loader/layout.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/loader/layout.cpp.o.d"
+  "/root/repo/src/loader/libc_image.cpp" "src/CMakeFiles/connlab.dir/loader/libc_image.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/loader/libc_image.cpp.o.d"
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/connlab.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/perms.cpp" "src/CMakeFiles/connlab.dir/mem/perms.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/mem/perms.cpp.o.d"
+  "/root/repo/src/mem/segment.cpp" "src/CMakeFiles/connlab.dir/mem/segment.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/mem/segment.cpp.o.d"
+  "/root/repo/src/net/access_point.cpp" "src/CMakeFiles/connlab.dir/net/access_point.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/net/access_point.cpp.o.d"
+  "/root/repo/src/net/dhcp.cpp" "src/CMakeFiles/connlab.dir/net/dhcp.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/net/dhcp.cpp.o.d"
+  "/root/repo/src/net/dns_client.cpp" "src/CMakeFiles/connlab.dir/net/dns_client.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/net/dns_client.cpp.o.d"
+  "/root/repo/src/net/fake_dns_server.cpp" "src/CMakeFiles/connlab.dir/net/fake_dns_server.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/net/fake_dns_server.cpp.o.d"
+  "/root/repo/src/net/pineapple.cpp" "src/CMakeFiles/connlab.dir/net/pineapple.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/net/pineapple.cpp.o.d"
+  "/root/repo/src/net/resolver.cpp" "src/CMakeFiles/connlab.dir/net/resolver.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/net/resolver.cpp.o.d"
+  "/root/repo/src/net/sim.cpp" "src/CMakeFiles/connlab.dir/net/sim.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/net/sim.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/connlab.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/hexdump.cpp" "src/CMakeFiles/connlab.dir/util/hexdump.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/util/hexdump.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/connlab.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/connlab.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/connlab.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/util/status.cpp.o.d"
+  "/root/repo/src/vm/cpu.cpp" "src/CMakeFiles/connlab.dir/vm/cpu.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/vm/cpu.cpp.o.d"
+  "/root/repo/src/vm/events.cpp" "src/CMakeFiles/connlab.dir/vm/events.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/vm/events.cpp.o.d"
+  "/root/repo/src/vm/syscalls.cpp" "src/CMakeFiles/connlab.dir/vm/syscalls.cpp.o" "gcc" "src/CMakeFiles/connlab.dir/vm/syscalls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

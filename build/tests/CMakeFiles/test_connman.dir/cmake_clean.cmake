@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connman.dir/test_connman.cpp.o"
+  "CMakeFiles/test_connman.dir/test_connman.cpp.o.d"
+  "test_connman"
+  "test_connman.pdb"
+  "test_connman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

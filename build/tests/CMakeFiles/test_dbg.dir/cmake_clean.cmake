@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbg.dir/test_dbg.cpp.o"
+  "CMakeFiles/test_dbg.dir/test_dbg.cpp.o.d"
+  "test_dbg"
+  "test_dbg.pdb"
+  "test_dbg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

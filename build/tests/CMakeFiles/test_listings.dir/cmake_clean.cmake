@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_listings.dir/test_listings.cpp.o"
+  "CMakeFiles/test_listings.dir/test_listings.cpp.o.d"
+  "test_listings"
+  "test_listings.pdb"
+  "test_listings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_listings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

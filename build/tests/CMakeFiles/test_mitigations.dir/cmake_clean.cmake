@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitigations.dir/test_mitigations.cpp.o"
+  "CMakeFiles/test_mitigations.dir/test_mitigations.cpp.o.d"
+  "test_mitigations"
+  "test_mitigations.pdb"
+  "test_mitigations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

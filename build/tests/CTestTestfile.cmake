@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_loader[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_connman[1]_include.cmake")
+include("/root/repo/build/tests/test_exploit[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_adapt[1]_include.cmake")
+include("/root/repo/build/tests/test_mitigations[1]_include.cmake")
+include("/root/repo/build/tests/test_dbg[1]_include.cmake")
+include("/root/repo/build/tests/test_gadget[1]_include.cmake")
+include("/root/repo/build/tests/test_props[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_listings[1]_include.cmake")
