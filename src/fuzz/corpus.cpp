@@ -1,0 +1,57 @@
+#include "src/fuzz/corpus.hpp"
+
+#include <algorithm>
+
+namespace connlab::fuzz {
+
+namespace {
+std::uint64_t Fnv1a(util::ByteSpan data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) h = (h ^ b) * 0x100000001b3ULL;
+  return h;
+}
+}  // namespace
+
+bool Corpus::Add(util::Bytes data, int news, std::uint64_t found_at) {
+  const std::uint64_t h = Fnv1a(data);
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    if (hashes_[i] == h && entries_[i].data == data) return false;
+  }
+  hashes_.push_back(h);
+  entries_.push_back({std::move(data), news, found_at, 0});
+  return true;
+}
+
+std::uint64_t Corpus::WeightOf(std::size_t i) const {
+  const CorpusEntry& e = entries_[i];
+  std::uint64_t w = e.news >= 2 ? 8 : 4;
+  if (e.data.size() <= 256) w *= 2;
+  // Staleness decay: every 8 picks halves the weight, floor 1.
+  w >>= std::min<std::uint64_t>(e.picks / 8, 3);
+  return std::max<std::uint64_t>(w, 1);
+}
+
+std::size_t Corpus::PickIndex(util::Rng& rng) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) total += WeightOf(i);
+  std::uint64_t roll = rng.NextBelow(total);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const std::uint64_t w = WeightOf(i);
+    if (roll < w) {
+      ++entries_[i].picks;
+      return i;
+    }
+    roll -= w;
+  }
+  ++entries_.back().picks;
+  return entries_.size() - 1;
+}
+
+std::uint32_t Corpus::EnergyFor(std::size_t i) const {
+  const CorpusEntry& e = entries_[i];
+  std::uint32_t energy = e.news >= 2 ? 32 : 16;
+  if (e.data.size() > 2048) energy /= 2;
+  return energy;
+}
+
+}  // namespace connlab::fuzz

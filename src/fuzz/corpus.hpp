@@ -1,0 +1,57 @@
+// Corpus: the set of coverage-increasing inputs plus the scheduler that
+// decides which one to mutate next and how hard.
+//
+// Energy assignment follows the coverage signal: entries that opened
+// brand-new edges get more mutation rounds than entries that only bumped a
+// count class, small entries beat large ones (cheaper executions, denser
+// signal), and repeatedly-picked entries decay so the queue keeps moving.
+// All scheduling randomness comes from the caller's Rng — a campaign's
+// pick sequence is a pure function of the root seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+
+namespace connlab::fuzz {
+
+struct CorpusEntry {
+  util::Bytes data;
+  /// Novelty level when admitted: 2 = brand-new edge, 1 = new count class.
+  int news = 1;
+  /// Execution index at which this entry was found (0 for seeds).
+  std::uint64_t found_at = 0;
+  /// Times the scheduler has handed this entry out.
+  std::uint64_t picks = 0;
+};
+
+class Corpus {
+ public:
+  /// Admits `data` unless a byte-identical entry already exists.
+  /// Returns true when added.
+  bool Add(util::Bytes data, int news, std::uint64_t found_at);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const CorpusEntry& entry(std::size_t i) const {
+    return entries_[i];
+  }
+
+  /// Weighted pick; increments the entry's pick count. Requires a
+  /// non-empty corpus.
+  std::size_t PickIndex(util::Rng& rng);
+
+  /// Mutation rounds to spend on entry `i` this pick (its energy).
+  [[nodiscard]] std::uint32_t EnergyFor(std::size_t i) const;
+
+  /// Scheduler weight (exposed for tests).
+  [[nodiscard]] std::uint64_t WeightOf(std::size_t i) const;
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::vector<std::uint64_t> hashes_;  // FNV-1a of each entry, dedup
+};
+
+}  // namespace connlab::fuzz

@@ -1,0 +1,78 @@
+#include "src/fuzz/coverage.hpp"
+
+#include <cstdio>
+
+namespace connlab::fuzz {
+
+namespace {
+// 256-entry class lookup built once: raw count -> single class bit.
+struct ClassTable {
+  std::array<std::uint8_t, 256> t{};
+  constexpr ClassTable() {
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t cls = 0;
+      if (i == 0) cls = 0;
+      else if (i == 1) cls = 1u << 0;
+      else if (i == 2) cls = 1u << 1;
+      else if (i == 3) cls = 1u << 2;
+      else if (i <= 7) cls = 1u << 3;
+      else if (i <= 15) cls = 1u << 4;
+      else if (i <= 31) cls = 1u << 5;
+      else if (i <= 127) cls = 1u << 6;
+      else cls = 1u << 7;
+      t[static_cast<std::size_t>(i)] = cls;
+    }
+  }
+};
+constexpr ClassTable kClasses;
+}  // namespace
+
+std::uint8_t CountClass(std::uint8_t raw) noexcept { return kClasses.t[raw]; }
+
+void CoverageMap::Classify() noexcept {
+  for (std::uint8_t& cell : map_) cell = kClasses.t[cell];
+}
+
+void CoverageMap::MergeClassified(const CoverageMap& other) noexcept {
+  for (std::uint32_t i = 0; i < kSize; ++i) map_[i] |= other.map_[i];
+}
+
+int CoverageMap::AbsorbInto(CoverageMap& virgin) const noexcept {
+  int news = 0;
+  for (std::uint32_t i = 0; i < kSize; ++i) {
+    const std::uint8_t fresh = map_[i];
+    if (fresh == 0) continue;
+    std::uint8_t& known = virgin.map_[i];
+    if ((fresh & ~known) != 0) {
+      const int cell_news = known == 0 ? 2 : 1;
+      if (cell_news > news) news = cell_news;
+      known |= fresh;
+    }
+  }
+  return news;
+}
+
+std::uint32_t CoverageMap::CountNonZero() const noexcept {
+  std::uint32_t n = 0;
+  for (const std::uint8_t cell : map_) n += cell != 0;
+  return n;
+}
+
+std::uint64_t CoverageMap::Digest() const noexcept {
+  // FNV-1a over (index, value) pairs of non-zero cells.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint32_t i = 0; i < kSize; ++i) {
+    if (map_[i] == 0) continue;
+    h = (h ^ i) * 0x100000001b3ULL;
+    h = (h ^ map_[i]) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string CoverageMap::Summary() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u/%u cells", CountNonZero(), kSize);
+  return buf;
+}
+
+}  // namespace connlab::fuzz

@@ -1,0 +1,71 @@
+// AFL-style edge-coverage bitmap.
+//
+// The CPU (Cpu::AttachCoverage) increments one 8-bit cell per retired
+// instruction, indexed by hash(prev pc) ^ hash(cur pc); targets fold extra
+// semantic features in (outcome kinds, expansion-volume buckets, raised
+// events) through AddFeature. Raw hit counts are bucketed into the classic
+// count classes (1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+) before novelty
+// comparison, so "the copy loop ran twice as long" is new coverage but
+// "ran 41 vs 42 times" is not — exactly the signal that walks the fuzzer
+// from benign names toward the 1024-byte boundary and past it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace connlab::fuzz {
+
+class CoverageMap {
+ public:
+  /// 64 KiB, the AFL default: big enough that this library's guest images
+  /// (a few hundred distinct locations) essentially never collide.
+  static constexpr std::uint32_t kSize = 1u << 16;
+  static constexpr std::uint32_t kMask = kSize - 1;
+
+  CoverageMap() { Clear(); }
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return map_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return map_.data(); }
+  [[nodiscard]] static constexpr std::uint32_t mask() noexcept { return kMask; }
+
+  void Clear() noexcept { map_.fill(0); }
+
+  /// Folds a non-edge feature (outcome kind, size bucket, event kind) into
+  /// the same bitmap. Saturating, like the edge counters.
+  void AddFeature(std::uint32_t feature) noexcept {
+    std::uint8_t& cell = map_[feature & kMask];
+    if (cell != 0xFF) ++cell;
+  }
+
+  /// Replaces every cell with its count-class bit (1<<class). Idempotent.
+  void Classify() noexcept;
+
+  /// OR-merges `other` (classified or raw — it is classified in place by
+  /// the caller's contract being "call Classify first"; merging classified
+  /// maps is commutative and associative, which is what makes multi-worker
+  /// coverage deterministic regardless of scheduling).
+  void MergeClassified(const CoverageMap& other) noexcept;
+
+  /// Compares this (classified) execution map against the accumulated
+  /// `virgin` map and absorbs it. Returns 2 for brand-new edges, 1 for new
+  /// count classes on known edges, 0 for nothing new.
+  int AbsorbInto(CoverageMap& virgin) const noexcept;
+
+  /// Number of cells with any bit set.
+  [[nodiscard]] std::uint32_t CountNonZero() const noexcept;
+
+  /// Order-independent digest of the (classified) map, for determinism
+  /// checks across runs / worker counts.
+  [[nodiscard]] std::uint64_t Digest() const noexcept;
+
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  std::array<std::uint8_t, kSize> map_;
+};
+
+/// The count-class bucket (a single bit) for a raw hit count.
+std::uint8_t CountClass(std::uint8_t raw) noexcept;
+
+}  // namespace connlab::fuzz

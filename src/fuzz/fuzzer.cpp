@@ -1,0 +1,144 @@
+#include "src/fuzz/fuzzer.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/fuzz/mutator.hpp"
+#include "src/util/rng.hpp"
+
+namespace connlab::fuzz {
+
+Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
+                                       std::size_t worker_index,
+                                       std::uint64_t budget) {
+  WorkerOutput out;
+  auto target_or = MakeTarget(config.target);
+  if (!target_or.ok()) {
+    out.status = target_or.status();
+    return out;
+  }
+  std::unique_ptr<FuzzTarget> target = std::move(target_or).value();
+
+  // Worker stream: depends only on (root seed, worker index), never on
+  // what other workers do.
+  Mutator mutator(util::Rng(config.seed).Split(worker_index));
+  util::Rng& rng = mutator.rng();
+
+  const MutationHint hint{target->fixed_prefix(), target->dns_shaped(),
+                          config.max_input_size};
+
+  Corpus corpus;
+  CoverageMap exec_map;
+
+  const auto run_one = [&](util::ByteSpan input) -> ExecResult {
+    exec_map.Clear();
+    ExecResult result = target->Execute(input, exec_map);
+    ++out.execs;
+    return result;
+  };
+
+  const auto record = [&](const ExecResult& result, util::ByteSpan input) {
+    if (result.kind == ExecResult::Kind::kBenign) {
+      exec_map.Classify();
+      const int news = exec_map.AbsorbInto(out.virgin);
+      if (news > 0) {
+        corpus.Add(util::Bytes(input.begin(), input.end()), news, out.execs);
+      }
+    } else {
+      ++out.crashing_execs;
+      out.triage.Record(result, input, out.execs, *target);
+    }
+  };
+
+  // Seed round: every seed runs once and is admitted regardless of
+  // coverage (the corpus must never start empty).
+  for (const util::Bytes& seed : target->SeedCorpus()) {
+    if (out.execs >= budget) break;
+    const ExecResult result = run_one(seed);
+    record(result, seed);
+    corpus.Add(seed, 1, out.execs);
+  }
+
+  const auto done = [&] {
+    if (out.execs >= budget) return true;
+    return config.stop_after_crashes != 0 &&
+           out.triage.buckets().size() >= config.stop_after_crashes;
+  };
+
+  while (!done() && !corpus.empty()) {
+    const std::size_t pick = corpus.PickIndex(rng);
+    const std::uint32_t energy = corpus.EnergyFor(pick);
+    // Copy: corpus.Add during the burst may reallocate the entry vector.
+    const util::Bytes parent = corpus.entry(pick).data;
+    util::Bytes donor;
+    if (corpus.size() > 1) {
+      std::size_t d = rng.NextBelow(corpus.size());
+      if (d == pick) d = (d + 1) % corpus.size();
+      donor = corpus.entry(d).data;
+    }
+    for (std::uint32_t e = 0; e < energy && !done(); ++e) {
+      const util::Bytes mutant = mutator.Mutate(parent, hint, donor);
+      const ExecResult result = run_one(mutant);
+      record(result, mutant);
+    }
+  }
+
+  if (config.minimize) {
+    for (CrashBucket& bucket : out.triage.buckets()) {
+      MinimizeBucket(*target, bucket, config.minimize_execs);
+    }
+  }
+
+  out.reboots = target->reboots();
+  out.corpus_size = corpus.size();
+  return out;
+}
+
+util::Result<FuzzReport> Fuzzer::Run() {
+  if (config_.workers == 0) return util::InvalidArgument("workers must be >= 1");
+  const std::size_t workers = config_.workers;
+  const std::uint64_t budget = config_.max_execs / workers;
+  if (budget == 0) return util::InvalidArgument("budget smaller than worker count");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<WorkerOutput> outputs(workers);
+  if (workers == 1) {
+    outputs[0] = RunWorker(config_, 0, budget);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads.emplace_back([this, &outputs, i, budget] {
+        outputs[i] = RunWorker(config_, i, budget);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  FuzzReport report;
+  // Merge in worker-index order: coverage OR is order-independent anyway;
+  // bucket merge order fixes which worker's witness wins ties.
+  for (std::size_t i = 0; i < workers; ++i) {
+    WorkerOutput& w = outputs[i];
+    if (!w.status.ok()) return w.status;
+    report.coverage.MergeClassified(w.virgin);
+    report.triage.Merge(w.triage);
+    report.stats.execs += w.execs;
+    report.stats.crashing_execs += w.crashing_execs;
+    report.stats.reboots += w.reboots;
+    report.stats.corpus_size += w.corpus_size;
+  }
+  report.stats.coverage_cells = report.coverage.CountNonZero();
+  report.stats.coverage_digest = report.coverage.Digest();
+  report.stats.seconds =
+      std::chrono::duration<double>(end - start).count();
+  report.stats.execs_per_sec =
+      report.stats.seconds > 0
+          ? static_cast<double>(report.stats.execs) / report.stats.seconds
+          : 0;
+  return report;
+}
+
+}  // namespace connlab::fuzz

@@ -1,0 +1,88 @@
+// The campaign driver: corpus scheduling, mutation, execution, triage.
+//
+// Single-worker mode is a classic coverage-guided loop: pick an entry
+// (energy-weighted), mutate it `energy` times, run each mutant, admit
+// coverage-increasing mutants to the corpus, bucket the crashers.
+//
+// Multi-worker mode shards the budget across N std::threads. Workers are
+// fully independent — each boots its own System/target, seeds its own
+// corpus, and draws from util::Rng::Split(worker_index), so worker i's
+// entire execution sequence is a pure function of (root seed, i),
+// independent of thread scheduling. After join, classified coverage maps
+// are OR-merged (commutative + associative) and crash buckets are merged
+// in worker-index order, so the campaign's report is bit-identical across
+// runs for a fixed (seed, workers) pair.
+#pragma once
+
+#include <cstdint>
+
+#include "src/fuzz/corpus.hpp"
+#include "src/fuzz/coverage.hpp"
+#include "src/fuzz/target.hpp"
+#include "src/fuzz/triage.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::fuzz {
+
+struct FuzzConfig {
+  TargetConfig target;
+  /// Root RNG seed; worker i draws from Split(i) of Rng(seed).
+  std::uint64_t seed = 1;
+  /// Total execution budget, split evenly across workers (seed executions
+  /// included).
+  std::uint64_t max_execs = 200000;
+  std::size_t workers = 1;
+  std::size_t max_input_size = 8192;
+  /// When non-zero, a worker stops early once it has found this many
+  /// distinct crash buckets (early-exit stays deterministic because each
+  /// worker only consults its own buckets).
+  std::uint64_t stop_after_crashes = 0;
+  /// Minimize each bucket's witness after the loop.
+  bool minimize = true;
+  std::size_t minimize_execs = 2000;
+};
+
+struct FuzzStats {
+  std::uint64_t execs = 0;           // total inputs run (all workers)
+  std::uint64_t crashing_execs = 0;  // non-benign results, pre-dedup
+  std::uint64_t reboots = 0;
+  std::size_t corpus_size = 0;       // summed across workers
+  std::uint32_t coverage_cells = 0;  // non-zero cells in the merged map
+  std::uint64_t coverage_digest = 0; // order-independent merged-map digest
+  double seconds = 0;
+  double execs_per_sec = 0;
+};
+
+struct FuzzReport {
+  FuzzStats stats;
+  CrashTriage triage;    // merged + (optionally) minimized buckets
+  CoverageMap coverage;  // merged classified coverage
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzConfig config) noexcept : config_(config) {}
+
+  /// Runs the campaign to completion and returns the merged report.
+  util::Result<FuzzReport> Run();
+
+ private:
+  struct WorkerOutput {
+    util::Status status = util::OkStatus();
+    CoverageMap virgin;  // classified accumulated coverage
+    CrashTriage triage;
+    std::uint64_t execs = 0;
+    std::uint64_t crashing_execs = 0;
+    std::uint64_t reboots = 0;
+    std::size_t corpus_size = 0;
+  };
+
+  /// One worker's whole campaign slice; pure function of (config, index).
+  static WorkerOutput RunWorker(const FuzzConfig& config,
+                                std::size_t worker_index,
+                                std::uint64_t budget);
+
+  FuzzConfig config_;
+};
+
+}  // namespace connlab::fuzz

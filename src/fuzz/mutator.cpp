@@ -1,0 +1,242 @@
+#include "src/fuzz/mutator.hpp"
+
+#include <algorithm>
+
+#include "src/dns/name.hpp"
+
+namespace connlab::fuzz {
+
+namespace {
+
+constexpr std::uint8_t kFiller = 0x41;
+
+/// Tolerant label walk, mirroring the vulnerable parser's view of the
+/// bytes: stops at the terminator, the first compression pointer, or the
+/// end of the packet.
+struct LabelWalk {
+  enum class End : std::uint8_t { kTerminator, kPointer, kRanOff };
+  struct Label {
+    std::size_t pos = 0;  // offset of the length byte
+    std::uint8_t len = 0;
+  };
+  std::vector<Label> labels;
+  std::size_t end_pos = 0;  // offset of the terminator/pointer/end
+  End end = End::kRanOff;
+};
+
+LabelWalk WalkLabels(util::ByteSpan input, std::size_t start) {
+  LabelWalk walk;
+  std::size_t pos = start;
+  while (pos < input.size()) {
+    const std::uint8_t len = input[pos];
+    if (len == 0) {
+      walk.end = LabelWalk::End::kTerminator;
+      walk.end_pos = pos;
+      return walk;
+    }
+    if ((len & dns::kCompressionFlags) != 0) {
+      walk.end = LabelWalk::End::kPointer;
+      walk.end_pos = pos;
+      return walk;
+    }
+    if (pos + 1 + len > input.size() || walk.labels.size() >= 512) break;
+    walk.labels.push_back({pos, len});
+    pos += 1 + static_cast<std::size_t>(len);
+  }
+  walk.end = LabelWalk::End::kRanOff;
+  walk.end_pos = std::min(pos, input.size());
+  return walk;
+}
+
+util::Bytes CopyOf(util::ByteSpan input) {
+  return util::Bytes(input.begin(), input.end());
+}
+
+}  // namespace
+
+util::Bytes Mutator::GrowLabel(util::ByteSpan input, std::size_t start,
+                               util::Rng& rng) {
+  const LabelWalk walk = WalkLabels(input, start);
+  util::Bytes out = CopyOf(input);
+  if (walk.labels.empty()) return out;
+  const auto& label = walk.labels[rng.NextBelow(walk.labels.size())];
+  if (label.len >= dns::kMaxLabelLen) return out;
+  // Biased toward the 0x3f boundary: half the draws go straight to 63.
+  const std::uint8_t new_len =
+      rng.NextBool(0.5)
+          ? static_cast<std::uint8_t>(dns::kMaxLabelLen)
+          : static_cast<std::uint8_t>(rng.NextInRange(
+                label.len + 1, dns::kMaxLabelLen));
+  out[label.pos] = new_len;
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(label.pos + 1 + label.len),
+             static_cast<std::size_t>(new_len - label.len), kFiller);
+  return out;
+}
+
+util::Bytes Mutator::DuplicateLabelRun(util::ByteSpan input, std::size_t start,
+                                       util::Rng& rng) {
+  const LabelWalk walk = WalkLabels(input, start);
+  util::Bytes out = CopyOf(input);
+  if (walk.labels.empty()) return out;
+  const std::size_t first = rng.NextBelow(walk.labels.size());
+  const std::size_t last = std::min(
+      walk.labels.size() - 1, first + rng.NextBelow(4));
+  const std::size_t run_begin = walk.labels[first].pos;
+  const std::size_t run_end =
+      walk.labels[last].pos + 1 + walk.labels[last].len;
+  const util::Bytes run(input.begin() + static_cast<std::ptrdiff_t>(run_begin),
+                        input.begin() + static_cast<std::ptrdiff_t>(run_end));
+  const std::size_t repeats = 1 + rng.NextBelow(4);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(run_end), run.begin(),
+               run.end());
+  }
+  return out;
+}
+
+util::Bytes Mutator::PlantCompressionPointer(util::ByteSpan input,
+                                             std::size_t start,
+                                             util::Rng& rng) {
+  const LabelWalk walk = WalkLabels(input, start);
+  util::Bytes out = CopyOf(input);
+  if (walk.end_pos >= input.size() && walk.end != LabelWalk::End::kRanOff) {
+    return out;
+  }
+  // Target: the name's own start (re-expansion bomb), the question name at
+  // offset 12, or an arbitrary earlier offset.
+  std::size_t target;
+  switch (rng.NextBelow(3)) {
+    case 0: target = start; break;
+    case 1: target = 12; break;
+    default: target = rng.NextBelow(std::max<std::size_t>(walk.end_pos, 1));
+  }
+  target &= 0x3FFF;
+  const std::uint8_t hi = static_cast<std::uint8_t>(
+      dns::kCompressionFlags | ((target >> 8) & 0x3F));
+  const std::uint8_t lo = static_cast<std::uint8_t>(target & 0xFF);
+  const std::size_t at = walk.end_pos;
+  if (at >= out.size()) {
+    out.push_back(hi);
+    out.push_back(lo);
+  } else {
+    // Replace the terminator (or pointer) byte with the 2-byte pointer.
+    out[at] = hi;
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(at + 1), lo);
+  }
+  return out;
+}
+
+util::Bytes Mutator::BumpAnswerCount(util::ByteSpan input, util::Rng& rng) {
+  util::Bytes out = CopyOf(input);
+  if (out.size() < 8) return out;
+  const std::uint16_t current =
+      static_cast<std::uint16_t>((out[6] << 8) | out[7]);
+  const std::uint16_t next =
+      rng.NextBool(0.5) ? static_cast<std::uint16_t>(1 + rng.NextBelow(8))
+                        : static_cast<std::uint16_t>(current + 1);
+  out[6] = static_cast<std::uint8_t>(next >> 8);
+  out[7] = static_cast<std::uint8_t>(next & 0xFF);
+  return out;
+}
+
+util::Bytes Mutator::DnsOnce(util::Bytes data, const MutationHint& hint) {
+  const std::size_t start = hint.fixed_prefix;
+  if (data.size() <= start) return data;
+  switch (rng_.NextBelow(5)) {
+    case 0: return GrowLabel(data, start, rng_);
+    case 1:
+    case 2: return DuplicateLabelRun(data, start, rng_);  // double weight
+    case 3: return PlantCompressionPointer(data, start, rng_);
+    default: return BumpAnswerCount(data, rng_);
+  }
+}
+
+util::Bytes Mutator::HavocOnce(util::Bytes data, const MutationHint& hint,
+                               util::ByteSpan splice_donor) {
+  static constexpr std::uint8_t kInteresting[] = {0x00, 0x01, 0x3F, 0x40,
+                                                  0x7F, 0x80, 0xC0, 0xFF};
+  const std::size_t lo = hint.fixed_prefix;
+  if (data.size() <= lo) {
+    data.push_back(kFiller);
+    return data;
+  }
+  const std::size_t span = data.size() - lo;
+  switch (rng_.NextBelow(8)) {
+    case 0: {  // flip one bit
+      const std::size_t at = lo + rng_.NextBelow(span);
+      data[at] ^= static_cast<std::uint8_t>(1u << rng_.NextBelow(8));
+      break;
+    }
+    case 1: {  // random byte
+      data[lo + rng_.NextBelow(span)] =
+          static_cast<std::uint8_t>(rng_.NextBelow(256));
+      break;
+    }
+    case 2: {  // interesting byte (label-length boundaries, pointer marker)
+      data[lo + rng_.NextBelow(span)] =
+          kInteresting[rng_.NextBelow(sizeof(kInteresting))];
+      break;
+    }
+    case 3: {  // delete a chunk
+      const std::size_t at = lo + rng_.NextBelow(span);
+      const std::size_t len = std::min(data.size() - at,
+                                       1 + rng_.NextBelow(32));
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(at),
+                 data.begin() + static_cast<std::ptrdiff_t>(at + len));
+      break;
+    }
+    case 4: {  // duplicate a chunk in place
+      const std::size_t at = lo + rng_.NextBelow(span);
+      const std::size_t len = std::min(data.size() - at,
+                                       1 + rng_.NextBelow(64));
+      const util::Bytes chunk(
+          data.begin() + static_cast<std::ptrdiff_t>(at),
+          data.begin() + static_cast<std::ptrdiff_t>(at + len));
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at + len),
+                  chunk.begin(), chunk.end());
+      break;
+    }
+    case 5: {  // append filler (pushes expansions longer)
+      const std::size_t len = 1 + rng_.NextBelow(64);
+      data.insert(data.end(), len, kFiller);
+      break;
+    }
+    case 6: {  // truncate the tail
+      const std::size_t keep = lo + rng_.NextBelow(span + 1);
+      data.resize(std::max(keep, lo + 1));
+      break;
+    }
+    default: {  // splice with a donor entry
+      if (splice_donor.size() > lo) {
+        const std::size_t cut_a = lo + rng_.NextBelow(span);
+        const std::size_t cut_d = lo + rng_.NextBelow(splice_donor.size() - lo);
+        data.resize(cut_a);
+        data.insert(data.end(),
+                    splice_donor.begin() + static_cast<std::ptrdiff_t>(cut_d),
+                    splice_donor.end());
+      } else {
+        data[lo + rng_.NextBelow(span)] ^= 0xFF;
+      }
+      break;
+    }
+  }
+  return data;
+}
+
+util::Bytes Mutator::Mutate(util::ByteSpan input, const MutationHint& hint,
+                            util::ByteSpan splice_donor) {
+  util::Bytes data = CopyOf(input);
+  if (data.size() < hint.fixed_prefix) return data;  // malformed seed
+  const std::size_t rounds = 1 + rng_.NextBelow(4);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (hint.dns && rng_.NextBool(0.6)) {
+      data = DnsOnce(std::move(data), hint);
+    } else {
+      data = HavocOnce(std::move(data), hint, splice_donor);
+    }
+    if (data.size() > hint.max_size) data.resize(hint.max_size);
+  }
+  return data;
+}
+
+}  // namespace connlab::fuzz

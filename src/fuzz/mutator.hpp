@@ -1,0 +1,68 @@
+// Mutation engine: generic havoc plus DNS-structure-aware operators.
+//
+// The structural tier understands just enough of the wire format to mutate
+// at DNS-field granularity without a full (strict) decode — crafted inputs
+// are exactly the ones dns::Decode rejects. It walks the label sequence at
+// the first answer's owner name (right after the harness-fixed
+// header/question prefix) with the same tolerant algorithm the vulnerable
+// parser uses, then performs label surgery: grow a label toward the 0x3f
+// boundary, duplicate label runs (the cheapest road to a >1024-byte
+// expansion), splice in compression pointers (including the self-pointer
+// that makes a compact packet expand many times — the CVE's compression
+// facet), bump the answer count, truncate mid-structure.
+//
+// Every draw comes from the caller's Rng, so a campaign is replayable from
+// its root seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+
+namespace connlab::fuzz {
+
+struct MutationHint {
+  /// Bytes [0, fixed_prefix) are copied through untouched (the id +
+  /// question echo the service checks before parsing). One exception:
+  /// BumpAnswerCount edits header bytes 6-7 (ancount) — the services
+  /// parse that count but never echo-check it.
+  std::size_t fixed_prefix = 0;
+  /// Enables the DNS structural operators.
+  bool dns = false;
+  /// Hard cap on output size (the simulated datagram/heap limit).
+  std::size_t max_size = 8192;
+};
+
+class Mutator {
+ public:
+  explicit Mutator(util::Rng rng) noexcept : rng_(rng) {}
+
+  /// Produces one mutant. `splice_donor` (optional second corpus entry)
+  /// feeds the crossover operator.
+  util::Bytes Mutate(util::ByteSpan input, const MutationHint& hint,
+                     util::ByteSpan splice_donor = {});
+
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+  // Individual structural operators, exposed for tests. Each returns the
+  // mutated buffer (possibly unchanged when the input has no usable
+  // structure). `start` is the offset of the first answer's owner name.
+  static util::Bytes GrowLabel(util::ByteSpan input, std::size_t start,
+                               util::Rng& rng);
+  static util::Bytes DuplicateLabelRun(util::ByteSpan input, std::size_t start,
+                                       util::Rng& rng);
+  static util::Bytes PlantCompressionPointer(util::ByteSpan input,
+                                             std::size_t start, util::Rng& rng);
+  static util::Bytes BumpAnswerCount(util::ByteSpan input, util::Rng& rng);
+
+ private:
+  util::Bytes HavocOnce(util::Bytes data, const MutationHint& hint,
+                        util::ByteSpan splice_donor);
+  util::Bytes DnsOnce(util::Bytes data, const MutationHint& hint);
+
+  util::Rng rng_;
+};
+
+}  // namespace connlab::fuzz

@@ -1,0 +1,108 @@
+// Crash triage: deduplication, minimization, reproducer files.
+//
+// Raw crashing inputs from a campaign are overwhelmingly duplicates of one
+// another — hundreds of byte-different packets all smashing the same
+// get_name frame. Triage buckets them by (result kind, stop reason,
+// normalized fault pc, write-vs-execute, hash of the top stack frames),
+// keeps the first witness per bucket, then deterministically shrinks that
+// witness (tail truncation followed by block removal) while it still lands
+// in the same bucket core. Minimized witnesses serialize to a small text
+// reproducer format that a later run — or CI — can parse and replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/target.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::fuzz {
+
+struct CrashKey {
+  ExecResult::Kind kind = ExecResult::Kind::kCrash;
+  vm::StopReason stop_reason = vm::StopReason::kFault;
+  mem::GuestAddr pc = 0;  // normalized via FuzzTarget::NormalizePc
+  bool write_fault = false;
+  std::uint64_t stack_hash = 0;
+
+  bool operator==(const CrashKey&) const = default;
+
+  /// The scheduling-stable subset: minimization and replay match on this
+  /// (the stack context can legitimately shift as bytes are removed).
+  [[nodiscard]] bool CoreMatches(const CrashKey& other) const noexcept {
+    return kind == other.kind && stop_reason == other.stop_reason &&
+           pc == other.pc && write_fault == other.write_fault;
+  }
+};
+
+/// Builds the bucket key for a non-benign execution result.
+CrashKey KeyFor(const ExecResult& result, const FuzzTarget& target);
+
+std::string FormatCrashKey(const CrashKey& key);
+
+struct CrashBucket {
+  CrashKey key;
+  util::Bytes witness;        // first input that hit this bucket
+  util::Bytes minimized;      // filled by MinimizeBucket (else == witness)
+  ExecResult first_result;
+  std::uint64_t hits = 0;
+  std::uint64_t first_exec = 0;  // execution index of the first hit
+};
+
+class CrashTriage {
+ public:
+  /// Records one non-benign result. Returns true when it opened a new
+  /// bucket (first witness kept), false for a duplicate (hit counted).
+  bool Record(const ExecResult& result, util::ByteSpan input,
+              std::uint64_t exec_index, const FuzzTarget& target);
+
+  [[nodiscard]] const std::vector<CrashBucket>& buckets() const noexcept {
+    return buckets_;
+  }
+  [[nodiscard]] std::vector<CrashBucket>& buckets() noexcept {
+    return buckets_;
+  }
+
+  /// Merges another triage's buckets (multi-worker join). Earlier
+  /// first_exec wins the witness; hits accumulate.
+  void Merge(const CrashTriage& other);
+
+ private:
+  std::vector<CrashBucket> buckets_;
+};
+
+/// Deterministically shrinks `input` while the target still produces a
+/// result whose key core-matches `key`. Never touches the target's fixed
+/// prefix. Bounded by `max_execs` re-executions.
+util::Bytes MinimizeCrash(FuzzTarget& target, const CrashKey& key,
+                          util::ByteSpan input, std::size_t max_execs = 2000);
+
+/// Runs MinimizeCrash over a bucket and stores the result in
+/// bucket.minimized.
+void MinimizeBucket(FuzzTarget& target, CrashBucket& bucket,
+                    std::size_t max_execs = 2000);
+
+// ---------------------------------------------------------------------------
+// Reproducer files
+// ---------------------------------------------------------------------------
+
+struct Reproducer {
+  TargetConfig config;
+  CrashKey key;
+  util::Bytes input;
+};
+
+/// Text serialization (key: value lines + hex payload) of one bucket's
+/// minimized witness for the given target configuration.
+std::string SerializeReproducer(const TargetConfig& config,
+                                const CrashBucket& bucket);
+
+util::Result<Reproducer> ParseReproducer(std::string_view text);
+
+/// Replays a reproducer: boots the configured target, runs the input, and
+/// checks the result core-matches the recorded key.
+util::Result<ExecResult> ReplayReproducer(const Reproducer& repro);
+
+}  // namespace connlab::fuzz

@@ -11,6 +11,16 @@ std::uint64_t Rng::NextU64() noexcept {
   return z ^ (z >> 31);
 }
 
+Rng Rng::Split(std::uint64_t stream) const noexcept {
+  // One SplitMix64 finalisation over (state, stream): distinct streams land
+  // in well-separated seed positions; stream 0 is NOT the parent's stream
+  // (the xor constant shifts it).
+  std::uint64_t z = state_ ^ (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
 std::uint64_t Rng::NextBelow(std::uint64_t bound) noexcept {
   if (bound == 0) return 0;
   // Rejection sampling to avoid modulo bias.

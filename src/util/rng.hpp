@@ -36,7 +36,15 @@ class Rng {
   std::vector<std::uint8_t> NextBytes(std::size_t count);
 
   /// Derives an independent child stream (for parallel subsystems).
+  /// Advances this Rng's state — two successive Forks differ.
   Rng Fork() noexcept { return Rng(NextU64() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Derives the `stream`-th child stream WITHOUT advancing this Rng:
+  /// the child depends only on the parent's current state and the stream
+  /// index, so per-worker streams (worker i gets Split(i)) are identical
+  /// across runs regardless of thread scheduling or how the other workers
+  /// interleave their draws.
+  [[nodiscard]] Rng Split(std::uint64_t stream) const noexcept;
 
  private:
   std::uint64_t state_;

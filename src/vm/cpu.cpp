@@ -152,6 +152,7 @@ std::string Cpu::TraceString() const {
 
 void Cpu::Step() {
   if (stopped()) return;
+  if (cov_bitmap_ != nullptr) RecordCoverageEdge();
 
   // Host-function trampoline takes priority over decoding.
   auto host = host_fns_.find(pc_);

@@ -137,6 +137,25 @@ class Cpu {
   /// Returns true when the return is allowed (or CFI is off).
   bool ShadowCheckReturn(std::uint32_t target) noexcept;
 
+  // --- Edge coverage (AFL-style, for src/fuzz) ------------------------------
+  /// Attaches a coverage bitmap: from now on every retired instruction and
+  /// host-function transit records the (previous location ^ current
+  /// location) edge with a saturating 8-bit counter. `index_mask` must be
+  /// bitmap-size-1 for a power-of-two bitmap. Cheap enough to leave on —
+  /// one hash, one xor, one increment per step; zero cost when detached.
+  void AttachCoverage(std::uint8_t* bitmap, std::uint32_t index_mask) noexcept {
+    cov_bitmap_ = bitmap;
+    cov_mask_ = index_mask;
+    cov_prev_ = 0;
+  }
+  void DetachCoverage() noexcept { cov_bitmap_ = nullptr; }
+  [[nodiscard]] bool coverage_attached() const noexcept {
+    return cov_bitmap_ != nullptr;
+  }
+  /// Resets the edge chain so the next step starts a fresh edge (used at
+  /// input boundaries so coverage is a function of the input alone).
+  void ResetCoverageEdge() noexcept { cov_prev_ = 0; }
+
   // --- Events -------------------------------------------------------------------
   void PushEvent(EventKind kind, std::string text);
   [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
@@ -163,6 +182,12 @@ class Cpu {
 
  private:
   void Fault(std::string detail);
+  void RecordCoverageEdge() noexcept {
+    const std::uint32_t cur = CoverageLocation(pc_);
+    std::uint8_t& cell = cov_bitmap_[(cur ^ cov_prev_) & cov_mask_];
+    if (cell != 0xFF) ++cell;  // saturate instead of wrapping to 0
+    cov_prev_ = cur >> 1;      // AFL's shift keeps A->B distinct from B->A
+  }
   void ExecuteInstr(const isa::Instr& ins);
   void ExecVX86(const isa::Instr& ins, mem::GuestAddr pc_next);
   void ExecVARM(const isa::Instr& ins, mem::GuestAddr pc_next);
@@ -182,6 +207,9 @@ class Cpu {
   std::vector<std::uint32_t> shadow_;
   std::size_t trace_limit_ = 0;
   std::deque<TraceEntry> trace_;
+  std::uint8_t* cov_bitmap_ = nullptr;
+  std::uint32_t cov_mask_ = 0;
+  std::uint32_t cov_prev_ = 0;
 };
 
 }  // namespace connlab::vm

@@ -33,4 +33,23 @@ bool IsShellPath(std::string_view path) noexcept {
   return slash != std::string_view::npos && path.substr(slash + 1) == "sh";
 }
 
+namespace {
+// Murmur3-style 32-bit finaliser: full avalanche, so pc and pc+1 map to
+// unrelated bitmap cells.
+std::uint32_t Mix32(std::uint32_t h) noexcept {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+}  // namespace
+
+std::uint32_t CoverageLocation(std::uint32_t pc) noexcept { return Mix32(pc); }
+
+std::uint32_t EventFeature(EventKind kind) noexcept {
+  return Mix32(0x5eed0000u | static_cast<std::uint32_t>(kind));
+}
+
 }  // namespace connlab::vm

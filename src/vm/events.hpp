@@ -38,4 +38,18 @@ struct Event {
 /// execlp performs PATH-style resolution, so both "/bin/sh" and "sh" count.
 bool IsShellPath(std::string_view path) noexcept;
 
+// --- Coverage features ------------------------------------------------------
+// The fuzzing subsystem observes guest execution through two channels: the
+// per-step edge coverage the CPU records (see Cpu::AttachCoverage) and the
+// events raised during a run. Both are folded into one AFL-style bitmap, so
+// locations and event kinds need stable, well-mixed 32-bit identifiers.
+
+/// Mixes a guest pc into a coverage location id (a cheap 32-bit finaliser —
+/// consecutive pcs must land far apart in the bitmap).
+std::uint32_t CoverageLocation(std::uint32_t pc) noexcept;
+
+/// A coverage feature id for an event kind, disjoint from location ids with
+/// overwhelming probability (distinct fixed salt).
+std::uint32_t EventFeature(EventKind kind) noexcept;
+
 }  // namespace connlab::vm

@@ -97,6 +97,131 @@ TEST(Name, ToDottedEscapesNonPrintable) {
   EXPECT_EQ(ToDotted(labels), "\\001a.b");
 }
 
+// ---------------------------------------------------- parser edge cases ----
+// The boundaries where the hardened decoder (DecodeName) and the vulnerable
+// guest get_name diverge: the strict parser refuses exactly the shapes the
+// fuzzer leans on (pointer loops, pointer chains, flag-bit label lengths,
+// truncation), while the expansion algorithm walks into them.
+
+TEST(NameEdge, PointerToPointerChainResolves) {
+  // name at 0, pointer at A -> 0, pointer at B -> A: two hops, legal.
+  ByteWriter w;
+  ASSERT_TRUE(EncodeName(w, "example.com").ok());
+  const std::size_t first_ptr = w.size();
+  w.WriteU8(0xC0);
+  w.WriteU8(0x00);
+  const std::size_t second_ptr = w.size();
+  w.WriteU8(0xC0);
+  w.WriteU8(static_cast<std::uint8_t>(first_ptr));
+  auto decoded = DecodeName(w.bytes(), second_ptr);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().dotted, "example.com");
+  EXPECT_EQ(decoded.value().wire_len, 2u);
+}
+
+TEST(NameEdge, PointerChainBudgetIsEnforced) {
+  // ptr[i] -> ptr[i-1] -> ... -> ptr[0] -> real name: hops = chain length.
+  ByteWriter w;
+  ASSERT_TRUE(EncodeName(w, "deep.example").ok());
+  std::vector<std::size_t> ptr_at;
+  std::size_t prev = 0;
+  for (int i = 0; i < 6; ++i) {
+    ptr_at.push_back(w.size());
+    w.WriteU8(0xC0);
+    w.WriteU8(static_cast<std::uint8_t>(prev));
+    prev = ptr_at.back();
+  }
+  // 6 pointer hops: fine with budget 6, rejected with budget 5.
+  EXPECT_TRUE(DecodeName(w.bytes(), ptr_at.back(), /*max_hops=*/6).ok());
+  EXPECT_FALSE(DecodeName(w.bytes(), ptr_at.back(), /*max_hops=*/5).ok());
+}
+
+TEST(NameEdge, TwoPointerCycleRejected) {
+  // A -> B and B -> A: never terminates, only the hop budget saves us.
+  Bytes wire{0xC0, 0x02, 0xC0, 0x00};
+  EXPECT_FALSE(DecodeName(wire, 0).ok());
+  EXPECT_FALSE(DecodeName(wire, 2).ok());
+}
+
+TEST(NameEdge, SelfPointerAfterLabelsRejected) {
+  // The compression-bomb shape: labels then a pointer back to their start.
+  // The strict parser sees >255 bytes after a few hops and refuses; the
+  // vulnerable get_name re-expands the run once per hop (test_connman).
+  ByteWriter w;
+  w.WriteU8(4);
+  w.WriteString("bomb");
+  w.WriteU8(0xC0);
+  w.WriteU8(0x00);
+  EXPECT_FALSE(DecodeName(w.bytes(), 0).ok());
+}
+
+TEST(NameEdge, LabelLengthBoundary) {
+  // 63 (0x3F) is the largest encodable label; 64 and 128 set the reserved
+  // flag bits and must not be treated as plain lengths.
+  ByteWriter ok;
+  ok.WriteU8(63);
+  for (int i = 0; i < 63; ++i) ok.WriteU8('a');
+  ok.WriteU8(0);
+  auto decoded = DecodeName(ok.bytes(), 0);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().labels.size(), 1u);
+  EXPECT_EQ(decoded.value().labels[0].size(), 63u);
+
+  for (const std::uint8_t bad_len : {0x40, 0x80}) {
+    Bytes wire(70, 'a');
+    wire[0] = bad_len;
+    EXPECT_FALSE(DecodeName(wire, 0).ok()) << unsigned(bad_len);
+  }
+}
+
+TEST(NameEdge, PointerIntoTruncatedRegionRejected) {
+  // Pointer target exists but the name there runs off the packet.
+  Bytes wire{0xC0, 0x02, 5, 'a', 'b'};
+  EXPECT_FALSE(DecodeName(wire, 0).ok());
+}
+
+TEST(NameEdge, OffsetAtOrPastEndRejected) {
+  ByteWriter w;
+  ASSERT_TRUE(EncodeName(w, "x.y").ok());
+  EXPECT_FALSE(DecodeName(w.bytes(), w.size()).ok());
+  EXPECT_FALSE(DecodeName(w.bytes(), w.size() + 10).ok());
+}
+
+TEST(MessageEdge, TruncatedHeaderLengths) {
+  // Every length short of the 12-byte header must be rejected cleanly.
+  for (std::size_t len = 0; len < kHeaderSize; ++len) {
+    EXPECT_FALSE(Decode(Bytes(len, 0)).ok()) << len;
+  }
+}
+
+TEST(MessageEdge, TruncatedMidRecordRejected) {
+  Message msg = Message::Query(3, "trunc.example");
+  msg.header.qr = true;
+  msg.answers.push_back(MakeA("trunc.example", "10.1.2.3", 99));
+  auto wire = Encode(msg);
+  ASSERT_TRUE(wire.ok());
+  // Chop the packet anywhere inside the answer section: always malformed,
+  // never a crash or an accept.
+  const std::size_t full = wire.value().size();
+  for (std::size_t keep = kHeaderSize + 1; keep < full; ++keep) {
+    Bytes cut(wire.value().begin(),
+              wire.value().begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(Decode(cut).ok()) << keep;
+  }
+}
+
+TEST(NameEdge, StrictDecoderRefusesWhatExpansionAccepts) {
+  // A raw 300-byte name: encodable by the raw tier, expandable by the
+  // vulnerable algorithm (301 bytes incl. terminator), rejected by the
+  // hardened parser — the exact disagreement CVE-2017-12865 lives in.
+  auto labels = JunkLabels(300);
+  ASSERT_TRUE(labels.ok());
+  ByteWriter w;
+  ASSERT_TRUE(EncodeLabels(w, labels.value()).ok());
+  EXPECT_EQ(ExpandLabels(labels.value()).size(), 301u);
+  EXPECT_FALSE(DecodeName(w.bytes(), 0).ok());
+}
+
 TEST(Record, IPv4RoundTrip) {
   auto bytes = ParseIPv4("192.168.1.42");
   ASSERT_TRUE(bytes.ok());

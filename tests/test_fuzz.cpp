@@ -1,0 +1,434 @@
+// Fuzzing subsystem tests: coverage map semantics, mutation operators,
+// corpus scheduling, crash triage/minimization/reproducers, and the
+// end-to-end campaigns — including the CI-checked rediscovery of
+// CVE-2017-12865 in the simulated dnsproxy from benign seeds.
+#include <gtest/gtest.h>
+
+#include "src/dns/craft.hpp"
+#include "src/dns/message.hpp"
+#include "src/fuzz/corpus.hpp"
+#include "src/fuzz/coverage.hpp"
+#include "src/fuzz/fuzzer.hpp"
+#include "src/fuzz/mutator.hpp"
+#include "src/fuzz/target.hpp"
+#include "src/fuzz/triage.hpp"
+#include "src/util/rng.hpp"
+
+namespace connlab::fuzz {
+namespace {
+
+using util::Bytes;
+
+// ------------------------------------------------------------- coverage ----
+
+TEST(Coverage, CountClassBuckets) {
+  EXPECT_EQ(CountClass(0), 0u);
+  EXPECT_EQ(CountClass(1), 1u << 0);
+  EXPECT_EQ(CountClass(2), 1u << 1);
+  EXPECT_EQ(CountClass(3), 1u << 2);
+  EXPECT_EQ(CountClass(4), 1u << 3);
+  EXPECT_EQ(CountClass(7), 1u << 3);
+  EXPECT_EQ(CountClass(8), 1u << 4);
+  EXPECT_EQ(CountClass(31), 1u << 5);
+  EXPECT_EQ(CountClass(32), 1u << 6);
+  EXPECT_EQ(CountClass(127), 1u << 6);
+  EXPECT_EQ(CountClass(128), 1u << 7);
+  EXPECT_EQ(CountClass(255), 1u << 7);
+}
+
+TEST(Coverage, AbsorbDistinguishesNewEdgeFromNewClass) {
+  CoverageMap virgin;
+  CoverageMap exec;
+  exec.AddFeature(100);
+  exec.Classify();
+  EXPECT_EQ(exec.AbsorbInto(virgin), 2);  // brand-new edge
+  EXPECT_EQ(exec.AbsorbInto(virgin), 0);  // nothing new the second time
+
+  CoverageMap exec2;
+  for (int i = 0; i < 5; ++i) exec2.AddFeature(100);  // count class 4-7
+  exec2.Classify();
+  EXPECT_EQ(exec2.AbsorbInto(virgin), 1);  // known edge, new class
+  EXPECT_EQ(exec2.AbsorbInto(virgin), 0);
+}
+
+TEST(Coverage, MergeIsOrderIndependent) {
+  CoverageMap a;
+  CoverageMap b;
+  for (int i = 0; i < 3; ++i) a.AddFeature(7);
+  a.AddFeature(900);
+  b.AddFeature(7);
+  b.AddFeature(12345);
+  a.Classify();
+  b.Classify();
+
+  CoverageMap ab;
+  ab.MergeClassified(a);
+  ab.MergeClassified(b);
+  CoverageMap ba;
+  ba.MergeClassified(b);
+  ba.MergeClassified(a);
+  EXPECT_EQ(ab.Digest(), ba.Digest());
+  EXPECT_EQ(ab.CountNonZero(), 3u);
+}
+
+TEST(Coverage, SaturatesAt255) {
+  CoverageMap map;
+  for (int i = 0; i < 1000; ++i) map.AddFeature(9);
+  EXPECT_EQ(map.data()[9], 0xFF);
+}
+
+// -------------------------------------------------------------- mutator ----
+
+Bytes DnsSeed() {
+  dns::Message query = dns::Message::Query(0x4655, "fuzz.example.com");
+  dns::Message response = dns::Message::ResponseFor(query);
+  response.answers.push_back(dns::MakeA("fuzz.example.com", "10.0.0.1", 60));
+  return dns::Encode(response).value();
+}
+
+TEST(Mutator, NeverTouchesFixedPrefix) {
+  const Bytes seed = DnsSeed();
+  const std::size_t prefix = dns::kHeaderSize + 18 + 4;  // header + question
+  MutationHint hint{prefix, /*dns=*/true, /*max_size=*/4096};
+  Mutator mutator(util::Rng(99));
+  for (int i = 0; i < 500; ++i) {
+    const Bytes mutant = mutator.Mutate(seed, hint, seed);
+    ASSERT_GE(mutant.size(), prefix);
+    ASSERT_LE(mutant.size(), hint.max_size);
+    for (std::size_t b = 0; b < prefix; ++b) {
+      // Bytes 6-7 (ancount) are the documented exception: the services
+      // never echo-check them, and BumpAnswerCount edits them on purpose.
+      if (b == 6 || b == 7) continue;
+      ASSERT_EQ(mutant[b], seed[b]) << "prefix byte " << b << " iter " << i;
+    }
+  }
+}
+
+TEST(Mutator, GrowLabelStaysWithin0x3F) {
+  const Bytes seed = DnsSeed();
+  const std::size_t start = dns::kHeaderSize + 18 + 4;
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes grown = Mutator::GrowLabel(seed, start, rng);
+    ASSERT_GE(grown.size(), seed.size());
+    // Every label length byte reachable from start stays <= 63.
+    std::size_t pos = start;
+    while (pos < grown.size()) {
+      const std::uint8_t len = grown[pos];
+      if (len == 0 || (len & dns::kCompressionFlags) != 0) break;
+      ASSERT_LE(len, dns::kMaxLabelLen);
+      pos += 1 + len;
+    }
+  }
+}
+
+TEST(Mutator, PlantCompressionPointerPlantsOne) {
+  const Bytes seed = DnsSeed();
+  const std::size_t start = dns::kHeaderSize + 18 + 4;
+  util::Rng rng(5);
+  bool planted = false;
+  for (int i = 0; i < 50 && !planted; ++i) {
+    const Bytes mutant = Mutator::PlantCompressionPointer(seed, start, rng);
+    for (std::size_t pos = start; pos < mutant.size(); ++pos) {
+      if ((mutant[pos] & dns::kCompressionFlags) == dns::kCompressionFlags) {
+        planted = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(planted);
+}
+
+TEST(Mutator, BumpAnswerCountOnlyTouchesHeaderCount) {
+  const Bytes seed = DnsSeed();
+  util::Rng rng(5);
+  const Bytes bumped = Mutator::BumpAnswerCount(seed, rng);
+  ASSERT_EQ(bumped.size(), seed.size());
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    if (i == 6 || i == 7) continue;
+    EXPECT_EQ(bumped[i], seed[i]) << i;
+  }
+  const std::uint16_t ancount =
+      static_cast<std::uint16_t>((bumped[6] << 8) | bumped[7]);
+  EXPECT_GE(ancount, 1);
+}
+
+TEST(Mutator, DeterministicForSameRngSeed) {
+  const Bytes seed = DnsSeed();
+  MutationHint hint{12, true, 4096};
+  Mutator a(util::Rng(77));
+  Mutator b(util::Rng(77));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Mutate(seed, hint), b.Mutate(seed, hint)) << i;
+  }
+}
+
+// --------------------------------------------------------------- corpus ----
+
+TEST(Corpus, DedupsIdenticalEntries) {
+  Corpus corpus;
+  EXPECT_TRUE(corpus.Add(Bytes{1, 2, 3}, 2, 0));
+  EXPECT_FALSE(corpus.Add(Bytes{1, 2, 3}, 2, 5));
+  EXPECT_TRUE(corpus.Add(Bytes{1, 2, 4}, 1, 6));
+  EXPECT_EQ(corpus.size(), 2u);
+}
+
+TEST(Corpus, WeightsFavourNoveltyAndSmallness) {
+  Corpus corpus;
+  corpus.Add(Bytes(100, 0xAA), 2, 0);   // new edge, small
+  corpus.Add(Bytes(100, 0xBB), 1, 0);   // new class only, small
+  corpus.Add(Bytes(4000, 0xCC), 2, 0);  // new edge, large
+  EXPECT_GT(corpus.WeightOf(0), corpus.WeightOf(1));
+  EXPECT_GT(corpus.WeightOf(0), corpus.WeightOf(2));
+  EXPECT_GT(corpus.EnergyFor(0), corpus.EnergyFor(1));
+}
+
+TEST(Corpus, PickSequenceDeterministic) {
+  const auto run = [] {
+    Corpus corpus;
+    corpus.Add(Bytes{1}, 2, 0);
+    corpus.Add(Bytes{2}, 1, 0);
+    corpus.Add(Bytes{3}, 2, 0);
+    util::Rng rng(31);
+    std::vector<std::size_t> picks;
+    for (int i = 0; i < 50; ++i) picks.push_back(corpus.PickIndex(rng));
+    return picks;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --------------------------------------------------------------- triage ----
+
+TEST(Triage, FormatKeyMentionsEverything) {
+  CrashKey key{ExecResult::Kind::kCrash, vm::StopReason::kFault, 0x8048024,
+               true, 0x1234};
+  const std::string s = FormatCrashKey(key);
+  EXPECT_NE(s.find("crash"), std::string::npos);
+  EXPECT_NE(s.find("fault"), std::string::npos);
+  EXPECT_NE(s.find("08048024"), std::string::npos);
+  EXPECT_NE(s.find("write"), std::string::npos);
+}
+
+TEST(Triage, MergeAccumulatesAndPrefersEarlierWitness) {
+  CrashKey key{ExecResult::Kind::kCrash, vm::StopReason::kFault, 0x100, true,
+               7};
+  CrashBucket early{key, Bytes{1}, Bytes{1}, {}, 3, 10};
+  CrashBucket late{key, Bytes{2}, Bytes{2}, {}, 5, 99};
+  CrashTriage a;
+  a.buckets().push_back(late);
+  CrashTriage b;
+  b.buckets().push_back(early);
+  a.Merge(b);
+  ASSERT_EQ(a.buckets().size(), 1u);
+  EXPECT_EQ(a.buckets()[0].hits, 8u);
+  EXPECT_EQ(a.buckets()[0].first_exec, 10u);
+  EXPECT_EQ(a.buckets()[0].witness, Bytes{1});
+
+  CrashTriage c;  // disjoint key appends
+  CrashKey other = key;
+  other.pc = 0x200;
+  c.buckets().push_back({other, Bytes{3}, Bytes{3}, {}, 1, 1});
+  a.Merge(c);
+  EXPECT_EQ(a.buckets().size(), 2u);
+}
+
+TEST(Reproducer, SerializeParseRoundTrip) {
+  TargetConfig config;
+  config.kind = TargetKind::kMinimasq;
+  config.arch = isa::Arch::kVARM;
+  config.boot_seed = 99;
+  config.patched = true;
+  CrashBucket bucket;
+  bucket.key = {ExecResult::Kind::kCrash, vm::StopReason::kFault, 0xdeadbeef,
+                true, 0xabcdef0123456789ULL};
+  bucket.witness = Bytes{0, 1, 2, 0xFF};
+  bucket.minimized = Bytes{0xC0, 0x0C};
+  const std::string text = SerializeReproducer(config, bucket);
+  auto parsed = ParseReproducer(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Reproducer& repro = parsed.value();
+  EXPECT_EQ(repro.config.kind, TargetKind::kMinimasq);
+  EXPECT_EQ(repro.config.arch, isa::Arch::kVARM);
+  EXPECT_EQ(repro.config.boot_seed, 99u);
+  EXPECT_TRUE(repro.config.patched);
+  EXPECT_EQ(repro.key, bucket.key);
+  EXPECT_EQ(repro.input, bucket.minimized);
+
+  EXPECT_FALSE(ParseReproducer("not a reproducer").ok());
+}
+
+// -------------------------------------------------------------- targets ----
+
+TEST(Target, KindNamesRoundTrip) {
+  for (const TargetKind kind : {TargetKind::kDnsproxy, TargetKind::kMinimasq,
+                                TargetKind::kHttpcamd}) {
+    auto parsed = ParseTargetKind(TargetKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(ParseTargetKind("floppyd").ok());
+}
+
+TEST(Target, SeedCorporaAreBenign) {
+  for (const TargetKind kind : {TargetKind::kDnsproxy, TargetKind::kMinimasq,
+                                TargetKind::kHttpcamd}) {
+    TargetConfig config;
+    config.kind = kind;
+    auto target = MakeTarget(config);
+    ASSERT_TRUE(target.ok()) << target.status().ToString();
+    CoverageMap map;
+    for (const Bytes& seed : target.value()->SeedCorpus()) {
+      const ExecResult result = target.value()->Execute(seed, map);
+      EXPECT_EQ(result.kind, ExecResult::Kind::kBenign)
+          << TargetKindName(kind) << ": " << result.detail;
+    }
+    EXPECT_GT(map.CountNonZero(), 0u) << TargetKindName(kind);
+  }
+}
+
+// ---------------------------------------------------- the CVE rediscovery --
+
+// The headline guarantee: from benign seeds only, a fixed-seed campaign of
+// at most 200k executions rediscovers CVE-2017-12865 — a deduplicated
+// crash bucket at the get_name copy site whose minimized reproducer is in
+// the same size class as the hand-crafted malicious response.
+TEST(Fuzzer, RediscoversCve201712865InDnsproxy) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.seed = 42;
+  config.max_execs = 20000;  // well under the 200k ceiling
+  config.workers = 1;
+  auto report_or = Fuzzer(config).Run();
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  FuzzReport& report = report_or.value();
+
+  EXPECT_EQ(report.stats.execs, 20000u);
+  ASSERT_GE(report.triage.buckets().size(), 1u);
+  EXPECT_GT(report.stats.crashing_execs,
+            report.triage.buckets().size());  // dedup actually deduped
+
+  // Find the overflow-site bucket (fault inside connman.copy_label).
+  auto target = MakeTarget(config.target);
+  ASSERT_TRUE(target.ok());
+  const CrashBucket* overflow_bucket = nullptr;
+  for (const CrashBucket& bucket : report.triage.buckets()) {
+    if (target.value()->AtOverflowSite(bucket.key.pc) &&
+        bucket.key.stop_reason == vm::StopReason::kFault) {
+      overflow_bucket = &bucket;
+      break;
+    }
+  }
+  ASSERT_NE(overflow_bucket, nullptr)
+      << "no bucket at the get_name overflow site";
+
+  // The minimized reproducer still triggers the overflow, in the same
+  // bucket core, and reports the stack overflow the paper describes.
+  CoverageMap scratch;
+  const ExecResult replay =
+      target.value()->Execute(overflow_bucket->minimized, scratch);
+  EXPECT_NE(replay.kind, ExecResult::Kind::kBenign);
+  EXPECT_TRUE(replay.overflow);
+  EXPECT_GT(replay.bytes_expanded, 1024u);  // past the name buffer
+  EXPECT_TRUE(KeyFor(replay, *target.value())
+                  .CoreMatches(overflow_bucket->key));
+
+  // Size class: no worse than 2x the hand-crafted malicious response.
+  dns::Message query = dns::Message::Query(0x4655, "fuzz.example.com");
+  auto junk = dns::JunkLabels(1100);  // just past the 1056-byte ret slot
+  ASSERT_TRUE(junk.ok());
+  auto crafted =
+      dns::Encode(dns::MaliciousAResponse(query, junk.value()));
+  ASSERT_TRUE(crafted.ok());
+  EXPECT_LE(overflow_bucket->minimized.size(), 2 * crafted.value().size());
+  EXPECT_LE(overflow_bucket->minimized.size(), overflow_bucket->witness.size());
+
+  // Serialized reproducer round-trips and replays.
+  const std::string text = SerializeReproducer(config.target, *overflow_bucket);
+  auto parsed = ParseReproducer(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto replayed = ReplayReproducer(parsed.value());
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(replayed.value().overflow);
+}
+
+TEST(Fuzzer, MultiWorkerRunsAreDeterministic) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.seed = 5;
+  config.max_execs = 6000;
+  config.workers = 3;
+  config.minimize = false;
+  auto first = Fuzzer(config).Run();
+  auto second = Fuzzer(config).Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().stats.execs, second.value().stats.execs);
+  EXPECT_EQ(first.value().stats.crashing_execs,
+            second.value().stats.crashing_execs);
+  EXPECT_EQ(first.value().stats.coverage_digest,
+            second.value().stats.coverage_digest);
+  ASSERT_EQ(first.value().triage.buckets().size(),
+            second.value().triage.buckets().size());
+  for (std::size_t i = 0; i < first.value().triage.buckets().size(); ++i) {
+    EXPECT_EQ(first.value().triage.buckets()[i].key,
+              second.value().triage.buckets()[i].key);
+    EXPECT_EQ(first.value().triage.buckets()[i].witness,
+              second.value().triage.buckets()[i].witness);
+  }
+}
+
+TEST(Fuzzer, PatchedDnsproxySurvivesTheSameCampaign) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.target.patched = true;
+  config.seed = 42;  // the very seed that kills the vulnerable build
+  config.max_execs = 10000;
+  config.minimize = false;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().stats.crashing_execs, 0u);
+  EXPECT_TRUE(report.value().triage.buckets().empty());
+}
+
+TEST(Fuzzer, FindsMinimasqOverflow) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kMinimasq;
+  config.seed = 7;
+  config.max_execs = 12000;
+  config.stop_after_crashes = 1;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report.value().triage.buckets().size(), 1u);
+  const CrashBucket& bucket = report.value().triage.buckets()[0];
+  // Minimized witness still crashes minimasq in the same bucket core.
+  auto target = MakeTarget(config.target);
+  ASSERT_TRUE(target.ok());
+  CoverageMap scratch;
+  const ExecResult replay = target.value()->Execute(bucket.minimized, scratch);
+  EXPECT_NE(replay.kind, ExecResult::Kind::kBenign);
+  EXPECT_TRUE(KeyFor(replay, *target.value()).CoreMatches(bucket.key));
+}
+
+TEST(Fuzzer, FindsHttpcamdOverflow) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kHttpcamd;
+  config.seed = 7;
+  config.max_execs = 30000;
+  config.stop_after_crashes = 1;
+  config.minimize = false;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report.value().triage.buckets().size(), 1u);
+}
+
+TEST(Fuzzer, RejectsDegenerateConfigs) {
+  FuzzConfig config;
+  config.workers = 0;
+  EXPECT_FALSE(Fuzzer(config).Run().ok());
+  config.workers = 64;
+  config.max_execs = 10;
+  EXPECT_FALSE(Fuzzer(config).Run().ok());
+}
+
+}  // namespace
+}  // namespace connlab::fuzz

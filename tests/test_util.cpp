@@ -197,6 +197,43 @@ TEST(Rng, ForkIsIndependent) {
   EXPECT_NE(child.NextU64(), a.NextU64());
 }
 
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(42);
+  Rng b(42);
+  (void)a.Split(0);
+  (void)a.Split(7);
+  // Parent streams stay identical whether or not Split was called.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, SplitIsReproduciblePerStream) {
+  // Worker i's stream depends only on (parent state, i) — not on which
+  // other streams were derived, in what order, or how much they drew.
+  Rng parent(1234);
+  Rng first = parent.Split(3);
+  Rng noise = parent.Split(9);
+  for (int i = 0; i < 100; ++i) (void)noise.NextU64();
+  Rng second = parent.Split(3);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(first.NextU64(), second.NextU64());
+}
+
+TEST(Rng, SplitStreamsDiverge) {
+  Rng parent(55);
+  Rng s0 = parent.Split(0);
+  Rng s1 = parent.Split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += s0.NextU64() == s1.NextU64() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitDiffersFromParentDraws) {
+  Rng parent(77);
+  Rng child = parent.Split(0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += child.NextU64() == parent.NextU64() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
 TEST(HexDump, FormatsRows) {
   Bytes data = BytesOf("ABCDEFGHIJKLMNOPQR");  // 18 bytes -> 2 rows
   std::string dump = HexDump(data, 0x1000);
