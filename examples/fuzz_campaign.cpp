@@ -6,10 +6,17 @@
 // reproducer, replays it, then runs the same campaign against the patched
 // 1.35 build to show the fix holds.
 //
-//   ./examples/fuzz_campaign [seed] [execs] [workers] [target]
+//   ./examples/fuzz_campaign [seed] [execs] [workers] [target] \
+//                            [corpus_file] [dict_file]
+//
+// `corpus_file` persists the merged corpus across invocations (missing file
+// = first run, creates it). `dict_file` is an AFL-style token dictionary;
+// the literal value `builtin` selects the built-in DNS dictionary.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "src/fuzz/dict.hpp"
 #include "src/fuzz/fuzzer.hpp"
 #include "src/util/hexdump.hpp"
 
@@ -51,14 +58,31 @@ int main(int argc, char** argv) {
     if (!kind.ok()) return Fail(kind.status());
     config.target.kind = kind.value();
   }
+  if (argc > 5) config.corpus_path = argv[5];
+  if (argc > 6) {
+    if (std::strcmp(argv[6], "builtin") == 0) {
+      config.dictionary = fuzz::DefaultDnsDictionary();
+    } else {
+      auto dict = fuzz::LoadDictionaryFile(argv[6]);
+      if (!dict.ok()) return Fail(dict.status());
+      config.dictionary = std::move(dict).value();
+    }
+  }
 
   std::printf("connlab fuzz campaign — %s\n",
               std::string(fuzz::TargetKindName(config.target.kind)).c_str());
   std::printf("=====================================================\n");
-  std::printf("seed %llu, %llu execs, %zu worker(s), benign seeds only\n\n",
+  std::printf("seed %llu, %llu execs, %zu worker(s), benign seeds only\n",
               static_cast<unsigned long long>(config.seed),
               static_cast<unsigned long long>(config.max_execs),
               config.workers);
+  if (!config.corpus_path.empty()) {
+    std::printf("persistent corpus: %s\n", config.corpus_path.c_str());
+  }
+  if (!config.dictionary.empty()) {
+    std::printf("dictionary: %zu token(s)\n", config.dictionary.size());
+  }
+  std::printf("\n");
 
   auto report_or = fuzz::Fuzzer(config).Run();
   if (!report_or.ok()) return Fail(report_or.status());
@@ -102,6 +126,9 @@ int main(int argc, char** argv) {
     std::printf("re-running the identical campaign against patched 1.35...\n");
     fuzz::FuzzConfig patched = config;
     patched.target.patched = true;
+    // The persisted corpus tracks the vulnerable build's campaign; don't
+    // overwrite it with the patched run's.
+    patched.corpus_path.clear();
     auto patched_report = fuzz::Fuzzer(patched).Run();
     if (!patched_report.ok()) return Fail(patched_report.status());
     PrintReport(patched_report.value());

@@ -82,4 +82,27 @@ util::Result<std::vector<AttackResult>> RunDefenseMatrix(
   return results;
 }
 
+util::Result<std::vector<AttackResult>> RunDefenseGrid(
+    std::uint64_t target_seed) {
+  const std::vector<defense::DefensePolicy> policies =
+      defense::StandardPolicies();
+  std::vector<AttackResult> results;
+  results.reserve(6 * policies.size());
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (const loader::ProtectionConfig& prot : kLevels) {
+      for (const defense::DefensePolicy& policy : policies) {
+        ScenarioConfig config;
+        config.arch = arch;
+        config.prot = prot;
+        config.target_seed = target_seed;
+        config.defense = policy;
+        CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
+                                 RunControlledScenario(config));
+        results.push_back(std::move(result));
+      }
+    }
+  }
+  return results;
+}
+
 }  // namespace connlab::attack

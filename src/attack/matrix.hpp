@@ -24,4 +24,12 @@ util::Result<std::vector<AttackResult>> RunCrossTechniqueMatrix(
 util::Result<std::vector<AttackResult>> RunDefenseMatrix(
     std::uint64_t target_seed = 4242);
 
+/// The full defense grid: every one of the six paper attacks fired at a
+/// victim hardened with each standard mitigation policy — none, canary,
+/// shadow-stack CFI, stochastic diversity, and all three stacked (30 rows,
+/// attack-major). The attacker's lab always profiles the *undefended*
+/// build, so each row records honestly why the exploit missed.
+util::Result<std::vector<AttackResult>> RunDefenseGrid(
+    std::uint64_t target_seed = 4242);
+
 }  // namespace connlab::attack

@@ -16,4 +16,8 @@ std::string AttackResult::OutcomeLabel() const {
   return std::string(connman::OutcomeKindName(kind));
 }
 
+std::string AttackResult::FailureLabel() const {
+  return std::string(exploit::FailureCauseName(failure));
+}
+
 }  // namespace connlab::attack

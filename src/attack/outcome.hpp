@@ -22,6 +22,9 @@ struct AttackResult {
   bool crash = false;              // DoS
   connman::ProxyOutcome::Kind kind = connman::ProxyOutcome::Kind::kOther;
   std::string detail;
+  std::string defense = "none";    // victim-side mitigation policy label
+  /// Why the exploit missed (kNone when it landed or never fired).
+  exploit::FailureCause failure = exploit::FailureCause::kNone;
 
   int probes = 0;                   // responses used for profile extraction
   std::size_t payload_bytes = 0;    // expanded buffer-image size
@@ -31,6 +34,8 @@ struct AttackResult {
 
   [[nodiscard]] std::string RowLabel() const;
   [[nodiscard]] std::string OutcomeLabel() const;
+  /// The failure cause as a short column value ("-" when not a failure).
+  [[nodiscard]] std::string FailureLabel() const;
 };
 
 }  // namespace connlab::attack

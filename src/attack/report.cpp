@@ -7,38 +7,95 @@ namespace connlab::attack {
 std::string RenderMatrixTable(const std::vector<AttackResult>& results,
                               const std::string& title) {
   std::string out = "== " + title + " ==\n";
-  char line[256];
-  std::snprintf(line, sizeof(line), "%-6s %-14s %-18s %-18s %-14s %8s %7s\n",
-                "arch", "protections", "version", "technique", "outcome",
-                "payload", "probes");
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "%-6s %-14s %-18s %-18s %-10s %-14s %-16s %8s %7s\n",
+                "arch", "protections", "version", "technique", "defense",
+                "outcome", "why", "payload", "probes");
   out += line;
-  out += std::string(89, '-') + "\n";
+  out += std::string(117, '-') + "\n";
   for (const AttackResult& r : results) {
-    std::snprintf(line, sizeof(line), "%-6s %-14s %-18s %-18s %-14s %8zu %7d\n",
+    std::snprintf(line, sizeof(line),
+                  "%-6s %-14s %-18s %-18s %-10s %-14s %-16s %8zu %7d\n",
                   std::string(isa::ArchName(r.arch)).c_str(),
                   r.prot.ToString().c_str(),
                   std::string(connman::VersionName(r.version)).c_str(),
                   std::string(exploit::TechniqueName(r.technique)).c_str(),
-                  r.OutcomeLabel().c_str(), r.payload_bytes, r.probes);
+                  r.defense.c_str(), r.OutcomeLabel().c_str(),
+                  r.FailureLabel().c_str(), r.payload_bytes, r.probes);
     out += line;
+  }
+  return out;
+}
+
+std::string RenderDefenseGrid(const std::vector<AttackResult>& results,
+                              const std::string& title) {
+  // Column order = order of first appearance (RunDefenseGrid emits the
+  // standard policies attack-major, so this recovers the policy sweep).
+  std::vector<std::string> columns;
+  for (const AttackResult& r : results) {
+    bool known = false;
+    for (const std::string& c : columns) known = known || c == r.defense;
+    if (!known) columns.push_back(r.defense);
+  }
+
+  std::string out = "== " + title + " ==\n";
+  char cell[64];
+  std::snprintf(cell, sizeof(cell), "%-38s", "attack");
+  out += cell;
+  for (const std::string& c : columns) {
+    std::snprintf(cell, sizeof(cell), " %-15s", c.c_str());
+    out += cell;
+  }
+  out += "\n" + std::string(38 + 16 * columns.size(), '-') + "\n";
+
+  std::vector<std::string> row_keys;
+  for (const AttackResult& r : results) {
+    const std::string key = std::string(isa::ArchName(r.arch)) + " / " +
+                            r.prot.ToString() + " / " +
+                            std::string(exploit::TechniqueName(r.technique));
+    bool known = false;
+    for (const std::string& k : row_keys) known = known || k == key;
+    if (known) continue;
+    row_keys.push_back(key);
+
+    std::snprintf(cell, sizeof(cell), "%-38s", key.c_str());
+    out += cell;
+    for (const std::string& c : columns) {
+      std::string value = "?";
+      for (const AttackResult& other : results) {
+        const std::string other_key =
+            std::string(isa::ArchName(other.arch)) + " / " +
+            other.prot.ToString() + " / " +
+            std::string(exploit::TechniqueName(other.technique));
+        if (other_key != key || other.defense != c) continue;
+        value = other.shell ? "SHELL" : "blocked:" + other.FailureLabel();
+        break;
+      }
+      std::snprintf(cell, sizeof(cell), " %-15s", value.c_str());
+      out += cell;
+    }
+    out += "\n";
   }
   return out;
 }
 
 std::string RenderCsv(const std::vector<AttackResult>& results) {
   std::string out =
-      "arch,protections,version,technique,shell,crash,outcome,payload_bytes,"
-      "labels,response_bytes,probes,guest_steps\n";
-  char line[320];
+      "arch,protections,version,technique,defense,shell,crash,outcome,failure,"
+      "payload_bytes,labels,response_bytes,probes,guest_steps\n";
+  char line[384];
   for (const AttackResult& r : results) {
-    std::snprintf(line, sizeof(line), "%s,%s,%s,%s,%d,%d,%s,%zu,%zu,%zu,%d,%llu\n",
+    std::snprintf(line, sizeof(line),
+                  "%s,%s,%s,%s,%s,%d,%d,%s,%s,%zu,%zu,%zu,%d,%llu\n",
                   std::string(isa::ArchName(r.arch)).c_str(),
                   r.prot.ToString().c_str(),
                   std::string(connman::VersionName(r.version)).c_str(),
                   std::string(exploit::TechniqueName(r.technique)).c_str(),
-                  r.shell ? 1 : 0, r.crash ? 1 : 0,
+                  r.defense.c_str(), r.shell ? 1 : 0, r.crash ? 1 : 0,
                   std::string(connman::OutcomeKindName(r.kind)).c_str(),
-                  r.payload_bytes, r.labels, r.response_bytes, r.probes,
+                  r.FailureLabel().c_str(), r.payload_bytes, r.labels,
+                  r.response_bytes, r.probes,
                   static_cast<unsigned long long>(r.guest_steps));
     out += line;
   }
@@ -64,15 +121,18 @@ std::string RenderJson(const std::vector<AttackResult>& results) {
     std::snprintf(
         line, sizeof(line),
         "  {\"arch\": \"%s\", \"protections\": \"%s\", \"version\": \"%s\", "
-        "\"technique\": \"%s\", \"shell\": %s, \"crash\": %s, "
-        "\"outcome\": \"%s\", \"payload_bytes\": %zu, \"labels\": %zu, "
+        "\"technique\": \"%s\", \"defense\": \"%s\", \"shell\": %s, "
+        "\"crash\": %s, \"outcome\": \"%s\", \"failure\": \"%s\", "
+        "\"payload_bytes\": %zu, \"labels\": %zu, "
         "\"probes\": %d, \"detail\": \"%s\"}%s\n",
         std::string(isa::ArchName(r.arch)).c_str(),
         r.prot.ToString().c_str(),
         std::string(connman::VersionName(r.version)).c_str(),
         std::string(exploit::TechniqueName(r.technique)).c_str(),
+        JsonEscape(r.defense).c_str(),
         r.shell ? "true" : "false", r.crash ? "true" : "false",
         std::string(connman::OutcomeKindName(r.kind)).c_str(),
+        r.FailureLabel().c_str(),
         r.payload_bytes, r.labels, r.probes, JsonEscape(r.detail).c_str(),
         i + 1 < results.size() ? "," : "");
     out += line;

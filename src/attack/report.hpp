@@ -11,8 +11,15 @@
 namespace connlab::attack {
 
 /// Renders attack rows as a fixed-width table:
-///   arch | protections | version | technique | outcome | payload | probes
+///   arch | protections | version | technique | defense | outcome | why |
+///   payload | probes
 std::string RenderMatrixTable(const std::vector<AttackResult>& results,
+                              const std::string& title);
+
+/// Pivots defense-grid rows (RunDefenseGrid order) into the summary table
+/// the paper's §IV discussion implies: one row per attack, one column per
+/// mitigation policy, each cell the outcome under that policy.
+std::string RenderDefenseGrid(const std::vector<AttackResult>& results,
                               const std::string& title);
 
 /// One-paragraph rendering of a remote (Pineapple) run.

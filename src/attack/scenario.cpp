@@ -37,7 +37,16 @@ AttackResult BaseResult(const ScenarioConfig& config) {
   result.version = config.version;
   result.technique = config.technique.value_or(
       exploit::TechniqueFor(config.arch, config.prot));
+  result.defense = config.defense.Label();
   return result;
+}
+
+/// What the victim actually boots with: base protections plus whatever the
+/// scenario's defense policy retrofits.
+loader::ProtectionConfig VictimProt(const ScenarioConfig& config) {
+  loader::ProtectionConfig prot = config.prot;
+  config.defense.Configure(prot);
+  return prot;
 }
 
 void Classify(const connman::ProxyOutcome& outcome, AttackResult* result) {
@@ -74,9 +83,11 @@ util::Result<AttackResult> RunControlledScenario(const ScenarioConfig& config) {
   result.labels = labels.size();
   result.exploit_available = true;
 
-  // The victim: a different boot (fresh ASLR draw, fresh canary).
-  CONNLAB_ASSIGN_OR_RETURN(
-      auto target, loader::Boot(config.arch, config.prot, config.target_seed));
+  // The victim: a different boot (fresh ASLR draw, fresh canary), hardened
+  // with whatever the scenario's defense policy retrofits.
+  CONNLAB_ASSIGN_OR_RETURN(auto target,
+                           config.defense.BootHardened(
+                               config.arch, config.prot, config.target_seed));
   connman::DnsProxy proxy(*target, config.version);
 
   dns::Message query = dns::Message::Query(0x7E57, "target.device.lan");
@@ -87,6 +98,8 @@ util::Result<AttackResult> RunControlledScenario(const ScenarioConfig& config) {
   result.response_bytes = rwire.size();
 
   Classify(proxy.HandleServerResponse(rwire), &result);
+  result.failure =
+      exploit::DiagnoseFailure(result.technique, VictimProt(config), result.kind);
   return result;
 }
 
@@ -107,8 +120,9 @@ util::Result<RemoteResult> RunPineappleScenario(const ScenarioConfig& config) {
   radio.AddAp(&home_ap);
 
   // --- The victim IoT device ----------------------------------------------
-  CONNLAB_ASSIGN_OR_RETURN(
-      auto firmware, loader::Boot(config.arch, config.prot, config.target_seed));
+  CONNLAB_ASSIGN_OR_RETURN(auto firmware,
+                           config.defense.BootHardened(
+                               config.arch, config.prot, config.target_seed));
   net::VictimDevice victim(*firmware, config.version, "HomeWiFi");
   CONNLAB_RETURN_IF_ERROR(victim.JoinWifi(radio, network));
 
@@ -160,6 +174,8 @@ util::Result<RemoteResult> RunPineappleScenario(const ScenarioConfig& config) {
     return remote;
   }
   Classify(victim.outcomes().back(), &remote.attack);
+  remote.attack.failure = exploit::DiagnoseFailure(
+      remote.attack.technique, VictimProt(config), remote.attack.kind);
   remote.attack.response_bytes =
       network.log().empty() ? 0 : network.log().back().payload.size();
   return remote;
@@ -181,8 +197,9 @@ util::Result<LureResult> RunLureScenario(const ScenarioConfig& config) {
       "HomeWiFi", -60, net::DhcpServer("192.168.1", "192.168.1.1", resolver.ip()));
   radio.AddAp(&home_ap);
 
-  CONNLAB_ASSIGN_OR_RETURN(
-      auto firmware, loader::Boot(config.arch, config.prot, config.target_seed));
+  CONNLAB_ASSIGN_OR_RETURN(auto firmware,
+                           config.defense.BootHardened(
+                               config.arch, config.prot, config.target_seed));
   net::VictimDevice victim(*firmware, config.version, "HomeWiFi");
   CONNLAB_RETURN_IF_ERROR(victim.JoinWifi(radio, network));
   result.on_legitimate_network = victim.lease().dns_server == resolver.ip();
@@ -222,6 +239,8 @@ util::Result<LureResult> RunLureScenario(const ScenarioConfig& config) {
     return result;
   }
   Classify(victim.outcomes().back(), &result.attack);
+  result.attack.failure = exploit::DiagnoseFailure(
+      result.attack.technique, VictimProt(config), result.attack.kind);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "src/attack/outcome.hpp"
+#include "src/defense/mitigation.hpp"
 #include "src/util/status.hpp"
 
 namespace connlab::attack {
@@ -28,6 +29,10 @@ struct ScenarioConfig {
   std::optional<exploit::Technique> technique;
   std::uint64_t local_seed = 100;   // the attacker's lab instance
   std::uint64_t target_seed = 4242; // the victim (different ASLR draw)
+  /// Retrofitted mitigations applied to the *victim* boot only: the
+  /// attacker's lab still profiles the stock `prot` firmware, so whatever
+  /// the defense randomises or checks is honestly unknown to the exploit.
+  defense::DefensePolicy defense;
 };
 
 /// Extracts a profile in the lab and attacks a fresh target boot.

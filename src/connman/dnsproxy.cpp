@@ -27,6 +27,7 @@ std::string_view OutcomeKindName(ProxyOutcome::Kind kind) noexcept {
     case Kind::kShell: return "root-shell";
     case Kind::kExec: return "exec";
     case Kind::kAbort: return "abort";
+    case Kind::kCfiViolation: return "cfi-violation";
     case Kind::kOther: return "other";
   }
   return "?";
@@ -479,11 +480,11 @@ ProxyOutcome DnsProxy::RunEpilogueAndClassify(ProxyOutcome outcome) {
   // parse_response's own return is shadow-checked under CFI — the first
   // and decisive control transfer every technique hijacks.
   if (cpu.shadow_stack_enabled() && !cpu.ShadowCheckReturn(ret.value())) {
-    cpu.PushEvent(vm::EventKind::kCanaryAbort,
+    cpu.PushEvent(vm::EventKind::kCfiViolation,
                   "CFI: parse_response return target rejected");
-    outcome.kind = Kind::kAbort;
+    outcome.kind = Kind::kCfiViolation;
     outcome.detail = "CFI violation on function return";
-    outcome.stop.reason = vm::StopReason::kAbort;
+    outcome.stop.reason = vm::StopReason::kCfiViolation;
     outcome.stop.detail = "cfi";
     outcome.stop.pc = ret.value();
     return outcome;
@@ -531,6 +532,10 @@ ProxyOutcome DnsProxy::RunEpilogueAndClassify(ProxyOutcome outcome) {
       break;
     case vm::StopReason::kAbort:
       outcome.kind = Kind::kAbort;
+      outcome.detail = stop.detail;
+      break;
+    case vm::StopReason::kCfiViolation:
+      outcome.kind = Kind::kCfiViolation;
       outcome.detail = stop.detail;
       break;
     case vm::StopReason::kExited:

@@ -45,6 +45,7 @@ struct ProxyOutcome {
     kShell,           // root shell spawned (RCE)
     kExec,            // some other program exec'd
     kAbort,           // canary / fortify abort
+    kCfiViolation,    // shadow-stack CFI rejected a return target
     kOther,           // anything else (step limit, unexpected halt)
   };
 

@@ -1,0 +1,24 @@
+#include "src/defense/cfi.hpp"
+
+namespace connlab::defense {
+
+void ShadowStackCfi::Configure(loader::ProtectionConfig& prot) const {
+  prot.cfi = true;
+}
+
+util::Status ShadowStackCfi::Arm(loader::System& sys) const {
+  if (sys.cpu == nullptr) {
+    return util::FailedPrecondition("CFI: system has no CPU");
+  }
+  if (!sys.cpu->shadow_stack_enabled()) {
+    sys.cpu->set_shadow_stack_enabled(true);
+  }
+  return util::OkStatus();
+}
+
+std::string ShadowStackCfi::Describe() const {
+  return "shadow-stack CFI: returns must match an isolated shadow copy "
+         "(CFI CaRE model); violations stop the CPU with kCfiViolation";
+}
+
+}  // namespace connlab::defense

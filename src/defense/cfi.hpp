@@ -1,0 +1,34 @@
+// Shadow-stack control-flow integrity, after CFI CaRE: every call pushes
+// the return address onto an isolated shadow stack (the host-side vector in
+// vm::Cpu, standing in for TrustZone-protected memory), and every return —
+// `ret` on VX86, `pop {…, pc}` on VARM, and the parse_response epilogue
+// itself — must match the shadow top or the CPU stops with
+// StopReason::kCfiViolation. The attacker can smash the guest stack at
+// will; the shadow copy is simply not addressable from guest code.
+#pragma once
+
+#include "src/defense/mitigation.hpp"
+
+namespace connlab::defense {
+
+class ShadowStackCfi : public Mitigation {
+ public:
+  [[nodiscard]] DefenseKind kind() const noexcept override {
+    return DefenseKind::kShadowStackCfi;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "CFI";
+  }
+
+  /// Boots the victim with prot.cfi — the loader enables the CPU shadow
+  /// stack and the proxy registers parse_response's return site.
+  void Configure(loader::ProtectionConfig& prot) const override;
+
+  /// Verifies the shadow stack actually came up (re-arms it if a caller
+  /// built the config by hand without the cfi bit).
+  util::Status Arm(loader::System& sys) const override;
+
+  [[nodiscard]] std::string Describe() const override;
+};
+
+}  // namespace connlab::defense

@@ -1,0 +1,67 @@
+#include "src/defense/diversity.hpp"
+
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/dns/record.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/exploit/profile.hpp"
+
+namespace connlab::defense {
+
+void StochasticDiversity::Configure(loader::ProtectionConfig& prot) const {
+  prot.stochastic_diversity = true;
+}
+
+std::string StochasticDiversity::Describe() const {
+  return "stochastic diversity: per-boot function shuffle, gap padding and "
+         "libc re-seating (DAEDALUS model); hardcoded addresses go stale";
+}
+
+util::Result<DiversityTrialStats> MeasureDiversityResistance(
+    isa::Arch arch, loader::ProtectionConfig base, int trials,
+    std::uint64_t seed0) {
+  if (trials < 1) return util::InvalidArgument("trials must be positive");
+
+  // The attacker profiles the stock (non-diversified) firmware and builds
+  // one volley; diversity's whole claim is that this volley goes stale.
+  CONNLAB_ASSIGN_OR_RETURN(auto lab, loader::Boot(arch, base, 100));
+  connman::DnsProxy lab_proxy(*lab, connman::Version::k134);
+  exploit::ProfileExtractor extractor(*lab, lab_proxy);
+  CONNLAB_ASSIGN_OR_RETURN(exploit::TargetProfile profile, extractor.Extract());
+  exploit::ExploitGenerator generator(profile);
+  const exploit::Technique technique = exploit::TechniqueFor(arch, base);
+  CONNLAB_ASSIGN_OR_RETURN(dns::LabelSeq labels,
+                           generator.BuildLabels(technique));
+
+  loader::ProtectionConfig victim_prot = base;
+  StochasticDiversity().Configure(victim_prot);
+
+  DiversityTrialStats stats;
+  stats.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    CONNLAB_ASSIGN_OR_RETURN(
+        auto victim,
+        loader::Boot(arch, victim_prot, seed0 + static_cast<std::uint64_t>(t)));
+    connman::DnsProxy proxy(*victim, connman::Version::k134);
+
+    dns::Message query = dns::Message::Query(0x7E57, "target.device.lan");
+    CONNLAB_ASSIGN_OR_RETURN(util::Bytes qwire, dns::Encode(query));
+    CONNLAB_ASSIGN_OR_RETURN(util::Bytes fwd, proxy.AcceptClientQuery(qwire));
+    (void)fwd;
+    dns::Message evil = dns::MaliciousAResponse(query, labels);
+    CONNLAB_ASSIGN_OR_RETURN(util::Bytes rwire, dns::Encode(evil));
+
+    using Kind = connman::ProxyOutcome::Kind;
+    switch (proxy.HandleServerResponse(rwire).kind) {
+      case Kind::kShell: ++stats.shells; break;
+      case Kind::kCrash: ++stats.crashes; break;
+      case Kind::kAbort:
+      case Kind::kCfiViolation:
+      case Kind::kParseError: ++stats.traps; break;
+      default: ++stats.other; break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace connlab::defense

@@ -1,6 +1,10 @@
 #include "src/fuzz/corpus.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
 
 namespace connlab::fuzz {
 
@@ -52,6 +56,89 @@ std::uint32_t Corpus::EnergyFor(std::size_t i) const {
   std::uint32_t energy = e.news >= 2 ? 32 : 16;
   if (e.data.size() > 2048) energy /= 2;
   return energy;
+}
+
+namespace {
+
+constexpr std::string_view kCorpusMagic = "connlab-corpus v1";
+
+int HexNibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string SerializeCorpus(const Corpus& corpus) {
+  std::string out(kCorpusMagic);
+  out += '\n';
+  char line[96];
+  for (const CorpusEntry& e : corpus.entries()) {
+    std::snprintf(line, sizeof(line), "entry news=%d found_at=%llu size=%zu\n",
+                  e.news, static_cast<unsigned long long>(e.found_at),
+                  e.data.size());
+    out += line;
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (const std::uint8_t b : e.data) {
+      out += kHex[b >> 4];
+      out += kHex[b & 0xF];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+util::Result<Corpus> DeserializeCorpus(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kCorpusMagic) {
+    return util::InvalidArgument("corpus file: bad or missing header");
+  }
+  Corpus corpus;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    int news = 0;
+    unsigned long long found_at = 0;
+    std::size_t size = 0;
+    if (std::sscanf(line.c_str(), "entry news=%d found_at=%llu size=%zu",
+                    &news, &found_at, &size) != 3) {
+      return util::InvalidArgument("corpus file: bad entry line: " + line);
+    }
+    std::string hex;
+    if (!std::getline(in, hex) || hex.size() != size * 2) {
+      return util::InvalidArgument("corpus file: truncated entry payload");
+    }
+    util::Bytes data(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      const int hi = HexNibble(hex[2 * i]);
+      const int lo = HexNibble(hex[2 * i + 1]);
+      if (hi < 0 || lo < 0) {
+        return util::InvalidArgument("corpus file: bad hex payload");
+      }
+      data[i] = static_cast<std::uint8_t>(hi << 4 | lo);
+    }
+    corpus.Add(std::move(data), news, found_at);
+  }
+  return corpus;
+}
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Internal("cannot open corpus file for write: " + path);
+  const std::string text = SerializeCorpus(corpus);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return util::Internal("short write to corpus file: " + path);
+  return util::OkStatus();
+}
+
+util::Result<Corpus> LoadCorpus(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFound("corpus file not found: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return DeserializeCorpus(text.str());
 }
 
 }  // namespace connlab::fuzz

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/util/bytes.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/status.hpp"
 
 namespace connlab::fuzz {
 
@@ -38,6 +40,9 @@ class Corpus {
   [[nodiscard]] const CorpusEntry& entry(std::size_t i) const {
     return entries_[i];
   }
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const noexcept {
+    return entries_;
+  }
 
   /// Weighted pick; increments the entry's pick count. Requires a
   /// non-empty corpus.
@@ -53,5 +58,25 @@ class Corpus {
   std::vector<CorpusEntry> entries_;
   std::vector<std::uint64_t> hashes_;  // FNV-1a of each entry, dedup
 };
+
+// --- On-disk persistence ----------------------------------------------------
+//
+// A campaign's merged corpus can be written out and re-seeded into the next
+// campaign (`FuzzConfig::corpus_path`), so coverage accumulates across runs
+// instead of restarting from the built-in seeds every time. The format is a
+// line-oriented text file (stable across platforms, diffable in review):
+//
+//     connlab-corpus v1
+//     entry news=<n> found_at=<exec> size=<bytes>
+//     <2*size hex digits>
+//
+// Scheduler state (`picks`) is deliberately not persisted: staleness decay
+// is per-campaign, a resumed run starts every entry fresh.
+
+std::string SerializeCorpus(const Corpus& corpus);
+util::Result<Corpus> DeserializeCorpus(const std::string& text);
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path);
+util::Result<Corpus> LoadCorpus(const std::string& path);
 
 }  // namespace connlab::fuzz

@@ -1,0 +1,36 @@
+// AFL-style fuzzing dictionaries: user-supplied token lists the mutator
+// splices into inputs. For the DNS targets the interesting tokens are the
+// structural magic values a blind havoc loop takes a long time to
+// synthesise — 0xc00c self-pointers, 0x3f-length bytes, known-hostname
+// label runs, record-type words.
+//
+// File format (one token per line):
+//     # comment
+//     token_name="bytes with \x41 escapes"
+//     "bare tokens work too"
+// Names are documentation only; the mutator sees just the byte strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::fuzz {
+
+/// Parses dictionary text. Unparseable lines are an error (a silently
+/// dropped token would quietly weaken a campaign). An empty file is a
+/// valid empty dictionary.
+util::Result<std::vector<util::Bytes>> ParseDictionary(const std::string& text);
+
+/// Reads and parses a dictionary file.
+util::Result<std::vector<util::Bytes>> LoadDictionaryFile(
+    const std::string& path);
+
+/// Tokens worth having against the simulated dnsproxy, used as a built-in
+/// default and as the CI smoke dictionary: compression-pointer prefixes,
+/// the max label length, an ancount bump, and a long label run.
+std::vector<util::Bytes> DefaultDnsDictionary();
+
+}  // namespace connlab::fuzz

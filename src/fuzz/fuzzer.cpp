@@ -26,7 +26,9 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
   util::Rng& rng = mutator.rng();
 
   const MutationHint hint{target->fixed_prefix(), target->dns_shaped(),
-                          config.max_input_size};
+                          config.max_input_size,
+                          config.dictionary.empty() ? nullptr
+                                                    : &config.dictionary};
 
   Corpus corpus;
   CoverageMap exec_map;
@@ -52,8 +54,15 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
   };
 
   // Seed round: every seed runs once and is admitted regardless of
-  // coverage (the corpus must never start empty).
+  // coverage (the corpus must never start empty). Extra seeds — typically
+  // a persisted corpus from an earlier campaign — join the same round.
   for (const util::Bytes& seed : target->SeedCorpus()) {
+    if (out.execs >= budget) break;
+    const ExecResult result = run_one(seed);
+    record(result, seed);
+    corpus.Add(seed, 1, out.execs);
+  }
+  for (const util::Bytes& seed : config.extra_seeds) {
     if (out.execs >= budget) break;
     const ExecResult result = run_one(seed);
     record(result, seed);
@@ -92,6 +101,7 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
 
   out.reboots = target->reboots();
   out.corpus_size = corpus.size();
+  out.corpus_entries = corpus.entries();
   return out;
 }
 
@@ -101,16 +111,29 @@ util::Result<FuzzReport> Fuzzer::Run() {
   const std::uint64_t budget = config_.max_execs / workers;
   if (budget == 0) return util::InvalidArgument("budget smaller than worker count");
 
+  FuzzConfig config = config_;
+  if (!config.corpus_path.empty()) {
+    // A missing file just means this is the first campaign on this path.
+    auto persisted = LoadCorpus(config.corpus_path);
+    if (persisted.ok()) {
+      for (const CorpusEntry& e : persisted.value().entries()) {
+        config.extra_seeds.push_back(e.data);
+      }
+    } else if (persisted.status().code() != util::StatusCode::kNotFound) {
+      return persisted.status();
+    }
+  }
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<WorkerOutput> outputs(workers);
   if (workers == 1) {
-    outputs[0] = RunWorker(config_, 0, budget);
+    outputs[0] = RunWorker(config, 0, budget);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      threads.emplace_back([this, &outputs, i, budget] {
-        outputs[i] = RunWorker(config_, i, budget);
+      threads.emplace_back([&config, &outputs, i, budget] {
+        outputs[i] = RunWorker(config, i, budget);
       });
     }
     for (std::thread& t : threads) t.join();
@@ -125,6 +148,9 @@ util::Result<FuzzReport> Fuzzer::Run() {
     if (!w.status.ok()) return w.status;
     report.coverage.MergeClassified(w.virgin);
     report.triage.Merge(w.triage);
+    for (CorpusEntry& e : w.corpus_entries) {
+      report.corpus.Add(std::move(e.data), e.news, e.found_at);
+    }
     report.stats.execs += w.execs;
     report.stats.crashing_execs += w.crashing_execs;
     report.stats.reboots += w.reboots;
@@ -138,6 +164,9 @@ util::Result<FuzzReport> Fuzzer::Run() {
       report.stats.seconds > 0
           ? static_cast<double>(report.stats.execs) / report.stats.seconds
           : 0;
+  if (!config.corpus_path.empty()) {
+    CONNLAB_RETURN_IF_ERROR(SaveCorpus(report.corpus, config.corpus_path));
+  }
   return report;
 }
 

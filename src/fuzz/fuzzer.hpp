@@ -40,6 +40,18 @@ struct FuzzConfig {
   /// Minimize each bucket's witness after the loop.
   bool minimize = true;
   std::size_t minimize_execs = 2000;
+  /// Persistent-corpus file. When set, Run() seeds every worker with the
+  /// file's entries (if it exists) and writes the merged corpus back after
+  /// the campaign, so coverage accumulates across runs. A missing file is
+  /// not an error — the first campaign creates it.
+  std::string corpus_path;
+  /// Extra seed inputs injected into every worker's seed round, after the
+  /// target's built-ins. Run() fills this from `corpus_path`; callers can
+  /// also set it directly.
+  std::vector<util::Bytes> extra_seeds;
+  /// Mutation dictionary (see fuzz/dict.hpp). Empty = no dictionary ops,
+  /// bit-identical behaviour to a build without the feature.
+  std::vector<util::Bytes> dictionary;
 };
 
 struct FuzzStats {
@@ -57,6 +69,7 @@ struct FuzzReport {
   FuzzStats stats;
   CrashTriage triage;    // merged + (optionally) minimized buckets
   CoverageMap coverage;  // merged classified coverage
+  Corpus corpus;         // merged (deduplicated) corpus across workers
 };
 
 class Fuzzer {
@@ -71,6 +84,7 @@ class Fuzzer {
     util::Status status = util::OkStatus();
     CoverageMap virgin;  // classified accumulated coverage
     CrashTriage triage;
+    std::vector<CorpusEntry> corpus_entries;  // for cross-run persistence
     std::uint64_t execs = 0;
     std::uint64_t crashing_execs = 0;
     std::uint64_t reboots = 0;

@@ -161,7 +161,12 @@ util::Bytes Mutator::HavocOnce(util::Bytes data, const MutationHint& hint,
     return data;
   }
   const std::size_t span = data.size() - lo;
-  switch (rng_.NextBelow(8)) {
+  // The two dictionary operators only enter the op table when a dictionary
+  // is supplied, so dictionary-less campaigns draw the same RNG sequence as
+  // before the feature existed.
+  const bool dict =
+      hint.dictionary != nullptr && !hint.dictionary->empty();
+  switch (rng_.NextBelow(dict ? 10 : 8)) {
     case 0: {  // flip one bit
       const std::size_t at = lo + rng_.NextBelow(span);
       data[at] ^= static_cast<std::uint8_t>(1u << rng_.NextBelow(8));
@@ -206,7 +211,7 @@ util::Bytes Mutator::HavocOnce(util::Bytes data, const MutationHint& hint,
       data.resize(std::max(keep, lo + 1));
       break;
     }
-    default: {  // splice with a donor entry
+    case 7: {  // splice with a donor entry
       if (splice_donor.size() > lo) {
         const std::size_t cut_a = lo + rng_.NextBelow(span);
         const std::size_t cut_d = lo + rng_.NextBelow(splice_donor.size() - lo);
@@ -217,6 +222,24 @@ util::Bytes Mutator::HavocOnce(util::Bytes data, const MutationHint& hint,
       } else {
         data[lo + rng_.NextBelow(span)] ^= 0xFF;
       }
+      break;
+    }
+    case 8: {  // insert a dictionary token
+      const util::Bytes& token =
+          (*hint.dictionary)[rng_.NextBelow(hint.dictionary->size())];
+      const std::size_t at = lo + rng_.NextBelow(span + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                  token.begin(), token.end());
+      break;
+    }
+    default: {  // overwrite with a dictionary token
+      const util::Bytes& token =
+          (*hint.dictionary)[rng_.NextBelow(hint.dictionary->size())];
+      const std::size_t at = lo + rng_.NextBelow(span);
+      const std::size_t len = std::min(token.size(), data.size() - at);
+      std::copy(token.begin(),
+                token.begin() + static_cast<std::ptrdiff_t>(len),
+                data.begin() + static_cast<std::ptrdiff_t>(at));
       break;
     }
   }

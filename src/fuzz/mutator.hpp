@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/util/bytes.hpp"
 #include "src/util/rng.hpp"
@@ -33,6 +34,12 @@ struct MutationHint {
   bool dns = false;
   /// Hard cap on output size (the simulated datagram/heap limit).
   std::size_t max_size = 8192;
+  /// Optional user token list (AFL-style dictionary): when non-null and
+  /// non-empty, the havoc tier gains insert-token / overwrite-with-token
+  /// operators. Null or empty leaves the RNG draw sequence — and therefore
+  /// every existing campaign's replay — bit-identical to the no-dictionary
+  /// build. Not owned; must outlive the mutation calls.
+  const std::vector<util::Bytes>* dictionary = nullptr;
 };
 
 class Mutator {

@@ -288,6 +288,7 @@ class DnsproxyTarget : public BootedTarget {
         corrupted = true;
         break;
       case Kind::kAbort:
+      case Kind::kCfiViolation:
         result.kind = ExecResult::Kind::kAbort;
         corrupted = true;
         break;

@@ -16,6 +16,7 @@ util::Result<std::unique_ptr<System>> Boot(isa::Arch arch,
     auto sys = std::make_unique<System>();
     sys->arch = arch;
     sys->prot = prot;
+    sys->boot_seed = seed;
     sys->rng = rng.Fork();
     sys->layout = RandomizedLayout(arch, prot, rng);
     sys->cpu = std::make_unique<vm::Cpu>(arch, sys->space);
@@ -37,7 +38,19 @@ util::Result<std::unique_ptr<System>> Boot(isa::Arch arch,
     sys->sections.push_back(
         {"stack", sys->layout.stack_base(), sys->layout.stack_size});
 
-    sys->canary_value = prot.canary ? sys->rng.NextU32() | 0x01010101u : 0;
+    // Full-width canaries keep the historical draw; narrower ones (the
+    // brute-force-resistance knob) live in [0x01010101, 0x01010101 + 2^bits)
+    // so an attacker's search space is exactly 2^canary_entropy_bits.
+    if (prot.canary) {
+      const std::uint32_t draw = sys->rng.NextU32();
+      const int bits = prot.canary_entropy_bits;
+      sys->canary_value =
+          (bits >= 32 || bits < 1)
+              ? draw | 0x01010101u
+              : 0x01010101u + (draw & ((1u << bits) - 1u));
+    } else {
+      sys->canary_value = 0;
+    }
     sys->cpu->set_sp(sys->layout.initial_sp());
     CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr entry, sys->Sym("connman._start"));
     sys->cpu->set_pc(entry);

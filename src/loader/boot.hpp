@@ -32,6 +32,9 @@ struct System {
   std::vector<SectionInfo> sections;
   /// Per-boot stack-protector value (only meaningful when prot.canary).
   std::uint32_t canary_value = 0;
+  /// The seed this System was booted with; image builders derive the
+  /// stochastic-diversity layout stream from it.
+  std::uint64_t boot_seed = 0;
   /// Per-boot RNG stream (transaction ids etc. downstream).
   util::Rng rng{0};
 

@@ -21,19 +21,32 @@ using isa::Assembler;
 // builds expose different gadget/PLT addresses.
 constexpr std::uint64_t kImageSeed = 0x434f4e4e4d414e21ULL;  // "CONNMAN!"
 
-/// Emits `blocks` in canonical order, or permuted per `prot` when the
-/// diversity mitigation is modelled (Fisher-Yates on the build id).
+/// Emits `blocks` in canonical order, or permuted when a diversity model is
+/// active (Fisher-Yates). Compile-time diversity keys the permutation on the
+/// build id alone; stochastic (DAEDALUS-style) diversity folds the boot seed
+/// in and additionally pads random inter-function gaps via `pad_gap`, so two
+/// boots of the same build expose different gadget/PLT addresses.
 void EmitBlocks(std::vector<std::function<void()>> blocks,
-                const ProtectionConfig& prot) {
-  if (prot.diversity) {
-    util::Rng shuffle_rng(kImageSeed ^ prot.diversity_build);
-    for (std::size_t i = blocks.size(); i > 1; --i) {
-      const std::size_t j =
-          static_cast<std::size_t>(shuffle_rng.NextBelow(i));
-      std::swap(blocks[i - 1], blocks[j]);
-    }
+                const ProtectionConfig& prot, std::uint64_t boot_seed,
+                const std::function<void(util::Rng&)>& pad_gap) {
+  const bool shuffled = prot.diversity || prot.stochastic_diversity;
+  if (!shuffled) {
+    for (auto& block : blocks) block();
+    return;
   }
-  for (auto& block : blocks) block();
+  std::uint64_t key = kImageSeed ^ prot.diversity_build;
+  if (prot.stochastic_diversity) {
+    key ^= (boot_seed + 1) * 0x9E3779B97F4A7C15ULL;  // never the canonical key
+  }
+  util::Rng layout_rng(key);
+  for (std::size_t i = blocks.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(layout_rng.NextBelow(i));
+    std::swap(blocks[i - 1], blocks[j]);
+  }
+  for (auto& block : blocks) {
+    if (prot.stochastic_diversity) pad_gap(layout_rng);
+    block();
+  }
 }
 
 // ---------------------------------------------------------------- VX86 ----
@@ -67,7 +80,8 @@ void EmitDecorativeFnVX86(Assembler& a, util::Rng& rng, int index) {
 }
 
 util::Result<util::Bytes> BuildTextVX86(const Layout& layout, Assembler& a,
-                                        const ProtectionConfig& prot) {
+                                        const ProtectionConfig& prot,
+                                        std::uint64_t boot_seed) {
   namespace x = isa::vx86;
   util::Rng rng(kImageSeed);
 
@@ -173,7 +187,12 @@ util::Result<util::Bytes> BuildTextVX86(const Layout& layout, Assembler& a,
     x::EncRet(a.w());
   });
 
-  EmitBlocks(std::move(blocks), prot);
+  // Gap filler is hlt bytes — the established inter-function padding, and
+  // inert if a wild jump ever lands in one.
+  EmitBlocks(std::move(blocks), prot, boot_seed, [&a](util::Rng& layout_rng) {
+    const std::size_t pad = layout_rng.NextBelow(13);
+    for (std::size_t i = 0; i < pad; ++i) x::EncHlt(a.w());
+  });
   return a.Finish();
 }
 
@@ -207,7 +226,8 @@ void EmitDecorativeFnVARM(Assembler& a, util::Rng& rng, int index) {
 }
 
 util::Result<util::Bytes> BuildTextVARM(const Layout& layout, Assembler& a,
-                                        const ProtectionConfig& prot) {
+                                        const ProtectionConfig& prot,
+                                        std::uint64_t boot_seed) {
   namespace v = isa::varm;
   util::Rng rng(kImageSeed ^ 0xA);
 
@@ -300,7 +320,11 @@ util::Result<util::Bytes> BuildTextVARM(const Layout& layout, Assembler& a,
     v::EncPop(a.w(), v::Mask({isa::kR0, isa::kPC}));
   });
 
-  EmitBlocks(std::move(blocks), prot);
+  // VARM instructions are fixed 4-byte words; gaps stay word-aligned.
+  EmitBlocks(std::move(blocks), prot, boot_seed, [&a](util::Rng& layout_rng) {
+    const std::size_t pad = layout_rng.NextBelow(4);
+    for (std::size_t i = 0; i < pad; ++i) v::EncHlt(a.w());
+  });
   return a.Finish();
 }
 
@@ -347,10 +371,11 @@ util::Status LoadConnmanImage(System& sys) {
 
   // .text
   Assembler text_asm(sys.arch, l.text_base);
-  CONNLAB_ASSIGN_OR_RETURN(util::Bytes text,
-                           sys.arch == Arch::kVX86
-                               ? BuildTextVX86(l, text_asm, sys.prot)
-                               : BuildTextVARM(l, text_asm, sys.prot));
+  CONNLAB_ASSIGN_OR_RETURN(
+      util::Bytes text,
+      sys.arch == Arch::kVX86
+          ? BuildTextVX86(l, text_asm, sys.prot, sys.boot_seed)
+          : BuildTextVARM(l, text_asm, sys.prot, sys.boot_seed));
   if (text.size() > l.text_size) {
     return util::ResourceExhausted("generated .text exceeds the segment");
   }

@@ -9,7 +9,10 @@ std::string ProtectionConfig::ToString() const {
   out += canary ? "+canary" : "";
   out += cfi ? "+CFI" : "";
   out += diversity ? "+ASD" : "";
-  if (!wx && !aslr && !canary && !cfi && !diversity) out = "none";
+  out += stochastic_diversity ? "+SSD" : "";
+  if (!wx && !aslr && !canary && !cfi && !diversity && !stochastic_diversity) {
+    out = "none";
+  }
   return out;
 }
 

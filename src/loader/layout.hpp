@@ -25,6 +25,10 @@ struct ProtectionConfig {
   /// Pages of ASLR entropy (libc and stack each draw this many bits).
   /// 32-bit Linux historically offers ~8-12 bits for mmap; default 12.
   int aslr_entropy_bits = 12;
+  /// Canary entropy in bits (1..32). 32 models a full-width protector;
+  /// lower values model weak per-boot randomness (the brute-force knob:
+  /// the search space is exactly 2^bits, see defense::StackCanary).
+  int canary_entropy_bits = 32;
 
   // §IV mitigation models (the paper's suggested defenses, for the E8
   // ablations — all off in the paper's experiments):
@@ -36,6 +40,11 @@ struct ProtectionConfig {
   /// address-based exploits stop porting across builds.
   bool diversity = false;
   std::uint64_t diversity_build = 0;
+  /// DAEDALUS-style load-time stochastic diversity: function order,
+  /// inter-function gaps and libc entry offsets are drawn from the boot
+  /// seed, so every boot of the same build exposes different gadget/PLT/
+  /// libc addresses and a hardcoded exploit succeeds only by luck.
+  bool stochastic_diversity = false;
 
   [[nodiscard]] std::string ToString() const;
 
@@ -50,6 +59,9 @@ struct ProtectionConfig {
   }
   static ProtectionConfig Diversified(std::uint64_t build) {
     return {.wx = true, .aslr = true, .diversity = true, .diversity_build = build};
+  }
+  static ProtectionConfig StochasticDiversity() {
+    return {.wx = true, .stochastic_diversity = true};
   }
 };
 

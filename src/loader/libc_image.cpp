@@ -139,17 +139,47 @@ util::Status LoadLibcImage(System& sys) {
       sys.space.Map("libc", l.libc_base, l.libc_size, mem::kPermRX));
   sys.sections.push_back({"libc", l.libc_base, l.libc_size});
 
+  // Under DAEDALUS-style stochastic diversity the libc image itself is
+  // re-laid-out per boot: the five entry points are permuted across their
+  // 0x100-wide slots and jittered inside them (word-aligned), and the
+  // "/bin/sh" string moves too. A ret-to-libc chain built from another
+  // boot's addresses therefore lands in dead libc bytes instead of
+  // system() — the firmware-wide half of the diversity model.
+  std::uint32_t off_system = kLibcSystemOff;
+  std::uint32_t off_exit = kLibcExitOff;
+  std::uint32_t off_memcpy = kLibcMemcpyOff;
+  std::uint32_t off_execlp = kLibcExeclpOff;
+  std::uint32_t off_chk = kLibcStrcpyChkOff;
+  std::uint32_t off_binsh = kLibcBinShOff;
+  if (sys.prot.stochastic_diversity) {
+    util::Rng layout_rng((sys.boot_seed + 1) * 0xC2B2AE3D27D4EB4FULL);
+    std::uint32_t slots[] = {kLibcSystemOff, kLibcExitOff, kLibcMemcpyOff,
+                             kLibcExeclpOff, kLibcStrcpyChkOff};
+    for (std::size_t i = 5; i > 1; --i) {
+      std::swap(slots[i - 1], slots[layout_rng.NextBelow(i)]);
+    }
+    std::uint32_t* offs[] = {&off_system, &off_exit, &off_memcpy, &off_execlp,
+                             &off_chk};
+    for (std::size_t i = 0; i < 5; ++i) {
+      // Jitter strictly below the 0x100 slot width: no collisions possible.
+      *offs[i] = slots[i] +
+                 static_cast<std::uint32_t>(layout_rng.NextBelow(0x30)) * 4;
+    }
+    off_binsh = 0x1000 +
+                static_cast<std::uint32_t>(layout_rng.NextBelow(0x300)) * 4;
+  }
+
   struct Entry {
     const char* name;
     std::uint32_t offset;
     Cpu::HostFn fn;
   };
   const Entry entries[] = {
-      {"libc.system", kLibcSystemOff, LibcSystem},
-      {"libc.exit", kLibcExitOff, LibcExit},
-      {"libc.memcpy", kLibcMemcpyOff, LibcMemcpy},
-      {"libc.execlp", kLibcExeclpOff, LibcExeclp},
-      {"libc.__strcpy_chk", kLibcStrcpyChkOff, LibcStrcpyChk},
+      {"libc.system", off_system, LibcSystem},
+      {"libc.exit", off_exit, LibcExit},
+      {"libc.memcpy", off_memcpy, LibcMemcpy},
+      {"libc.execlp", off_execlp, LibcExeclp},
+      {"libc.__strcpy_chk", off_chk, LibcStrcpyChk},
   };
   for (const Entry& e : entries) {
     const mem::GuestAddr addr = l.libc_base + e.offset;
@@ -160,7 +190,7 @@ util::Status LoadLibcImage(System& sys) {
 
   // "/bin/sh" lives at a fixed offset inside libc: static without ASLR,
   // moving with the base under ASLR.
-  const mem::GuestAddr binsh = l.libc_base + kLibcBinShOff;
+  const mem::GuestAddr binsh = l.libc_base + off_binsh;
   CONNLAB_RETURN_IF_ERROR(sys.symbols.Define("libc.str.bin_sh", binsh));
   util::Bytes str = util::BytesOf("/bin/sh");
   str.push_back(0);
@@ -171,11 +201,11 @@ util::Status LoadLibcImage(System& sys) {
   CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr got_execlp, sys.Sym("got.execlp"));
   CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr got_chk, sys.Sym("got.__strcpy_chk"));
   CONNLAB_RETURN_IF_ERROR(
-      sys.space.WriteU32(got_memcpy, l.libc_base + kLibcMemcpyOff));
+      sys.space.WriteU32(got_memcpy, l.libc_base + off_memcpy));
   CONNLAB_RETURN_IF_ERROR(
-      sys.space.WriteU32(got_execlp, l.libc_base + kLibcExeclpOff));
+      sys.space.WriteU32(got_execlp, l.libc_base + off_execlp));
   CONNLAB_RETURN_IF_ERROR(
-      sys.space.WriteU32(got_chk, l.libc_base + kLibcStrcpyChkOff));
+      sys.space.WriteU32(got_chk, l.libc_base + off_chk));
   return util::OkStatus();
 }
 

@@ -29,6 +29,7 @@ std::string_view StopReasonName(StopReason reason) noexcept {
     case StopReason::kAbort: return "abort";
     case StopReason::kStepLimit: return "step-limit";
     case StopReason::kBreakpoint: return "breakpoint";
+    case StopReason::kCfiViolation: return "cfi-violation";
   }
   return "?";
 }
@@ -295,8 +296,8 @@ void Cpu::ExecVX86(const isa::Instr& ins, mem::GuestAddr pc_next) {
       auto target = Pop();
       if (!target.ok()) { Fault("ret pop failed"); return; }
       if (!ShadowCheckReturn(target.value())) {
-        PushEvent(EventKind::kCanaryAbort, "CFI: return address mismatch");
-        RequestStop(StopReason::kAbort, "CFI violation on ret");
+        PushEvent(EventKind::kCfiViolation, "CFI: return address mismatch");
+        RequestStop(StopReason::kCfiViolation, "CFI violation on ret");
         return;
       }
       set_pc(target.value());
@@ -437,8 +438,8 @@ void Cpu::ExecVARM(const isa::Instr& ins, mem::GuestAddr pc_next) {
       set_sp(addr);
       if (has_pc) {
         if (!ShadowCheckReturn(new_pc)) {
-          PushEvent(EventKind::kCanaryAbort, "CFI: return address mismatch");
-          RequestStop(StopReason::kAbort, "CFI violation on pop {pc}");
+          PushEvent(EventKind::kCfiViolation, "CFI: return address mismatch");
+          RequestStop(StopReason::kCfiViolation, "CFI violation on pop {pc}");
           return;
         }
         set_pc(new_pc);

@@ -37,6 +37,7 @@ enum class StopReason : std::uint8_t {
   kAbort,         // SIGABRT equivalent (canary failure)
   kStepLimit,     // ran out of instruction budget
   kBreakpoint,    // debugger breakpoint hit
+  kCfiViolation,  // shadow-stack return check failed (CFI CaRE model)
 };
 
 std::string_view StopReasonName(StopReason reason) noexcept;

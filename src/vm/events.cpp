@@ -11,6 +11,7 @@ std::string EventKindName(EventKind kind) {
     case EventKind::kExit: return "exit";
     case EventKind::kWrite: return "write";
     case EventKind::kCanaryAbort: return "canary-abort";
+    case EventKind::kCfiViolation: return "cfi-violation";
     case EventKind::kNote: return "note";
   }
   return "?";

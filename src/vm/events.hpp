@@ -20,6 +20,7 @@ enum class EventKind : std::uint8_t {
   kExit,          // guest called exit()
   kWrite,         // guest wrote to a descriptor
   kCanaryAbort,   // stack-protector check failed (__stack_chk_fail analogue)
+  kCfiViolation,  // shadow-stack return check failed (CFI CaRE analogue)
   kNote,          // free-form diagnostic from host-implemented functions
 };
 

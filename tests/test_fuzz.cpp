@@ -4,10 +4,13 @@
 // CVE-2017-12865 in the simulated dnsproxy from benign seeds.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "src/dns/craft.hpp"
 #include "src/dns/message.hpp"
 #include "src/fuzz/corpus.hpp"
 #include "src/fuzz/coverage.hpp"
+#include "src/fuzz/dict.hpp"
 #include "src/fuzz/fuzzer.hpp"
 #include "src/fuzz/mutator.hpp"
 #include "src/fuzz/target.hpp"
@@ -428,6 +431,156 @@ TEST(Fuzzer, RejectsDegenerateConfigs) {
   config.workers = 64;
   config.max_execs = 10;
   EXPECT_FALSE(Fuzzer(config).Run().ok());
+}
+
+// ------------------------------------------------- corpus persistence ----
+
+TEST(CorpusPersistence, SerializeDeserializeRoundTrip) {
+  Corpus corpus;
+  corpus.Add(Bytes{0x00, 0xFF, 0x41}, 2, 7);
+  corpus.Add(Bytes{0xC0, 0x0C}, 1, 123456);
+  corpus.Add(Bytes{}, 1, 0);  // empty entry survives too
+
+  auto back = DeserializeCorpus(SerializeCorpus(corpus));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(back.value().entry(i).data, corpus.entry(i).data) << i;
+    EXPECT_EQ(back.value().entry(i).news, corpus.entry(i).news) << i;
+    EXPECT_EQ(back.value().entry(i).found_at, corpus.entry(i).found_at) << i;
+    EXPECT_EQ(back.value().entry(i).picks, 0u) << i;  // per-campaign state
+  }
+}
+
+TEST(CorpusPersistence, SaveLoadFileRoundTrip) {
+  const std::string path = "test_corpus_roundtrip.tmp";
+  Corpus corpus;
+  corpus.Add(Bytes{1, 2, 3, 4}, 2, 9);
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  auto loaded = LoadCorpus(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value().entry(0).data, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(CorpusPersistence, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeCorpus("not a corpus").ok());
+  EXPECT_FALSE(DeserializeCorpus("connlab-corpus v1\nentry nope\n").ok());
+  EXPECT_FALSE(
+      DeserializeCorpus("connlab-corpus v1\n"
+                        "entry news=1 found_at=0 size=4\nzzzz\n")
+          .ok());
+  EXPECT_FALSE(LoadCorpus("does_not_exist.corpus").ok());
+}
+
+TEST(CorpusPersistence, CampaignSavesAndResumes) {
+  const std::string path = "test_corpus_campaign.tmp";
+  std::remove(path.c_str());
+
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.seed = 11;
+  config.max_execs = 3000;
+  config.minimize = false;
+  config.corpus_path = path;
+  auto first = Fuzzer(config).Run();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_GT(first.value().corpus.size(), 0u);
+
+  // The file now holds the merged corpus...
+  auto persisted = LoadCorpus(path);
+  ASSERT_TRUE(persisted.ok()) << persisted.status().ToString();
+  EXPECT_EQ(persisted.value().size(), first.value().corpus.size());
+
+  // ...and a resumed campaign seeds from it (the persisted entries join the
+  // seed round, so the second run executes at least as many seeds).
+  config.seed = 12;  // different stream, same accumulated corpus
+  auto second = Fuzzer(config).Run();
+  std::remove(path.c_str());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GE(second.value().corpus.size(), first.value().corpus.size());
+}
+
+// ----------------------------------------------------------- dictionary ----
+
+TEST(Dictionary, ParsesAflStyleLines) {
+  auto tokens = ParseDictionary(
+      "# DNS structural tokens\n"
+      "\n"
+      "ptr_self=\"\\xc0\\x0c\"\n"
+      "  label_max=\"\\x3F\"\n"
+      "\"bare\\\"quote\"\n");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  ASSERT_EQ(tokens.value().size(), 3u);
+  EXPECT_EQ(tokens.value()[0], (Bytes{0xC0, 0x0C}));
+  EXPECT_EQ(tokens.value()[1], (Bytes{0x3F}));
+  EXPECT_EQ(tokens.value()[2], (Bytes{'b', 'a', 'r', 'e', '"', 'q', 'u',
+                                      'o', 't', 'e'}));
+}
+
+TEST(Dictionary, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseDictionary("token=unquoted\n").ok());
+  EXPECT_FALSE(ParseDictionary("x=\"unterminated\n").ok());
+  EXPECT_FALSE(ParseDictionary("x=\"bad\\q\"\n").ok());
+  EXPECT_FALSE(ParseDictionary("x=\"\\x4\"\n").ok());
+  EXPECT_FALSE(ParseDictionary("x=\"\"\n").ok());
+  EXPECT_FALSE(LoadDictionaryFile("does_not_exist.dict").ok());
+}
+
+TEST(Dictionary, EmptyTextIsEmptyDictionary) {
+  auto tokens = ParseDictionary("# only comments\n\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens.value().empty());
+}
+
+TEST(Dictionary, AbsentDictionaryLeavesMutationStreamUnchanged) {
+  // A null or empty dictionary must not consume extra RNG draws — replay
+  // compatibility for every pre-dictionary campaign.
+  const Bytes seed = DnsSeed();
+  const std::vector<Bytes> empty;
+  MutationHint no_dict{12, true, 4096, nullptr};
+  MutationHint empty_dict{12, true, 4096, &empty};
+  Mutator a(util::Rng(99));
+  Mutator b(util::Rng(99));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Mutate(seed, no_dict), b.Mutate(seed, empty_dict)) << i;
+  }
+}
+
+TEST(Dictionary, TokensGetSpliced) {
+  const Bytes seed = DnsSeed();
+  const std::vector<Bytes> dict = {Bytes{0xDE, 0xAD, 0xBE, 0xEF}};
+  MutationHint hint{12, false, 4096, &dict};
+  Mutator mutator(util::Rng(5));
+  bool seen = false;
+  for (int i = 0; i < 400 && !seen; ++i) {
+    const Bytes mutant = mutator.Mutate(seed, hint);
+    for (std::size_t at = 0; at + 4 <= mutant.size(); ++at) {
+      if (mutant[at] == 0xDE && mutant[at + 1] == 0xAD &&
+          mutant[at + 2] == 0xBE && mutant[at + 3] == 0xEF) {
+        seen = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(seen) << "dictionary token never spliced in 400 mutants";
+}
+
+TEST(Dictionary, BuiltinDnsDictionaryIsUsable) {
+  const auto tokens = DefaultDnsDictionary();
+  ASSERT_FALSE(tokens.empty());
+  for (const Bytes& t : tokens) EXPECT_FALSE(t.empty());
+
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.seed = 21;
+  config.max_execs = 3000;
+  config.minimize = false;
+  config.dictionary = tokens;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().stats.execs, 0u);
 }
 
 }  // namespace

@@ -57,9 +57,9 @@ TEST(Cfi, ShadowStackAbortsForgedReturn) {
   cpu.set_sp(0x8ffc);
   ASSERT_TRUE(space.WriteU32(0x8ffc, 0x1000).ok());  // forged target
   auto stop = cpu.Run(100);
-  EXPECT_EQ(stop.reason, vm::StopReason::kAbort);
+  EXPECT_EQ(stop.reason, vm::StopReason::kCfiViolation);
   ASSERT_FALSE(cpu.events().empty());
-  EXPECT_EQ(cpu.events().back().kind, vm::EventKind::kCanaryAbort);
+  EXPECT_EQ(cpu.events().back().kind, vm::EventKind::kCfiViolation);
 }
 
 TEST(Cfi, VarmPopPcChecked) {
@@ -75,7 +75,7 @@ TEST(Cfi, VarmPopPcChecked) {
   cpu.set_sp(0x8ffc);
   ASSERT_TRUE(space.WriteU32(0x8ffc, 0x1000).ok());
   auto stop = cpu.Run(100);
-  EXPECT_EQ(stop.reason, vm::StopReason::kAbort);
+  EXPECT_EQ(stop.reason, vm::StopReason::kCfiViolation);
 }
 
 TEST(Cfi, BenignProxyTrafficUnaffected) {
@@ -117,7 +117,7 @@ TEST(Cfi, StopsTheRopChainOnBothArchs) {
     ASSERT_TRUE(response.ok());
     auto outcome =
         proxy.HandleServerResponse(dns::Encode(response.value()).value());
-    EXPECT_EQ(outcome.kind, Kind::kAbort) << outcome.ToString();
+    EXPECT_EQ(outcome.kind, Kind::kCfiViolation) << outcome.ToString();
     EXPECT_NE(outcome.detail.find("CFI"), std::string::npos);
   }
 }
