@@ -2,13 +2,18 @@
 // single- vs multi-worker, plus the determinism contract (identical root
 // seed => identical merged coverage digest and crash buckets, regardless
 // of worker scheduling).
-// Table: execs/sec and scaling per worker count.
+// Table: execs/sec and scaling per worker count, plus legacy vs fast VM
+// mode (predecode cache + snapshot reboots against the pre-PR byte-copying
+// interpreter and full re-Boots).
 // Timing: single execution, single mutation, and a short campaign.
+// `--json[=path]` additionally writes BENCH_fuzz.json for CI.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <thread>
 
+#include "bench/bench_json.hpp"
 #include "src/fuzz/fuzzer.hpp"
 #include "src/fuzz/mutator.hpp"
 
@@ -109,10 +114,69 @@ void BM_Campaign(benchmark::State& state) {
 }
 BENCHMARK(BM_Campaign)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// Legacy vs fast VM mode on a 1-worker campaign: legacy = byte-copying
+/// fetch/decode + full loader re-Boot per corruption; fast = predecode
+/// cache + snapshot-restore reboots. Same seed, so the coverage digests
+/// must match — the speedup is free only if behaviour is identical.
+void CompareModes(const std::string& json_path) {
+  constexpr std::uint64_t kExecs = 20000;
+
+  vm::Cpu::set_predecode_default(false);
+  fuzz::FuzzConfig legacy_config = CampaignConfig(1, kExecs);
+  legacy_config.target.fast_reset = false;
+  auto legacy = fuzz::Fuzzer(legacy_config).Run();
+  vm::Cpu::set_predecode_default(true);
+  auto fast = fuzz::Fuzzer(CampaignConfig(1, kExecs)).Run();
+  if (!legacy.ok() || !fast.ok()) {
+    std::printf("mode comparison failed\n");
+    return;
+  }
+  const fuzz::FuzzStats& ls = legacy.value().stats;
+  const fuzz::FuzzStats& fs = fast.value().stats;
+  const double speedup =
+      ls.execs_per_sec > 0 ? fs.execs_per_sec / ls.execs_per_sec : 0;
+  const bool digests_match = ls.coverage_digest == fs.coverage_digest;
+
+  std::printf("== legacy vs fast VM mode — dnsproxy, 1 worker, seed 42 ==\n");
+  std::printf("%-34s %12s %9s\n", "mode", "execs/sec", "reboots");
+  std::printf("%s\n", std::string(58, '-').c_str());
+  std::printf("%-34s %12.0f %9llu\n", "legacy (no cache, full re-Boot)",
+              ls.execs_per_sec, static_cast<unsigned long long>(ls.reboots));
+  std::printf("%-34s %12.0f %9llu\n", "fast (predecode + snapshot)",
+              fs.execs_per_sec, static_cast<unsigned long long>(fs.reboots));
+  std::printf("speedup: %.2fx, coverage digest %s\n\n", speedup,
+              digests_match ? "identical" : "DIVERGED");
+
+  if (!json_path.empty()) {
+    char digest[24];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(fs.coverage_digest));
+    benchout::JsonWriter json;
+    json.String("bench", "fuzz_throughput");
+    json.String("target", "dnsproxy");
+    json.Integer("execs", fs.execs);
+    json.Number("execs_per_sec_legacy", ls.execs_per_sec);
+    json.Number("execs_per_sec", fs.execs_per_sec);
+    json.Number("speedup", speedup);
+    json.Integer("reboots", fs.reboots);
+    json.Bool("digest_matches_legacy", digests_match);
+    json.String("coverage_digest", digest);
+    json.WriteFile(json_path);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      benchout::TakeJsonFlag(argc, argv, "BENCH_fuzz.json");
+  if (!json_path.empty()) {
+    // CI smoke mode: just the mode comparison + artifact, no microbenches.
+    CompareModes(json_path);
+    return 0;
+  }
   PrintTable();
+  CompareModes("");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,86 @@
+// Machine-readable bench output: each bench binary accepts `--json[=path]`
+// and dumps a flat JSON object of its headline numbers (steps/sec,
+// execs/sec, reboot cost, speedups), so CI can archive and diff performance
+// across commits without scraping the human tables. Header-only and
+// deliberately tiny — flat string/number objects only, no escaping beyond
+// what our own keys need.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace connlab::benchout {
+
+/// Strips a `--json[=path]` flag from argv (so google-benchmark never sees
+/// it) and returns the output path: `default_path` for a bare `--json`,
+/// empty string when the flag is absent.
+inline std::string TakeJsonFlag(int& argc, char** argv,
+                                const std::string& default_path) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == "--json") {
+      path = default_path;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      if (path.empty()) path = default_path;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+/// Flat JSON object writer. Values must not need escaping (our keys and
+/// values are identifiers, hex digests and numbers).
+class JsonWriter {
+ public:
+  void Number(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.push_back('"' + key + "\": " + buf);
+  }
+  void Integer(const std::string& key, unsigned long long value) {
+    fields_.push_back('"' + key + "\": " + std::to_string(value));
+  }
+  void String(const std::string& key, const std::string& value) {
+    fields_.push_back('"' + key + "\": \"" + value + '"');
+  }
+  void Bool(const std::string& key, bool value) {
+    fields_.push_back('"' + key + (value ? "\": true" : "\": false"));
+  }
+
+  [[nodiscard]] std::string Render() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += "  " + fields_[i];
+      if (i + 1 < fields_.size()) out += ',';
+      out += '\n';
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the object to `path`; prints a note either way so CI logs show
+  /// where the artifact landed.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = Render();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    std::printf("bench json written to %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+}  // namespace connlab::benchout

@@ -1,0 +1,257 @@
+// E13 — VM hot-path throughput: interpreter steps/second with the predecode
+// cache on vs off (legacy fetch/decode), measured on the paper's x86 ROP
+// chain replay and on a tight arithmetic loop, plus the cost of a loader
+// Boot vs a snapshot restore (the fuzzer's fast reboot).
+// Table: steps/sec per mode with speedups; boot vs restore microseconds.
+// Timing: single ROP delivery, Boot, TakeSnapshot and RestoreSnapshot.
+// `--json[=path]` additionally writes BENCH_vm.json for CI.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_json.hpp"
+#include "src/connman/dnsproxy.hpp"
+#include "src/dns/craft.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/exploit/profile.hpp"
+#include "src/exploit/rop_x86.hpp"
+#include "src/isa/assembler.hpp"
+#include "src/loader/boot.hpp"
+#include "src/loader/snapshot.hpp"
+
+using namespace connlab;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double Seconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+/// Restores the process-wide predecode default on scope exit, so a failed
+/// measurement can't leak legacy mode into the google-benchmark phase.
+struct PredecodeMode {
+  explicit PredecodeMode(bool enabled) { vm::Cpu::set_predecode_default(enabled); }
+  ~PredecodeMode() { vm::Cpu::set_predecode_default(true); }
+};
+
+struct Throughput {
+  double steps_per_sec = 0;
+  double items_per_sec = 0;  // deliveries (ROP) or loop runs
+  std::uint64_t steps = 0;
+};
+
+/// The attacker's labels for the full x86 ROP chain, built once from a lab
+/// boot (seed 100) exactly as bench_rop_x86 does.
+dns::LabelSeq RopLabels() {
+  auto lab =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::WxAslr(), 100)
+          .value();
+  connman::DnsProxy lab_proxy(*lab, connman::Version::k134);
+  exploit::ProfileExtractor extractor(*lab, lab_proxy);
+  auto profile = extractor.Extract().value();
+  auto image = exploit::BuildRopX86(profile, "/bin/sh").value();
+  return dns::CutIntoLabels(image).value();
+}
+
+/// Repeated end-to-end ROP deliveries against one victim (the proxy resumes
+/// cleanly after each hijack, so deliveries chain on a single boot).
+Throughput MeasureRopReplay(bool predecode, const dns::LabelSeq& labels,
+                            double budget_secs) {
+  PredecodeMode mode(predecode);
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::WxAslr(), 4242)
+          .value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  Throughput tp;
+  const std::uint64_t steps0 = sys->cpu->steps_executed();
+  std::uint16_t id = 1;
+  int reps = 0;
+  const auto t0 = Clock::now();
+  double secs = 0;
+  do {
+    dns::Message query = dns::Message::Query(id++, "victim.example");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    dns::Message evil = dns::MaliciousAResponse(query, labels);
+    benchmark::DoNotOptimize(proxy.HandleServerResponse(dns::Encode(evil).value()));
+    ++reps;
+    secs = Seconds(t0);
+  } while (secs < budget_secs);
+  tp.steps = sys->cpu->steps_executed() - steps0;
+  tp.steps_per_sec = static_cast<double>(tp.steps) / secs;
+  tp.items_per_sec = reps / secs;
+  return tp;
+}
+
+/// A straight-line countdown loop in .scratch: the densest all-interpreter
+/// workload (no host functions, no DNS framing).
+Throughput MeasureTightLoop(bool predecode, double budget_secs) {
+  PredecodeMode mode(predecode);
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 7)
+          .value();
+  const mem::GuestAddr scratch = sys->Sym("scratch.start").value();
+  isa::Assembler as(isa::Arch::kVX86, scratch);
+  isa::vx86::EncMovImm(as.w(), isa::kEAX, 100000000);
+  as.Label("loop");
+  isa::vx86::EncSubImm(as.w(), isa::kEAX, 1);
+  isa::vx86::EncCmpImm(as.w(), isa::kEAX, 0);
+  as.JnzLabel("loop");
+  isa::vx86::EncHlt(as.w());
+  const util::Bytes code = as.Finish().value();
+  (void)sys->space.DebugWrite(scratch, code);
+  (void)sys->space.Protect(".scratch", mem::kPermRX);
+
+  Throughput tp;
+  const auto t0 = Clock::now();
+  double secs = 0;
+  int runs = 0;
+  do {
+    sys->cpu->set_pc(scratch);
+    const vm::StopInfo stop = sys->cpu->Run(20000000);
+    tp.steps += stop.steps;
+    ++runs;
+    secs = Seconds(t0);
+  } while (secs < budget_secs);
+  tp.steps_per_sec = static_cast<double>(tp.steps) / secs;
+  tp.items_per_sec = runs / secs;
+  return tp;
+}
+
+struct RebootCost {
+  double boot_us = 0;
+  double restore_us = 0;
+};
+
+RebootCost MeasureRebootCost() {
+  RebootCost cost;
+  constexpr int kBoots = 200;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kBoots; ++i) {
+    auto sys =
+        loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 1)
+            .value();
+    benchmark::DoNotOptimize(sys);
+  }
+  cost.boot_us = Seconds(t0) / kBoots * 1e6;
+
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 1)
+          .value();
+  const loader::Snapshot snap = loader::TakeSnapshot(*sys);
+  constexpr int kRestores = 2000;
+  const auto t1 = Clock::now();
+  for (int i = 0; i < kRestores; ++i) {
+    (void)loader::RestoreSnapshot(*sys, snap);
+  }
+  cost.restore_us = Seconds(t1) / kRestores * 1e6;
+  return cost;
+}
+
+// Globals so the google-benchmark fixtures reuse the table's setup.
+dns::LabelSeq g_labels;  // NOLINT
+
+void BM_RopDelivery(benchmark::State& state) {
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::WxAslr(), 4242)
+          .value();
+  connman::DnsProxy proxy(*sys, connman::Version::k134);
+  std::uint16_t id = 1;
+  for (auto _ : state) {
+    dns::Message query = dns::Message::Query(id++, "victim.example");
+    (void)proxy.AcceptClientQuery(dns::Encode(query).value());
+    dns::Message evil = dns::MaliciousAResponse(query, g_labels);
+    benchmark::DoNotOptimize(
+        proxy.HandleServerResponse(dns::Encode(evil).value()));
+  }
+}
+BENCHMARK(BM_RopDelivery)->Unit(benchmark::kMicrosecond);
+
+void BM_Boot(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sys =
+        loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 1)
+            .value();
+    benchmark::DoNotOptimize(sys);
+  }
+}
+BENCHMARK(BM_Boot)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotTake(benchmark::State& state) {
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 1)
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loader::TakeSnapshot(*sys));
+  }
+}
+BENCHMARK(BM_SnapshotTake)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  auto sys =
+      loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 1)
+          .value();
+  const loader::Snapshot snap = loader::TakeSnapshot(*sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loader::RestoreSnapshot(*sys, snap));
+  }
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      benchout::TakeJsonFlag(argc, argv, "BENCH_vm.json");
+  // Short budgets when only the JSON artifact is wanted keep the CI smoke
+  // step fast; the interactive table gets steadier numbers.
+  const double budget = json_path.empty() ? 3.0 : 1.5;
+
+  std::printf("== E13: VM hot path — predecode cache on vs off ==\n\n");
+  g_labels = RopLabels();
+
+  const Throughput rop_legacy = MeasureRopReplay(false, g_labels, budget);
+  const Throughput rop_fast = MeasureRopReplay(true, g_labels, budget);
+  const Throughput loop_legacy = MeasureTightLoop(false, budget);
+  const Throughput loop_fast = MeasureTightLoop(true, budget);
+  const RebootCost reboot = MeasureRebootCost();
+
+  const double rop_speedup = rop_fast.steps_per_sec / rop_legacy.steps_per_sec;
+  const double loop_speedup =
+      loop_fast.steps_per_sec / loop_legacy.steps_per_sec;
+
+  std::printf("%-22s %14s %14s %9s\n", "workload", "legacy st/s", "fast st/s",
+              "speedup");
+  std::printf("%s\n", std::string(64, '-').c_str());
+  std::printf("%-22s %14.0f %14.0f %8.2fx\n", "rop replay (x86)",
+              rop_legacy.steps_per_sec, rop_fast.steps_per_sec, rop_speedup);
+  std::printf("%-22s %14.0f %14.0f %8.2fx\n", "tight loop (x86)",
+              loop_legacy.steps_per_sec, loop_fast.steps_per_sec, loop_speedup);
+  std::printf("\nreboot: full Boot %.1f us, snapshot restore %.1f us "
+              "(%.1fx cheaper)\n\n",
+              reboot.boot_us, reboot.restore_us,
+              reboot.boot_us / reboot.restore_us);
+
+  if (!json_path.empty()) {
+    benchout::JsonWriter json;
+    json.String("bench", "vm_step");
+    json.Number("rop_steps_per_sec_legacy", rop_legacy.steps_per_sec);
+    json.Number("rop_steps_per_sec", rop_fast.steps_per_sec);
+    json.Number("rop_speedup", rop_speedup);
+    json.Number("rop_deliveries_per_sec", rop_fast.items_per_sec);
+    json.Number("loop_steps_per_sec_legacy", loop_legacy.steps_per_sec);
+    json.Number("loop_steps_per_sec", loop_fast.steps_per_sec);
+    json.Number("loop_speedup", loop_speedup);
+    json.Number("boot_us", reboot.boot_us);
+    json.Number("restore_us", reboot.restore_us);
+    json.Number("reboot_speedup", reboot.boot_us / reboot.restore_us);
+    json.WriteFile(json_path);
+    return 0;  // CI smoke mode: skip the microbenchmark phase
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

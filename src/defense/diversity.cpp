@@ -5,6 +5,7 @@
 #include "src/dns/record.hpp"
 #include "src/exploit/generator.hpp"
 #include "src/exploit/profile.hpp"
+#include "src/loader/snapshot.hpp"
 
 namespace connlab::defense {
 
@@ -20,48 +21,78 @@ std::string StochasticDiversity::Describe() const {
 util::Result<DiversityTrialStats> MeasureDiversityResistance(
     isa::Arch arch, loader::ProtectionConfig base, int trials,
     std::uint64_t seed0) {
+  CONNLAB_ASSIGN_OR_RETURN(
+      std::vector<DiversityTrialStats> rows,
+      MeasureDiversityResistanceMatrix(arch, base, trials, seed0,
+                                       {exploit::TechniqueFor(arch, base)}));
+  return rows[0];
+}
+
+util::Result<std::vector<DiversityTrialStats>> MeasureDiversityResistanceMatrix(
+    isa::Arch arch, loader::ProtectionConfig base, int trials,
+    std::uint64_t seed0, const std::vector<exploit::Technique>& techniques) {
   if (trials < 1) return util::InvalidArgument("trials must be positive");
+  if (techniques.empty()) {
+    return util::InvalidArgument("need at least one technique");
+  }
 
   // The attacker profiles the stock (non-diversified) firmware and builds
-  // one volley; diversity's whole claim is that this volley goes stale.
+  // one volley per technique; diversity's whole claim is that these
+  // volleys go stale.
   CONNLAB_ASSIGN_OR_RETURN(auto lab, loader::Boot(arch, base, 100));
   connman::DnsProxy lab_proxy(*lab, connman::Version::k134);
   exploit::ProfileExtractor extractor(*lab, lab_proxy);
   CONNLAB_ASSIGN_OR_RETURN(exploit::TargetProfile profile, extractor.Extract());
   exploit::ExploitGenerator generator(profile);
-  const exploit::Technique technique = exploit::TechniqueFor(arch, base);
-  CONNLAB_ASSIGN_OR_RETURN(dns::LabelSeq labels,
-                           generator.BuildLabels(technique));
+
+  dns::Message query = dns::Message::Query(0x7E57, "target.device.lan");
+  CONNLAB_ASSIGN_OR_RETURN(util::Bytes qwire, dns::Encode(query));
+  std::vector<util::Bytes> volleys;
+  volleys.reserve(techniques.size());
+  for (const exploit::Technique technique : techniques) {
+    CONNLAB_ASSIGN_OR_RETURN(dns::LabelSeq labels,
+                             generator.BuildLabels(technique));
+    dns::Message evil = dns::MaliciousAResponse(query, labels);
+    CONNLAB_ASSIGN_OR_RETURN(util::Bytes rwire, dns::Encode(evil));
+    volleys.push_back(std::move(rwire));
+  }
 
   loader::ProtectionConfig victim_prot = base;
   StochasticDiversity().Configure(victim_prot);
 
-  DiversityTrialStats stats;
-  stats.trials = trials;
+  std::vector<DiversityTrialStats> rows(techniques.size());
+  for (DiversityTrialStats& row : rows) row.trials = trials;
+
   for (int t = 0; t < trials; ++t) {
+    // One loader run per trial; every technique sees this exact boot via
+    // snapshot restore, so the comparison isolates the technique.
     CONNLAB_ASSIGN_OR_RETURN(
         auto victim,
         loader::Boot(arch, victim_prot, seed0 + static_cast<std::uint64_t>(t)));
-    connman::DnsProxy proxy(*victim, connman::Version::k134);
+    const loader::Snapshot snap = loader::TakeSnapshot(*victim);
 
-    dns::Message query = dns::Message::Query(0x7E57, "target.device.lan");
-    CONNLAB_ASSIGN_OR_RETURN(util::Bytes qwire, dns::Encode(query));
-    CONNLAB_ASSIGN_OR_RETURN(util::Bytes fwd, proxy.AcceptClientQuery(qwire));
-    (void)fwd;
-    dns::Message evil = dns::MaliciousAResponse(query, labels);
-    CONNLAB_ASSIGN_OR_RETURN(util::Bytes rwire, dns::Encode(evil));
+    for (std::size_t v = 0; v < volleys.size(); ++v) {
+      if (v > 0) {
+        CONNLAB_RETURN_IF_ERROR(loader::RestoreSnapshot(*victim, snap));
+      }
+      // A fresh proxy per volley clears host-side pending state, exactly
+      // like a fresh boot would.
+      connman::DnsProxy proxy(*victim, connman::Version::k134);
+      CONNLAB_ASSIGN_OR_RETURN(util::Bytes fwd, proxy.AcceptClientQuery(qwire));
+      (void)fwd;
 
-    using Kind = connman::ProxyOutcome::Kind;
-    switch (proxy.HandleServerResponse(rwire).kind) {
-      case Kind::kShell: ++stats.shells; break;
-      case Kind::kCrash: ++stats.crashes; break;
-      case Kind::kAbort:
-      case Kind::kCfiViolation:
-      case Kind::kParseError: ++stats.traps; break;
-      default: ++stats.other; break;
+      using Kind = connman::ProxyOutcome::Kind;
+      switch (proxy.HandleServerResponse(volleys[v]).kind) {
+        case Kind::kShell: ++rows[v].shells; break;
+        case Kind::kCrash: ++rows[v].crashes; break;
+        case Kind::kAbort:
+        case Kind::kCfiViolation:
+        case Kind::kParseError: ++rows[v].traps; break;
+        default: ++rows[v].other; break;
+      }
     }
   }
-  return stats;
+  return rows;
 }
 
 }  // namespace connlab::defense

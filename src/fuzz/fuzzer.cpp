@@ -40,12 +40,26 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
     return result;
   };
 
+  // Coverage-increasing mutants found mid-burst are queued here and flushed
+  // after the burst: the corpus stays frozen while parent/donor references
+  // into it are live, and the scheduler only ever sees a settled corpus.
+  // `found_at` is captured at discovery time, so the admitted entries are
+  // byte-identical to the old add-immediately behaviour (PickIndex runs only
+  // between bursts either way).
+  std::vector<CorpusEntry> pending;
+  bool defer_adds = false;
+
   const auto record = [&](const ExecResult& result, util::ByteSpan input) {
     if (result.kind == ExecResult::Kind::kBenign) {
       exec_map.Classify();
       const int news = exec_map.AbsorbInto(out.virgin);
       if (news > 0) {
-        corpus.Add(util::Bytes(input.begin(), input.end()), news, out.execs);
+        util::Bytes data(input.begin(), input.end());
+        if (defer_adds) {
+          pending.push_back(CorpusEntry{std::move(data), news, out.execs, 0});
+        } else {
+          corpus.Add(std::move(data), news, out.execs);
+        }
       }
     } else {
       ++out.crashing_execs;
@@ -78,19 +92,26 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
   while (!done() && !corpus.empty()) {
     const std::size_t pick = corpus.PickIndex(rng);
     const std::uint32_t energy = corpus.EnergyFor(pick);
-    // Copy: corpus.Add during the burst may reallocate the entry vector.
-    const util::Bytes parent = corpus.entry(pick).data;
-    util::Bytes donor;
+    // The corpus is frozen for the whole burst (adds are deferred), so the
+    // parent and donor are plain references — no per-burst deep copies.
+    const util::Bytes& parent = corpus.entry(pick).data;
+    util::ByteSpan donor;
     if (corpus.size() > 1) {
       std::size_t d = rng.NextBelow(corpus.size());
       if (d == pick) d = (d + 1) % corpus.size();
       donor = corpus.entry(d).data;
     }
+    defer_adds = true;
     for (std::uint32_t e = 0; e < energy && !done(); ++e) {
       const util::Bytes mutant = mutator.Mutate(parent, hint, donor);
       const ExecResult result = run_one(mutant);
       record(result, mutant);
     }
+    defer_adds = false;
+    for (CorpusEntry& e : pending) {
+      corpus.Add(std::move(e.data), e.news, e.found_at);
+    }
+    pending.clear();
   }
 
   if (config.minimize) {

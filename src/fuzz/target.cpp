@@ -9,7 +9,10 @@
 #include "src/dns/craft.hpp"
 #include "src/dns/message.hpp"
 #include "src/dns/name.hpp"
+#include <optional>
+
 #include "src/loader/boot.hpp"
+#include "src/loader/snapshot.hpp"
 #include "src/vm/events.hpp"
 
 namespace connlab::fuzz {
@@ -176,6 +179,14 @@ class BootedTarget : public FuzzTarget {
   }
 
  protected:
+  /// Full boot path: loader + symbols + service. Implemented per target.
+  virtual util::Status Init() = 0;
+  /// Recreates the host-side service object against the (restored) System:
+  /// every service constructor is a pure computation over the layout (plus,
+  /// for DnsProxy, an idempotent host-fn registration), so reconstruction
+  /// clears host caches/pending tables exactly as a fresh boot would.
+  virtual void ReattachService() = 0;
+
   util::Status BootSystem() {
     CONNLAB_ASSIGN_OR_RETURN(
         sys_, loader::Boot(config_.arch, loader::ProtectionConfig::None(),
@@ -186,8 +197,30 @@ class BootedTarget : public FuzzTarget {
     return util::OkStatus();
   }
 
+  /// Called at the end of each target's Init(): freezes the post-boot image
+  /// so later reboots are restores instead of loader runs.
+  void CaptureSnapshot() {
+    if (config_.fast_reset) snapshot_ = loader::TakeSnapshot(*sys_);
+  }
+
+  /// Fresh process image after a corrupting execution. Fast path: rewind
+  /// guest memory + CPU to the post-boot snapshot and recreate the service;
+  /// identical to a full re-Boot because the boot seed is fixed and host
+  /// functions are stateless. Falls back to Init() when fast_reset is off
+  /// or the restore is refused.
+  util::Status Reboot() {
+    if (config_.fast_reset && snapshot_.has_value()) {
+      if (loader::RestoreSnapshot(*sys_, *snapshot_).ok()) {
+        ReattachService();
+        return util::OkStatus();
+      }
+    }
+    return Init();
+  }
+
   TargetConfig config_;
   std::unique_ptr<loader::System> sys_;
+  std::optional<loader::Snapshot> snapshot_;
   mem::GuestAddr get_name_ = 0;
   mem::GuestAddr copy_entry_ = 0;
   mem::GuestAddr copy_done_ = 0;
@@ -309,22 +342,27 @@ class DnsproxyTarget : public BootedTarget {
     }
     if (corrupted) {
       // Fresh process image, identical layout (fixed boot seed, no ASLR).
-      if (Init().ok()) ++reboots_;
+      if (Reboot().ok()) ++reboots_;
     }
     return result;
   }
 
-  util::Status Init() {
+  util::Status Init() override {
     CONNLAB_RETURN_IF_ERROR(BootSystem());
-    proxy_ = std::make_unique<connman::DnsProxy>(
-        *sys_, config_.patched ? connman::Version::k135
-                               : connman::Version::k134);
+    ReattachService();
     query_ = dns::Message::Query(kQueryId, kQName);
     CONNLAB_ASSIGN_OR_RETURN(query_wire_, dns::Encode(query_));
     util::ByteWriter w;
     CONNLAB_RETURN_IF_ERROR(dns::EncodeName(w, kQName));
     question_wire_len_ = w.size() + 4;  // + qtype + qclass
+    CaptureSnapshot();
     return util::OkStatus();
+  }
+
+  void ReattachService() override {
+    proxy_ = std::make_unique<connman::DnsProxy>(
+        *sys_, config_.patched ? connman::Version::k135
+                               : connman::Version::k134);
   }
 
  private:
@@ -389,20 +427,25 @@ class MinimasqTarget : public BootedTarget {
                            expanded > adapt::Minimasq::kBufSize);
     if (result.kind != ExecResult::Kind::kBenign) {
       result.stack = StackContext(*sys_);
-      if (Init().ok()) ++reboots_;
+      if (Reboot().ok()) ++reboots_;
     }
     return result;
   }
 
-  util::Status Init() {
+  util::Status Init() override {
     CONNLAB_RETURN_IF_ERROR(BootSystem());
-    service_ = std::make_unique<adapt::Minimasq>(*sys_);
+    ReattachService();
     query_ = dns::Message::Query(0x6d71, kQName);
     CONNLAB_ASSIGN_OR_RETURN(query_wire_, dns::Encode(query_));
     util::ByteWriter w;
     CONNLAB_RETURN_IF_ERROR(dns::EncodeName(w, kQName));
     question_wire_len_ = w.size() + 4;
+    CaptureSnapshot();
     return util::OkStatus();
+  }
+
+  void ReattachService() override {
+    service_ = std::make_unique<adapt::Minimasq>(*sys_);
   }
 
  private:
@@ -460,15 +503,20 @@ class HttpcamdTarget : public BootedTarget {
     map.AddFeature(vm::CoverageLocation(kClaimSalt ^ SizeBucket(view.claimed)));
     if (result.kind != ExecResult::Kind::kBenign) {
       result.stack = StackContext(*sys_);
-      if (Init().ok()) ++reboots_;
+      if (Reboot().ok()) ++reboots_;
     }
     return result;
   }
 
-  util::Status Init() {
+  util::Status Init() override {
     CONNLAB_RETURN_IF_ERROR(BootSystem());
-    service_ = std::make_unique<adapt::HttpCamd>(*sys_);
+    ReattachService();
+    CaptureSnapshot();
     return util::OkStatus();
+  }
+
+  void ReattachService() override {
+    service_ = std::make_unique<adapt::HttpCamd>(*sys_);
   }
 
  private:

@@ -4,9 +4,10 @@
 // Minimasq, HttpCamd), executes one input per Execute() call with the
 // caller's coverage bitmap attached to the CPU, classifies the result, and
 // reboots itself after any execution that corrupted guest state (a real
-// fuzzing harness would fork a fresh process; we re-Boot, which is the
-// simulator's cheap equivalent). Targets also describe the input format to
-// the mutation engine: how many leading bytes are the harness-fixed
+// fuzzing harness would fork a fresh process; we restore a post-boot
+// snapshot — fork-server style — or fall back to a full re-Boot when
+// fast_reset is off). Targets also describe the input format to the
+// mutation engine: how many leading bytes are the harness-fixed
 // header/question echo, and whether DNS-structure mutators apply.
 #pragma once
 
@@ -42,6 +43,10 @@ struct TargetConfig {
   /// For the dnsproxy target: fuzz the vulnerable 1.34 build by default;
   /// flip to fuzz the patched build (regression mode: expect NO crashes).
   bool patched = false;
+  /// Reboot after a corrupting execution by restoring a post-boot snapshot
+  /// (fork-server style) instead of re-running the loader. Off = full
+  /// re-Boot per corruption, the legacy baseline for the differential gate.
+  bool fast_reset = true;
 };
 
 /// What one execution did, reduced to what the fuzz loop and the triage

@@ -1,0 +1,45 @@
+#include "src/loader/snapshot.hpp"
+
+namespace connlab::loader {
+
+Snapshot TakeSnapshot(const System& sys) {
+  Snapshot snap;
+  snap.segments.reserve(sys.space.segments().size());
+  for (const auto& seg : sys.space.segments()) {
+    snap.segments.push_back(Snapshot::SegmentImage{
+        seg->name(), seg->base(), seg->data(), seg->perms()});
+  }
+  snap.cpu = sys.cpu->SaveState();
+  snap.rng = sys.rng;
+  return snap;
+}
+
+util::Status RestoreSnapshot(System& sys, const Snapshot& snap) {
+  const auto& segments = sys.space.segments();
+  if (segments.size() != snap.segments.size()) {
+    return util::FailedPrecondition("snapshot segment roster mismatch");
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const mem::Segment& seg = *segments[i];
+    const Snapshot::SegmentImage& img = snap.segments[i];
+    if (seg.name() != img.name || seg.base() != img.base ||
+        seg.size() != img.data.size()) {
+      return util::FailedPrecondition("snapshot does not match segment '" +
+                                      seg.name() + "'");
+    }
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    mem::Segment& seg = *segments[i];
+    const Snapshot::SegmentImage& img = snap.segments[i];
+    // mutable_data() bumps the write generation, so stale predecodes of the
+    // pre-restore bytes can never execute.
+    seg.mutable_data() = img.data;
+    seg.set_perms(img.perms);
+  }
+  sys.space.ClearFault();
+  sys.cpu->RestoreState(snap.cpu);
+  sys.rng = snap.rng;
+  return util::OkStatus();
+}
+
+}  // namespace connlab::loader

@@ -1,0 +1,50 @@
+// Snapshot/restore fast reboots: capture a booted System's full guest state
+// once, then rewind to it in microseconds instead of re-running the loader.
+//
+// A snapshot records what a fork-server parent process would hold frozen:
+// every segment's bytes and permissions, the CPU's architectural state
+// (registers, flags, shadow stack, event log) and the boot RNG stream.
+// Restoring copies the bytes back (bumping each segment's write generation,
+// so the predecode cache can never serve instructions from the pre-restore
+// image) and resets the CPU. Host-side service objects (DnsProxy & friends)
+// are NOT part of the snapshot — their host functions are stateless lambdas,
+// so callers recreate the service object after a restore to clear host-side
+// caches/pending tables, exactly as a fresh boot would.
+//
+// Used by src/fuzz (per-exec reboot after a corrupted run) and the defense
+// diversity lab (one boot + many volleys per diversified victim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/loader/boot.hpp"
+#include "src/mem/perms.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/status.hpp"
+#include "src/vm/cpu.hpp"
+
+namespace connlab::loader {
+
+struct Snapshot {
+  struct SegmentImage {
+    std::string name;
+    mem::GuestAddr base = 0;
+    util::Bytes data;
+    mem::Perm perms = mem::Perm::kNone;
+  };
+  std::vector<SegmentImage> segments;
+  vm::Cpu::State cpu;
+  util::Rng rng{0};
+};
+
+/// Captures the complete restorable state of a booted System.
+[[nodiscard]] Snapshot TakeSnapshot(const System& sys);
+
+/// Rewinds `sys` to `snap`. Fails (without touching the System) if the
+/// segment roster no longer matches the snapshot — snapshots are only valid
+/// against the System they were taken from, which never remaps.
+util::Status RestoreSnapshot(System& sys, const Snapshot& snap);
+
+}  // namespace connlab::loader

@@ -50,17 +50,22 @@ util::Status AddressSpace::Protect(std::string_view name, Perm perms) {
     return util::NotFound("no segment named '" + std::string(name) + "'");
   }
   seg->set_perms(perms);
+  // An mprotect invalidates cached decodes (X may have been revoked).
+  seg->BumpGeneration();
   return util::OkStatus();
 }
 
 const Segment* AddressSpace::FindSegment(GuestAddr addr) const noexcept {
+  if (hot_seg_ != nullptr && hot_seg_->Contains(addr)) return hot_seg_;
   // segments_ is sorted by base; binary search for the candidate.
   auto pos = std::upper_bound(
       segments_.begin(), segments_.end(), addr,
       [](GuestAddr a, const std::unique_ptr<Segment>& s) { return a < s->base(); });
   if (pos == segments_.begin()) return nullptr;
   const Segment* seg = std::prev(pos)->get();
-  return seg->Contains(addr) ? seg : nullptr;
+  if (!seg->Contains(addr)) return nullptr;
+  hot_seg_ = seg;
+  return seg;
 }
 
 const Segment* AddressSpace::FindSegmentByName(std::string_view name) const noexcept {
@@ -106,11 +111,11 @@ util::Result<std::uint8_t> AddressSpace::ReadU8(GuestAddr addr) const {
 util::Result<std::uint32_t> AddressSpace::ReadU32(GuestAddr addr) const {
   const Segment* seg = CheckAccess(addr, 4, AccessKind::kRead);
   if (seg == nullptr) return util::PermissionDenied(last_fault_->detail);
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | seg->At(addr + static_cast<GuestAddr>(i));
-  }
-  return v;
+  const util::ByteSpan w = seg->SpanAt(addr, 4);
+  return static_cast<std::uint32_t>(w[0]) |
+         (static_cast<std::uint32_t>(w[1]) << 8) |
+         (static_cast<std::uint32_t>(w[2]) << 16) |
+         (static_cast<std::uint32_t>(w[3]) << 24);
 }
 
 util::Result<util::Bytes> AddressSpace::ReadBytes(GuestAddr addr,
@@ -143,11 +148,12 @@ util::Status AddressSpace::WriteU8(GuestAddr addr, std::uint8_t value) {
 util::Status AddressSpace::WriteU32(GuestAddr addr, std::uint32_t value) {
   const Segment* seg = CheckAccess(addr, 4, AccessKind::kWrite);
   if (seg == nullptr) return util::PermissionDenied(last_fault_->detail);
-  auto* mut = const_cast<Segment*>(seg);
-  for (int i = 0; i < 4; ++i) {
-    mut->Set(addr + static_cast<GuestAddr>(i),
-             static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
-  }
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(value & 0xFF),
+      static_cast<std::uint8_t>((value >> 8) & 0xFF),
+      static_cast<std::uint8_t>((value >> 16) & 0xFF),
+      static_cast<std::uint8_t>((value >> 24) & 0xFF)};
+  const_cast<Segment*>(seg)->SetBytes(addr, util::ByteSpan(bytes, 4));
   return util::OkStatus();
 }
 
@@ -155,10 +161,7 @@ util::Status AddressSpace::WriteBytes(GuestAddr addr, util::ByteSpan data) {
   const auto len = static_cast<std::uint32_t>(data.size());
   const Segment* seg = CheckAccess(addr, len, AccessKind::kWrite);
   if (seg == nullptr) return util::PermissionDenied(last_fault_->detail);
-  auto* mut = const_cast<Segment*>(seg);
-  for (std::uint32_t i = 0; i < len; ++i) {
-    mut->Set(addr + i, data[i]);
-  }
+  const_cast<Segment*>(seg)->SetBytes(addr, data);
   return util::OkStatus();
 }
 
@@ -168,6 +171,13 @@ util::Result<util::Bytes> AddressSpace::Fetch(GuestAddr addr,
   if (seg == nullptr) return util::PermissionDenied(last_fault_->detail);
   auto span = seg->SpanAt(addr, len);
   return util::Bytes(span.begin(), span.end());
+}
+
+util::Result<const Segment*> AddressSpace::FetchSegment(
+    GuestAddr addr, std::uint32_t len) const {
+  const Segment* seg = CheckAccess(addr, len, AccessKind::kFetch);
+  if (seg == nullptr) return util::PermissionDenied(last_fault_->detail);
+  return seg;
 }
 
 util::Result<util::Bytes> AddressSpace::DebugRead(GuestAddr addr,
@@ -186,10 +196,7 @@ util::Status AddressSpace::DebugWrite(GuestAddr addr, util::ByteSpan data) {
   if (seg == nullptr || !seg->ContainsRange(addr, len)) {
     return util::OutOfRange("debug write of unmapped range at " + Hex(addr));
   }
-  auto* mut = const_cast<Segment*>(seg);
-  for (std::uint32_t i = 0; i < len; ++i) {
-    mut->Set(addr + i, data[i]);
-  }
+  const_cast<Segment*>(seg)->SetBytes(addr, data);
   return util::OkStatus();
 }
 

@@ -67,6 +67,14 @@ class AddressSpace {
   /// bytes and returns them. A stack address under W^X fails here.
   util::Result<util::Bytes> Fetch(GuestAddr addr, std::uint32_t len) const;
 
+  /// Zero-allocation fetch: same permission semantics as Fetch, but returns
+  /// the backing segment instead of copying bytes out. The caller reads the
+  /// window via seg->SpanAt(addr, len) and tags cached decodes with
+  /// seg->generation(). The pointer stays valid for the segment's lifetime
+  /// (segments are never unmapped); the *bytes* it exposes are only current
+  /// while the generation is unchanged.
+  util::Result<const Segment*> FetchSegment(GuestAddr addr, std::uint32_t len) const;
+
   /// Unchecked variants for the loader/debugger (ptrace analogue): they see
   /// memory regardless of permissions, but still fail on unmapped addresses.
   util::Result<util::Bytes> DebugRead(GuestAddr addr, std::uint32_t len) const;
@@ -91,6 +99,12 @@ class AddressSpace {
 
   std::vector<std::unique_ptr<Segment>> segments_;  // sorted by base
   mutable std::optional<FaultInfo> last_fault_;
+  /// One-entry lookup cache: guest accesses are strongly clustered (the
+  /// stack during ROP replay, .text during straight-line execution), so the
+  /// last segment hit short-circuits the binary search most of the time.
+  /// Segment pointers are stable (unique_ptr elements, no unmap), so the
+  /// cache never dangles; permissions are re-checked on every access.
+  mutable const Segment* hot_seg_ = nullptr;
 };
 
 }  // namespace connlab::mem

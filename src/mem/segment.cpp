@@ -1,5 +1,6 @@
 #include "src/mem/segment.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace connlab::mem {
@@ -12,6 +13,11 @@ bool Segment::ContainsRange(GuestAddr addr, std::uint32_t len) const noexcept {
   if (addr < base_) return false;
   const std::uint64_t last = static_cast<std::uint64_t>(addr) + len;
   return last <= static_cast<std::uint64_t>(end());
+}
+
+void Segment::SetBytes(GuestAddr addr, util::ByteSpan bytes) noexcept {
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + (addr - base_));
+  ++generation_;
 }
 
 util::ByteSpan Segment::SpanAt(GuestAddr addr, std::uint32_t len) const noexcept {

@@ -1,5 +1,11 @@
 // A contiguous mapped region of guest memory: [base, base+size) with one
 // permission set and a name (".text", ".bss", "libc", "stack", ...).
+//
+// Each segment carries a monotonically increasing write generation: any
+// mutation of its bytes (or its permissions) bumps the counter. The CPU's
+// predecode cache keys cached instructions on (segment, generation), so
+// self-modifying code — shellcode written onto an executable stack and then
+// jumped to — is never executed from a stale decode.
 #pragma once
 
 #include <cstdint>
@@ -39,17 +45,32 @@ class Segment {
   }
   void Set(GuestAddr addr, std::uint8_t value) noexcept {
     data_[addr - base_] = value;
+    ++generation_;
   }
+  /// Bulk write without per-byte generation bumps (one bump per call).
+  void SetBytes(GuestAddr addr, util::ByteSpan bytes) noexcept;
   [[nodiscard]] util::ByteSpan SpanAt(GuestAddr addr, std::uint32_t len) const noexcept;
 
   [[nodiscard]] const util::Bytes& data() const noexcept { return data_; }
-  util::Bytes& mutable_data() noexcept { return data_; }
+  /// Mutable backing bytes. Handing out the reference counts as a write:
+  /// callers (loader image builders, snapshot restore) may scribble freely,
+  /// so the generation is bumped pessimistically here.
+  util::Bytes& mutable_data() noexcept {
+    ++generation_;
+    return data_;
+  }
+
+  /// Write generation: bumped on every byte/permission mutation. Cached
+  /// decodes tagged with an older generation are stale.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  void BumpGeneration() noexcept { ++generation_; }
 
  private:
   std::string name_;
   GuestAddr base_;
   Perm perms_;
   util::Bytes data_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace connlab::mem

@@ -45,7 +45,15 @@ std::string StopInfo::ToString() const {
 }
 
 Cpu::Cpu(isa::Arch arch, mem::AddressSpace& space)
-    : arch_(arch), space_(&space) {}
+    : arch_(arch),
+      space_(&space),
+      predecode_(kPredecodeSlots),
+      predecode_shift_(arch == isa::Arch::kVARM ? 2 : 0),
+      predecode_enabled_(predecode_default_) {}
+
+void Cpu::FlushPredecodeCache() noexcept {
+  for (PredecodeEntry& slot : predecode_) slot = PredecodeEntry{};
+}
 
 std::uint32_t Cpu::sp() const noexcept {
   return arch_ == isa::Arch::kVX86 ? regs_[isa::kESP] : regs_[isa::kSP];
@@ -77,6 +85,9 @@ util::Status Cpu::RegisterHostFn(mem::GuestAddr addr, std::string name, HostFn f
     return util::AlreadyExists("host function already at " + Hex(addr));
   }
   host_fns_[addr] = {std::move(name), std::move(fn)};
+  // A new trampoline may shadow an address whose decode (or absence) is
+  // cached; start clean rather than tracking individual slots.
+  FlushPredecodeCache();
   return util::OkStatus();
 }
 
@@ -121,7 +132,8 @@ StopInfo Cpu::Run(std::uint64_t max_steps) {
       RequestStop(StopReason::kStepLimit, "instruction budget exhausted");
       break;
     }
-    if (!skip_breakpoint_once_ && breakpoints_.contains(pc_)) {
+    if (!breakpoints_.empty() && !skip_breakpoint_once_ &&
+        breakpoints_.contains(pc_)) {
       RequestStop(StopReason::kBreakpoint, "breakpoint");
       skip_breakpoint_once_ = true;  // next Run steps over it
       break;
@@ -155,58 +167,173 @@ void Cpu::Step() {
   if (stopped()) return;
   if (cov_bitmap_ != nullptr) RecordCoverageEdge();
 
+  if (predecode_enabled_) {
+    const PredecodeEntry& slot = PredecodeSlot(pc_);
+    if (slot.pc == pc_ && slot.kind == PredecodeEntry::Kind::kInstr &&
+        slot.gen == slot.seg->generation()) {
+      // Hot path: pc hit and the backing segment is byte-for-byte what we
+      // decoded from (write generation unchanged). No map lookup, no fetch,
+      // no decode. Copying the 12-byte Instr out keeps ExecuteInstr free of
+      // any aliasing with the cache slot.
+      const isa::Instr ins = slot.instr;
+      ++steps_;
+      if (trace_limit_ != 0) {
+        trace_.push_back({pc_, ins.ToString(arch_)});
+        if (trace_.size() > trace_limit_) trace_.pop_front();
+      }
+      ExecuteInstr(ins);
+      return;
+    }
+    if (slot.pc == pc_ && slot.kind == PredecodeEntry::Kind::kHostFn) {
+      DispatchHostFn(*slot.host);
+      return;
+    }
+  }
+  StepSlow();
+}
+
+void Cpu::DispatchHostFn(const std::pair<std::string, HostFn>& fn) {
+  ++steps_;
+  if (trace_limit_ != 0) {
+    trace_.push_back({pc_, "<host: " + fn.first + ">"});
+    if (trace_.size() > trace_limit_) trace_.pop_front();
+  }
+  CONNLAB_DEBUG("vm") << "host fn " << fn.first << " at " << Hex(pc_);
+  util::Status status = fn.second(*this);
+  if (!status.ok() && !stopped()) {
+    Fault("in host function " + fn.first + ": " + status.ToString());
+  }
+}
+
+void Cpu::StepSlow() {
   // Host-function trampoline takes priority over decoding.
   auto host = host_fns_.find(pc_);
   if (host != host_fns_.end()) {
-    ++steps_;
-    if (trace_limit_ != 0) {
-      trace_.push_back({pc_, "<host: " + host->second.first + ">"});
-      if (trace_.size() > trace_limit_) trace_.pop_front();
+    if (predecode_enabled_) {
+      PredecodeEntry& slot = PredecodeSlot(pc_);
+      slot.pc = pc_;
+      slot.kind = PredecodeEntry::Kind::kHostFn;
+      slot.seg = nullptr;
+      slot.host = &host->second;  // std::map nodes are pointer-stable
     }
-    CONNLAB_DEBUG("vm") << "host fn " << host->second.first << " at " << Hex(pc_);
-    util::Status status = host->second.second(*this);
-    if (!status.ok() && !stopped()) {
-      Fault("in host function " + host->second.first + ": " + status.ToString());
-    }
+    DispatchHostFn(host->second);
     return;
   }
 
-  // Fetch (this is where W^X bites: no X permission => fault).
-  const std::uint32_t fetch_len =
+  if (!predecode_enabled_) {
+    // Legacy fetch/decode, byte-copying via util::Bytes. Kept verbatim as
+    // the differential-test baseline: identical fault wording, identical
+    // two-step VX86 fetch semantics.
+    const std::uint32_t fetch_len =
+        arch_ == isa::Arch::kVARM ? isa::kVARMInstrSize : 1;
+    auto first = space_->Fetch(pc_, fetch_len);
+    if (!first.ok()) {
+      Fault("instruction fetch failed");
+      return;
+    }
+    util::Bytes window = std::move(first).value();
+    if (arch_ == isa::Arch::kVX86) {
+      const std::uint8_t len = isa::vx86::InstrLength(window[0]);
+      if (len == 0) {
+        Fault("illegal instruction byte " + Hex(window[0]) + " at " + Hex(pc_));
+        return;
+      }
+      if (len > 1) {
+        auto rest = space_->Fetch(pc_, len);
+        if (!rest.ok()) {
+          Fault("instruction fetch failed (tail)");
+          return;
+        }
+        window = std::move(rest).value();
+      }
+    }
+    auto decoded = isa::Decode(arch_, window, 0);
+    if (!decoded.ok()) {
+      Fault("illegal instruction at " + Hex(pc_));
+      return;
+    }
+    ++steps_;
+    if (trace_limit_ != 0) {
+      trace_.push_back({pc_, decoded.value().ToString(arch_)});
+      if (trace_.size() > trace_limit_) trace_.pop_front();
+    }
+    ExecuteInstr(decoded.value());
+    return;
+  }
+
+  // Zero-allocation fetch (this is where W^X bites: no X => fault). Mirrors
+  // the legacy path's two-step VX86 probe so fault details stay identical.
+  const std::uint32_t first_len =
       arch_ == isa::Arch::kVARM ? isa::kVARMInstrSize : 1;
-  auto first = space_->Fetch(pc_, fetch_len);
-  if (!first.ok()) {
+  auto head = space_->FetchSegment(pc_, first_len);
+  if (!head.ok()) {
     Fault("instruction fetch failed");
     return;
   }
-  util::Bytes window = std::move(first).value();
+  const mem::Segment* seg = head.value();
+  std::uint32_t len = first_len;
   if (arch_ == isa::Arch::kVX86) {
-    const std::uint8_t len = isa::vx86::InstrLength(window[0]);
+    const std::uint8_t op = seg->At(pc_);
+    len = isa::vx86::InstrLength(op);
     if (len == 0) {
-      Fault("illegal instruction byte " + Hex(window[0]) + " at " + Hex(pc_));
+      Fault("illegal instruction byte " + Hex(op) + " at " + Hex(pc_));
       return;
     }
     if (len > 1) {
-      auto rest = space_->Fetch(pc_, len);
-      if (!rest.ok()) {
+      auto full = space_->FetchSegment(pc_, len);
+      if (!full.ok()) {
         Fault("instruction fetch failed (tail)");
         return;
       }
-      window = std::move(rest).value();
+      seg = full.value();
     }
   }
-
-  auto decoded = isa::Decode(arch_, window, 0);
+  auto decoded = isa::Decode(arch_, seg->SpanAt(pc_, len), 0);
   if (!decoded.ok()) {
     Fault("illegal instruction at " + Hex(pc_));
     return;
   }
+
+  PredecodeEntry& slot = PredecodeSlot(pc_);
+  slot.pc = pc_;
+  slot.kind = PredecodeEntry::Kind::kInstr;
+  slot.seg = seg;
+  slot.gen = seg->generation();
+  slot.instr = decoded.value();
+  slot.host = nullptr;
+
   ++steps_;
   if (trace_limit_ != 0) {
     trace_.push_back({pc_, decoded.value().ToString(arch_)});
     if (trace_.size() > trace_limit_) trace_.pop_front();
   }
   ExecuteInstr(decoded.value());
+}
+
+Cpu::State Cpu::SaveState() const {
+  State state;
+  state.regs = regs_;
+  state.pc = pc_;
+  state.zf = zf_;
+  state.steps = steps_;
+  state.shadow = shadow_;
+  state.events = events_;
+  return state;
+}
+
+void Cpu::RestoreState(const State& state) {
+  regs_ = state.regs;
+  pc_ = state.pc;
+  zf_ = state.zf;
+  steps_ = state.steps;
+  shadow_ = state.shadow;
+  events_ = state.events;
+  stop_ = StopInfo{};
+  skip_breakpoint_once_ = false;
+  trace_.clear();
+  cov_prev_ = 0;
+  // Cached decodes whose segments were rewritten are invalidated by the
+  // generation tags; no flush needed.
 }
 
 void Cpu::ExecuteInstr(const isa::Instr& ins) {

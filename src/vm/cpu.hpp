@@ -101,6 +101,50 @@ class Cpu {
   /// observable through stopped()/stop_info() afterwards.
   void Step();
 
+  // --- Predecode cache ------------------------------------------------------
+  // Direct-mapped cache of decoded instructions (and host-function hits)
+  // keyed by pc. Entries are tagged with the backing segment's write
+  // generation, so any write into a segment — shellcode landing on the
+  // stack, a debugger poke into .text — invalidates its cached decodes and
+  // the next execution re-fetches through the permission-checked front door.
+  // Disabled, the CPU runs the legacy fetch/decode path instruction by
+  // instruction (the differential-test and benchmarking baseline).
+  void set_predecode_enabled(bool enabled) noexcept {
+    predecode_enabled_ = enabled;
+    FlushPredecodeCache();
+  }
+  [[nodiscard]] bool predecode_enabled() const noexcept {
+    return predecode_enabled_;
+  }
+  /// Process-wide default applied to newly constructed CPUs (the loader
+  /// builds CPUs deep inside Boot; tests flip this to compare modes).
+  static void set_predecode_default(bool enabled) noexcept {
+    predecode_default_ = enabled;
+  }
+  [[nodiscard]] static bool predecode_default() noexcept {
+    return predecode_default_;
+  }
+  void FlushPredecodeCache() noexcept;
+
+  // --- Snapshot state (loader::Snapshot) ------------------------------------
+  /// Architectural state a snapshot must capture to make a later
+  /// RestoreState indistinguishable from a fresh boot: registers, pc,
+  /// flags, the retired-instruction counter, the shadow stack and the event
+  /// log. Host functions, breakpoints and configuration knobs survive the
+  /// restore untouched.
+  struct State {
+    std::array<std::uint32_t, 16> regs{};
+    std::uint32_t pc = 0;
+    bool zf = false;
+    std::uint64_t steps = 0;
+    std::vector<std::uint32_t> shadow;
+    std::vector<Event> events;
+  };
+  [[nodiscard]] State SaveState() const;
+  /// Restores saved state and clears everything transient (stop record,
+  /// trace, pending breakpoint skip) so execution can start clean.
+  void RestoreState(const State& state);
+
   [[nodiscard]] bool stopped() const noexcept {
     return stop_.reason != StopReason::kRunning;
   }
@@ -182,6 +226,28 @@ class Cpu {
   [[nodiscard]] std::string RegistersString() const;
 
  private:
+  /// One direct-mapped predecode slot. kInstr slots are valid while the
+  /// backing segment's generation matches `gen`; kHostFn slots are valid
+  /// until RegisterHostFn flushes the cache (map nodes are pointer-stable).
+  struct PredecodeEntry {
+    enum class Kind : std::uint8_t { kEmpty, kInstr, kHostFn };
+    mem::GuestAddr pc = 0;
+    Kind kind = Kind::kEmpty;
+    std::uint64_t gen = 0;
+    const mem::Segment* seg = nullptr;
+    isa::Instr instr{};
+    const std::pair<std::string, HostFn>* host = nullptr;
+  };
+  static constexpr std::uint32_t kPredecodeSlots = 4096;  // power of two
+
+  [[nodiscard]] PredecodeEntry& PredecodeSlot(mem::GuestAddr pc) noexcept {
+    return predecode_[(pc >> predecode_shift_) & (kPredecodeSlots - 1)];
+  }
+  /// Predecode miss / legacy path: host-fn map lookup, permission-checked
+  /// fetch, decode, execute — and (when the cache is on) slot fill.
+  void StepSlow();
+  void DispatchHostFn(const std::pair<std::string, HostFn>& fn);
+
   void Fault(std::string detail);
   void RecordCoverageEdge() noexcept {
     const std::uint32_t cur = CoverageLocation(pc_);
@@ -211,6 +277,10 @@ class Cpu {
   std::uint8_t* cov_bitmap_ = nullptr;
   std::uint32_t cov_mask_ = 0;
   std::uint32_t cov_prev_ = 0;
+  std::vector<PredecodeEntry> predecode_;
+  std::uint32_t predecode_shift_ = 0;  // 2 on VARM (4-byte aligned), 0 on VX86
+  bool predecode_enabled_ = true;
+  inline static bool predecode_default_ = true;
 };
 
 }  // namespace connlab::vm

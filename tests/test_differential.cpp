@@ -1,0 +1,115 @@
+// Differential correctness gate for the VM hot-path optimisations: the
+// predecode cache and snapshot fast reboots must be pure speedups.
+//
+// Every scenario below runs twice — once in fast mode (predecode cache on,
+// snapshot reboots on) and once in legacy mode (byte-copying fetch/decode,
+// full loader re-Boots) — and the observable outcomes must be identical:
+// stop reasons, failure details, retired-step counts, events, crash-bucket
+// sets and coverage digests. Any divergence means the cache served a stale
+// decode or a restore differs from a real boot, and fails the build.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/attack/matrix.hpp"
+#include "src/fuzz/fuzzer.hpp"
+#include "src/vm/cpu.hpp"
+
+namespace connlab {
+namespace {
+
+/// Scoped predecode default: constructors deep inside Boot read the
+/// process-wide default, so the differential runs toggle it around whole
+/// scenarios (single-threaded — these tests never fork workers in legacy
+/// mode and fast mode at the same time).
+class PredecodeDefault {
+ public:
+  explicit PredecodeDefault(bool enabled) {
+    vm::Cpu::set_predecode_default(enabled);
+  }
+  ~PredecodeDefault() { vm::Cpu::set_predecode_default(true); }
+};
+
+TEST(Differential, SixAttackMatrixIdenticalAcrossModes) {
+  std::vector<attack::AttackResult> fast;
+  std::vector<attack::AttackResult> legacy;
+  {
+    PredecodeDefault mode(true);
+    fast = attack::RunSixAttackMatrix(4242).value();
+  }
+  {
+    PredecodeDefault mode(false);
+    legacy = attack::RunSixAttackMatrix(4242).value();
+  }
+  ASSERT_EQ(fast.size(), legacy.size());
+  ASSERT_FALSE(fast.empty());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i) + ": " + fast[i].RowLabel());
+    EXPECT_EQ(fast[i].kind, legacy[i].kind);
+    EXPECT_EQ(fast[i].shell, legacy[i].shell);
+    EXPECT_EQ(fast[i].crash, legacy[i].crash);
+    EXPECT_EQ(fast[i].exploit_available, legacy[i].exploit_available);
+    EXPECT_EQ(fast[i].failure, legacy[i].failure);
+    EXPECT_EQ(fast[i].detail, legacy[i].detail);
+    EXPECT_EQ(fast[i].guest_steps, legacy[i].guest_steps);
+    EXPECT_EQ(fast[i].payload_bytes, legacy[i].payload_bytes);
+    EXPECT_EQ(fast[i].response_bytes, legacy[i].response_bytes);
+  }
+}
+
+fuzz::FuzzConfig ReplayConfig(bool fast_reset) {
+  fuzz::FuzzConfig config;
+  config.target.kind = fuzz::TargetKind::kDnsproxy;
+  config.target.fast_reset = fast_reset;
+  config.seed = 42;
+  config.max_execs = 3000;
+  config.workers = 1;
+  config.minimize = false;
+  return config;
+}
+
+struct ReplayOutcome {
+  std::uint64_t digest = 0;
+  std::size_t coverage_cells = 0;
+  std::size_t buckets = 0;
+  std::uint64_t crashing_execs = 0;
+  std::size_t corpus_size = 0;
+};
+
+ReplayOutcome RunReplay(bool predecode, bool fast_reset) {
+  PredecodeDefault mode(predecode);
+  auto report = fuzz::Fuzzer(ReplayConfig(fast_reset)).Run();
+  EXPECT_TRUE(report.ok());
+  ReplayOutcome out;
+  if (!report.ok()) return out;
+  out.digest = report.value().stats.coverage_digest;
+  out.coverage_cells = report.value().stats.coverage_cells;
+  out.buckets = report.value().triage.buckets().size();
+  out.crashing_execs = report.value().stats.crashing_execs;
+  out.corpus_size = report.value().stats.corpus_size;
+  return out;
+}
+
+TEST(Differential, FuzzReplayIdenticalAcrossModes) {
+  // Full fast mode vs full legacy mode, plus each optimisation alone, so a
+  // regression pinpoints which half broke.
+  const ReplayOutcome fast = RunReplay(true, true);
+  const ReplayOutcome cache_only = RunReplay(true, false);
+  const ReplayOutcome snapshot_only = RunReplay(false, true);
+  const ReplayOutcome legacy = RunReplay(false, false);
+
+  EXPECT_EQ(fast.digest, legacy.digest);
+  EXPECT_EQ(fast.coverage_cells, legacy.coverage_cells);
+  EXPECT_EQ(fast.buckets, legacy.buckets);
+  EXPECT_EQ(fast.crashing_execs, legacy.crashing_execs);
+  EXPECT_EQ(fast.corpus_size, legacy.corpus_size);
+
+  EXPECT_EQ(cache_only.digest, legacy.digest);
+  EXPECT_EQ(snapshot_only.digest, legacy.digest);
+  EXPECT_EQ(cache_only.buckets, legacy.buckets);
+  EXPECT_EQ(snapshot_only.buckets, legacy.buckets);
+}
+
+}  // namespace
+}  // namespace connlab

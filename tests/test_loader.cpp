@@ -6,6 +6,7 @@
 #include "src/loader/boot.hpp"
 #include "src/loader/layout.hpp"
 #include "src/loader/libc_image.hpp"
+#include "src/loader/snapshot.hpp"
 
 namespace connlab::loader {
 namespace {
@@ -341,6 +342,64 @@ INSTANTIATE_TEST_SUITE_P(BothArchs, BootTest,
                          [](const auto& info) {
                            return info.param == Arch::kVX86 ? "vx86" : "varm";
                          });
+
+// --- Snapshot / restore fast reboots ---------------------------------------
+
+TEST(Snapshot, RoundTripRestoresMemoryAndCpu) {
+  for (Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    auto sys = Boot(arch, ProtectionConfig::None(), 5).value();
+    const Snapshot snap = TakeSnapshot(*sys);
+    const std::uint32_t sp0 = sys->cpu->sp();
+    const mem::GuestAddr stack_probe = sp0 - 64;
+    const util::Bytes before =
+        sys->space.DebugRead(stack_probe, 32).value();
+
+    // Trash guest state the way a corrupted execution would: scribble on
+    // the stack, move registers, change permissions, advance the RNG.
+    ASSERT_TRUE(
+        sys->space.DebugWrite(stack_probe, util::Bytes(32, 0xEE)).ok());
+    sys->cpu->set_sp(sp0 - 256);
+    sys->cpu->set_pc(0xDEAD);
+    sys->cpu->PushEvent(vm::EventKind::kNote, "corruption");
+    ASSERT_TRUE(sys->space.Protect("stack", mem::kPermRX).ok());
+    (void)sys->rng.NextU64();
+
+    ASSERT_TRUE(RestoreSnapshot(*sys, snap).ok());
+    EXPECT_EQ(sys->space.DebugRead(stack_probe, 32).value(), before);
+    EXPECT_EQ(sys->cpu->sp(), sp0);
+    EXPECT_EQ(sys->cpu->pc(), snap.cpu.pc);
+    EXPECT_TRUE(sys->cpu->events().empty());
+    const mem::Segment* stack = sys->space.FindSegmentByName("stack");
+    ASSERT_NE(stack, nullptr);
+    EXPECT_TRUE(mem::Has(stack->perms(), mem::Perm::kWrite));
+    // Restored RNG replays the same stream as a fresh boot would.
+    auto fresh = Boot(arch, ProtectionConfig::None(), 5).value();
+    EXPECT_EQ(sys->rng.NextU64(), fresh->rng.NextU64());
+  }
+}
+
+TEST(Snapshot, RestoreAfterExecutionRewindsSteps) {
+  auto sys = Boot(Arch::kVX86, ProtectionConfig::None(), 5).value();
+  const Snapshot snap = TakeSnapshot(*sys);
+  const std::uint64_t steps0 = sys->cpu->steps_executed();
+  (void)sys->cpu->Run(50);  // wander from _start for a bit
+  EXPECT_GT(sys->cpu->steps_executed(), steps0);
+  ASSERT_TRUE(RestoreSnapshot(*sys, snap).ok());
+  EXPECT_EQ(sys->cpu->steps_executed(), steps0);
+  EXPECT_FALSE(sys->cpu->stopped());
+}
+
+TEST(Snapshot, RefusesForeignSystem) {
+  auto a = Boot(Arch::kVX86, ProtectionConfig::None(), 5).value();
+  auto b = Boot(Arch::kVX86, ProtectionConfig::WxAslr(), 977).value();
+  const Snapshot snap = TakeSnapshot(*a);
+  // Different ASLR slide => different segment bases; the restore must
+  // refuse rather than scribble over the wrong layout.
+  auto status = RestoreSnapshot(*b, snap);
+  if (b->layout.libc_base != a->layout.libc_base) {
+    EXPECT_FALSE(status.ok());
+  }
+}
 
 }  // namespace
 }  // namespace connlab::loader

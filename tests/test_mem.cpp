@@ -1,6 +1,8 @@
 // Unit tests for the guest memory model: segments, permissions, faults.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/mem/address_space.hpp"
 #include "src/mem/perms.hpp"
 
@@ -171,6 +173,71 @@ TEST(AddressSpace, ClearFault) {
   ASSERT_TRUE(space.last_fault().has_value());
   space.ClearFault();
   EXPECT_FALSE(space.last_fault().has_value());
+}
+
+TEST(AddressSpace, FetchSegmentRequiresExecPermission) {
+  AddressSpace space = MakeSpace();
+  auto text = space.FetchSegment(0x1000, 4);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value()->name(), ".text");
+
+  auto data = space.FetchSegment(0x3000, 4);
+  EXPECT_FALSE(data.ok());
+  ASSERT_TRUE(space.last_fault().has_value());
+  EXPECT_EQ(space.last_fault()->kind, AccessKind::kFetch);
+
+  EXPECT_FALSE(space.FetchSegment(0x0, 4).ok());       // unmapped
+  EXPECT_FALSE(space.FetchSegment(0x1FFE, 4).ok());    // runs off the end
+}
+
+TEST(AddressSpace, FetchSegmentWindowMatchesFetch) {
+  AddressSpace space = MakeSpace();
+  const Segment* seg = space.FindSegmentByName(".text");
+  ASSERT_NE(seg, nullptr);
+  util::Bytes code{0xAA, 0xBB, 0xCC, 0xDD};
+  ASSERT_TRUE(space.DebugWrite(0x1000, code).ok());
+  auto got = space.FetchSegment(0x1000, 4);
+  ASSERT_TRUE(got.ok());
+  const util::ByteSpan window = got.value()->SpanAt(0x1000, 4);
+  const util::Bytes copied = space.Fetch(0x1000, 4).value();
+  EXPECT_TRUE(std::equal(window.begin(), window.end(), copied.begin()));
+}
+
+TEST(Segment, GenerationBumpsOnEveryMutation) {
+  AddressSpace space = MakeSpace();
+  const Segment* data = space.FindSegmentByName(".data");
+  ASSERT_NE(data, nullptr);
+  std::uint64_t gen = data->generation();
+
+  ASSERT_TRUE(space.WriteU8(0x3000, 1).ok());
+  EXPECT_GT(data->generation(), gen);
+  gen = data->generation();
+
+  ASSERT_TRUE(space.WriteU32(0x3004, 42).ok());
+  EXPECT_GT(data->generation(), gen);
+  gen = data->generation();
+
+  ASSERT_TRUE(space.WriteBytes(0x3008, util::Bytes{1, 2, 3}).ok());
+  EXPECT_GT(data->generation(), gen);
+  gen = data->generation();
+
+  ASSERT_TRUE(space.DebugWrite(0x3000, util::Bytes{9}).ok());
+  EXPECT_GT(data->generation(), gen);
+  gen = data->generation();
+
+  // mprotect counts as a mutation too: X may have been granted or revoked.
+  ASSERT_TRUE(space.Protect(".data", kPermRWX).ok());
+  EXPECT_GT(data->generation(), gen);
+  gen = data->generation();
+
+  // Reads leave the generation alone.
+  (void)space.ReadU32(0x3000);
+  (void)space.ReadBytes(0x3000, 8);
+  EXPECT_EQ(data->generation(), gen);
+
+  // Writes to another segment don't disturb this one.
+  ASSERT_TRUE(space.WriteU8(0x8000, 7).ok());
+  EXPECT_EQ(data->generation(), gen);
 }
 
 }  // namespace

@@ -505,5 +505,180 @@ TEST(CpuByteOps, ByteStoreToReadOnlyFaults) {
   EXPECT_EQ(stop.reason, StopReason::kFault);
 }
 
+// --- Predecode cache: self-modifying code must never run stale decodes ----
+
+/// Guest stores rewrite a stack stub between two executions of the same pc
+/// (W^X off, stack RWX). The first run primes the predecode cache with the
+/// old stub; the stores bump the stack segment's write generation, so the
+/// second run must decode — and execute — the new bytes.
+TEST(CpuPredecode, GuestStoresInvalidateStackDecodes) {
+  util::ByteWriter stub1;
+  x::EncMovImm(stub1, isa::kEAX, 1);
+  x::EncHlt(stub1);
+  util::ByteWriter stub2w;
+  x::EncMovImm(stub2w, isa::kEAX, 2);
+  x::EncHlt(stub2w);
+  util::Bytes stub2 = stub2w.bytes();
+  while (stub2.size() % 4 != 0) stub2.push_back(0);
+
+  // .text program: store the new stub over 0x8000 word by word, then jump
+  // into it.
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEBX, 0x8000);
+  for (std::size_t i = 0; i < stub2.size(); i += 4) {
+    const std::uint32_t word = static_cast<std::uint32_t>(stub2[i]) |
+                               (static_cast<std::uint32_t>(stub2[i + 1]) << 8) |
+                               (static_cast<std::uint32_t>(stub2[i + 2]) << 16) |
+                               (static_cast<std::uint32_t>(stub2[i + 3]) << 24);
+    x::EncMovImm(w, isa::kEAX, word);
+    x::EncStore(w, isa::kEAX, isa::kEBX, static_cast<std::uint32_t>(i));
+  }
+  x::EncJmp(w, 0x8000);
+
+  auto m = MakeMachine(Arch::kVX86, w.bytes(), mem::kPermRWX);
+  ASSERT_TRUE(m.cpu->predecode_enabled());
+  ASSERT_TRUE(m.space.DebugWrite(0x8000, stub1.bytes()).ok());
+
+  m.cpu->set_pc(0x8000);
+  auto first = m.cpu->Run(100);
+  EXPECT_EQ(first.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 1u);
+
+  m.cpu->set_pc(0x1000);
+  auto second = m.cpu->Run(100);
+  EXPECT_EQ(second.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 2u);
+}
+
+/// Same shape on VARM (fixed 4-byte instructions): the heap-ish .data
+/// segment is made executable, a stub runs, the guest overwrites it, and
+/// the rewrite must be honoured on re-entry.
+TEST(CpuPredecode, GuestStoresInvalidateVarmDecodes) {
+  util::ByteWriter stub1;
+  v::EncMovW(stub1, 0, 7);
+  v::EncHlt(stub1);
+  util::ByteWriter stub2w;
+  v::EncMovW(stub2w, 0, 9);
+  v::EncHlt(stub2w);
+  const util::Bytes stub2 = stub2w.bytes();
+  ASSERT_EQ(stub2.size() % 4, 0u);
+
+  util::ByteWriter w;
+  v::EncMovImm32(w, 1, 0x4000);
+  for (std::size_t i = 0; i < stub2.size(); i += 4) {
+    const std::uint32_t word = static_cast<std::uint32_t>(stub2[i]) |
+                               (static_cast<std::uint32_t>(stub2[i + 1]) << 8) |
+                               (static_cast<std::uint32_t>(stub2[i + 2]) << 16) |
+                               (static_cast<std::uint32_t>(stub2[i + 3]) << 24);
+    v::EncMovImm32(w, 0, word);
+    v::EncStr(w, 0, 1, static_cast<std::uint8_t>(i));
+  }
+  v::EncHlt(w);
+
+  auto m = MakeMachine(Arch::kVARM, w.bytes());
+  ASSERT_TRUE(m.space.Protect(".data", mem::kPermRWX).ok());
+  ASSERT_TRUE(m.space.DebugWrite(0x4000, stub1.bytes()).ok());
+
+  m.cpu->set_pc(0x4000);
+  auto first = m.cpu->Run(100);
+  EXPECT_EQ(first.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(0), 7u);
+
+  m.cpu->set_pc(0x1000);
+  auto rewrite = m.cpu->Run(100);
+  EXPECT_EQ(rewrite.reason, StopReason::kHalted);
+
+  m.cpu->set_pc(0x4000);
+  auto second = m.cpu->Run(100);
+  EXPECT_EQ(second.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(0), 9u);
+}
+
+/// A debugger poke (DebugWrite bypasses permissions) must also invalidate
+/// cached decodes of .text.
+TEST(CpuPredecode, DebugPokeInvalidatesTextDecodes) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 1);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  auto first = m.cpu->Run(100);
+  EXPECT_EQ(first.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 1u);
+
+  util::ByteWriter patched;
+  x::EncMovImm(patched, isa::kEAX, 42);
+  x::EncHlt(patched);
+  ASSERT_TRUE(m.space.DebugWrite(0x1000, patched.bytes()).ok());
+
+  m.cpu->set_pc(0x1000);
+  auto second = m.cpu->Run(100);
+  EXPECT_EQ(second.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 42u);
+}
+
+/// An mprotect revoking X must take effect even for already-cached pcs.
+TEST(CpuPredecode, ProtectRevokingExecInvalidatesDecodes) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 5);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  auto first = m.cpu->Run(100);
+  EXPECT_EQ(first.reason, StopReason::kHalted);
+
+  ASSERT_TRUE(m.space.Protect(".text", mem::kPermRW).ok());
+  m.cpu->set_pc(0x1000);
+  auto second = m.cpu->Run(100);
+  EXPECT_EQ(second.reason, StopReason::kFault);
+  EXPECT_EQ(second.detail, "instruction fetch failed");
+}
+
+/// Legacy mode (cache off) executes the same program with identical
+/// architectural results and step counts.
+TEST(CpuPredecode, LegacyModeExecutesIdentically) {
+  for (const bool predecode : {true, false}) {
+    util::ByteWriter w;
+    x::EncMovImm(w, isa::kEAX, 40);
+    x::EncAddImm(w, isa::kEAX, 2);
+    x::EncCmpImm(w, isa::kEAX, 42);
+    x::EncHlt(w);
+    auto m = MakeMachine(Arch::kVX86, w.bytes());
+    m.cpu->set_predecode_enabled(predecode);
+    EXPECT_EQ(m.cpu->predecode_enabled(), predecode);
+    auto stop = m.cpu->Run(100);
+    EXPECT_EQ(stop.reason, StopReason::kHalted);
+    EXPECT_EQ(stop.steps, 4u);
+    EXPECT_EQ(m.cpu->reg(isa::kEAX), 42u);
+    EXPECT_TRUE(m.cpu->zf());
+  }
+}
+
+/// Snapshot state round-trip at the CPU level: registers, flags, steps,
+/// events and the shadow stack all restore; the stop record clears.
+TEST(CpuState, SaveRestoreRoundTrip) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 11);
+  x::EncCmpImm(w, isa::kEAX, 11);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  m.cpu->PushEvent(EventKind::kNote, "pre-save");
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  const Cpu::State state = m.cpu->SaveState();
+
+  m.cpu->set_reg(isa::kEAX, 999);
+  m.cpu->set_zf(false);
+  m.cpu->set_pc(0xDEAD);
+  m.cpu->PushEvent(EventKind::kNote, "post-save");
+
+  m.cpu->RestoreState(state);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 11u);
+  EXPECT_TRUE(m.cpu->zf());
+  EXPECT_EQ(m.cpu->pc(), state.pc);
+  EXPECT_EQ(m.cpu->steps_executed(), state.steps);
+  ASSERT_EQ(m.cpu->events().size(), 1u);
+  EXPECT_EQ(m.cpu->events()[0].text, "pre-save");
+  EXPECT_FALSE(m.cpu->stopped());
+}
+
 }  // namespace
 }  // namespace connlab::vm
