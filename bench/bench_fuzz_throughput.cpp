@@ -6,12 +6,16 @@
 // mode (predecode cache + snapshot reboots against the pre-PR byte-copying
 // interpreter and full re-Boots).
 // Timing: single execution, single mutation, and a short campaign.
-// `--json[=path]` additionally writes BENCH_fuzz.json for CI.
+// `--json[=path]` additionally writes BENCH_fuzz.json for CI, including an
+// `execs_per_sec_w{1,2,4,8}` worker-scaling ladder; `--workers N` restricts
+// both the table and the ladder to a single worker count.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_json.hpp"
 #include "src/fuzz/fuzzer.hpp"
@@ -20,6 +24,31 @@
 using namespace connlab;
 
 namespace {
+
+/// Strips `--workers N` / `--workers=N` from argv. Returns 0 when absent
+/// (meaning: sweep the default 1/2/4/8 ladder).
+std::size_t TakeWorkersFlag(int& argc, char** argv) {
+  std::size_t workers = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + sizeof("--workers=") - 1, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return workers;
+}
+
+std::vector<std::size_t> WorkerSweep(std::size_t only) {
+  if (only != 0) return {only};
+  return {1, 2, 4, 8};
+}
 
 fuzz::FuzzConfig CampaignConfig(std::size_t workers, std::uint64_t execs) {
   fuzz::FuzzConfig config;
@@ -31,7 +60,7 @@ fuzz::FuzzConfig CampaignConfig(std::size_t workers, std::uint64_t execs) {
   return config;
 }
 
-void PrintTable() {
+void PrintTable(std::size_t workers_flag) {
   std::printf("== E11: fuzzing throughput — dnsproxy, seed 42 ==\n");
   std::printf("host concurrency: %u thread(s)\n\n",
               std::thread::hardware_concurrency());
@@ -40,7 +69,7 @@ void PrintTable() {
   std::printf("%s\n", std::string(72, '-').c_str());
   double single = 0;
   std::uint64_t single_digest = 0;
-  for (const std::size_t workers : {1u, 2u, 4u}) {
+  for (const std::size_t workers : WorkerSweep(workers_flag)) {
     auto report = fuzz::Fuzzer(CampaignConfig(workers, 20000)).Run();
     if (!report.ok()) {
       std::printf("campaign failed: %s\n", report.status().ToString().c_str());
@@ -118,7 +147,7 @@ BENCHMARK(BM_Campaign)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 /// fetch/decode + full loader re-Boot per corruption; fast = predecode
 /// cache + snapshot-restore reboots. Same seed, so the coverage digests
 /// must match — the speedup is free only if behaviour is identical.
-void CompareModes(const std::string& json_path) {
+void CompareModes(const std::string& json_path, std::size_t workers_flag) {
   constexpr std::uint64_t kExecs = 20000;
 
   vm::Cpu::set_predecode_default(false);
@@ -161,6 +190,16 @@ void CompareModes(const std::string& json_path) {
     json.Integer("reboots", fs.reboots);
     json.Bool("digest_matches_legacy", digests_match);
     json.String("coverage_digest", digest);
+    // Per-worker scaling ladder (shared decode plans + dirty-only restores
+    // mean worker N's boot reuses worker 0's plans and each reboot copies
+    // only touched pages). On a single-core runner these stay ~flat.
+    for (const std::size_t w : WorkerSweep(workers_flag)) {
+      auto scaled = fuzz::Fuzzer(CampaignConfig(w, kExecs)).Run();
+      if (!scaled.ok()) continue;
+      char key[32];
+      std::snprintf(key, sizeof(key), "execs_per_sec_w%zu", w);
+      json.Number(key, scaled.value().stats.execs_per_sec);
+    }
     json.WriteFile(json_path);
   }
 }
@@ -170,13 +209,14 @@ void CompareModes(const std::string& json_path) {
 int main(int argc, char** argv) {
   const std::string json_path =
       benchout::TakeJsonFlag(argc, argv, "BENCH_fuzz.json");
+  const std::size_t workers_flag = TakeWorkersFlag(argc, argv);
   if (!json_path.empty()) {
     // CI smoke mode: just the mode comparison + artifact, no microbenches.
-    CompareModes(json_path);
+    CompareModes(json_path, workers_flag);
     return 0;
   }
-  PrintTable();
-  CompareModes("");
+  PrintTable(workers_flag);
+  CompareModes("", workers_flag);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CI bench-smoke regression tripwire.
+
+Compares a freshly-measured bench JSON artifact against the committed
+baseline and fails (exit 1) when a headline number regressed by more than
+the threshold (default 30%). Throughput-style keys regress by dropping;
+latency-style keys (microsecond costs) regress by rising.
+
+Only keys present in BOTH files are compared, so adding a new metric never
+breaks the gate, and CI runners that legitimately differ from the machine
+that produced the baseline have 30% of headroom before the alarm sounds.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+# Bigger is better: steps/sec, execs/sec, speedup ratios (including the
+# execs_per_sec_w{N} worker-scaling ladder, matched by prefix below).
+HIGHER_BETTER = {
+    "rop_steps_per_sec",
+    "rop_steps_per_sec_legacy",
+    "rop_deliveries_per_sec",
+    "loop_steps_per_sec",
+    "loop_steps_per_sec_legacy",
+    "rop_speedup",
+    "loop_speedup",
+    "reboot_speedup",
+    "dirty_restore_speedup",
+    "execs_per_sec",
+    "execs_per_sec_legacy",
+    "speedup",
+}
+HIGHER_BETTER_PREFIXES = ("execs_per_sec_w",)
+
+# Smaller is better: absolute costs in microseconds.
+LOWER_BETTER = {"boot_us", "restore_us", "restore_full_us"}
+
+# Printed for the log but never gated: boot_us is allocator-bound and swings
+# ~40% run-to-run on loaded runners, restore_us is sub-microsecond (timer
+# noise dominates), and the ratios derived from them inherit the swing. The
+# stable anchors — restore_full_us and every throughput key — carry the gate.
+INFO_ONLY = {"boot_us", "restore_us", "dirty_restore_speedup", "reboot_speedup"}
+
+
+def direction(key):
+    if key in HIGHER_BETTER or key.startswith(HIGHER_BETTER_PREFIXES):
+        return "higher"
+    if key in LOWER_BETTER:
+        return "lower"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    checked = 0
+    failures = []
+    for key, base_value in sorted(baseline.items()):
+        want = direction(key)
+        if want is None or key not in fresh:
+            continue
+        new_value = fresh[key]
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+            continue
+        if not isinstance(new_value, (int, float)) or isinstance(new_value, bool):
+            continue
+        if base_value <= 0:
+            continue
+        ratio = new_value / base_value
+        if want == "higher":
+            ok = ratio >= 1.0 - args.threshold
+            verdict = f"{ratio:6.2%} of baseline"
+        else:
+            ok = ratio <= 1.0 + args.threshold
+            verdict = f"{ratio:6.2%} of baseline (lower is better)"
+        if key in INFO_ONLY:
+            marker = "info"
+        else:
+            checked += 1
+            marker = "ok  " if ok else "FAIL"
+            if not ok:
+                failures.append(key)
+        print(f"  [{marker}] {key:32s} {base_value:14.4g} -> {new_value:14.4g}  {verdict}")
+
+    if checked == 0:
+        print("error: no comparable keys between baseline and fresh artifact",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nbench regression: {len(failures)} metric(s) moved more than "
+              f"{args.threshold:.0%} the wrong way: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {checked} compared metrics within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,8 +129,14 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
 util::Result<FuzzReport> Fuzzer::Run() {
   if (config_.workers == 0) return util::InvalidArgument("workers must be >= 1");
   const std::size_t workers = config_.workers;
-  const std::uint64_t budget = config_.max_execs / workers;
-  if (budget == 0) return util::InvalidArgument("budget smaller than worker count");
+  // Exact budget split: the first max_execs % workers workers run one extra
+  // exec, so the campaign executes precisely max_execs inputs instead of
+  // silently truncating the remainder.
+  const std::uint64_t base_budget = config_.max_execs / workers;
+  const std::uint64_t remainder = config_.max_execs % workers;
+  if (base_budget == 0) {
+    return util::InvalidArgument("budget smaller than worker count");
+  }
 
   FuzzConfig config = config_;
   if (!config.corpus_path.empty()) {
@@ -147,14 +153,17 @@ util::Result<FuzzReport> Fuzzer::Run() {
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<WorkerOutput> outputs(workers);
+  const auto worker_budget = [base_budget, remainder](std::size_t i) {
+    return base_budget + (i < remainder ? 1u : 0u);
+  };
   if (workers == 1) {
-    outputs[0] = RunWorker(config, 0, budget);
+    outputs[0] = RunWorker(config, 0, worker_budget(0));
   } else {
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      threads.emplace_back([&config, &outputs, i, budget] {
-        outputs[i] = RunWorker(config, i, budget);
+      threads.emplace_back([&config, &outputs, i, &worker_budget] {
+        outputs[i] = RunWorker(config, i, worker_budget(i));
       });
     }
     for (std::thread& t : threads) t.join();

@@ -2,6 +2,7 @@
 
 #include "src/loader/connman_image.hpp"
 #include "src/loader/libc_image.hpp"
+#include "src/vm/decode_plan.hpp"
 
 namespace connlab::loader {
 
@@ -54,6 +55,24 @@ util::Result<std::unique_ptr<System>> Boot(isa::Arch arch,
     sys->cpu->set_sp(sys->layout.initial_sp());
     CONNLAB_ASSIGN_OR_RETURN(mem::GuestAddr entry, sys->Sym("connman._start"));
     sys->cpu->set_pc(entry);
+
+    // Shared decode plans for the immutable text images (.text, libc):
+    // executable and never writable, so the plan built from this content is
+    // valid until a Protect or a debugger poke moves the generation. An
+    // identically-seeded boot in another worker reuses the same plan; a
+    // diversity-reshuffled boot hashes differently and gets its own. RWX
+    // segments (the non-W^X stack) are skipped — the first shellcode byte
+    // would invalidate the plan anyway.
+    if (sys->cpu->shared_plans_enabled()) {
+      for (const auto& seg : sys->space.segments()) {
+        if (mem::Has(seg->perms(), mem::Perm::kExec) &&
+            !mem::Has(seg->perms(), mem::Perm::kWrite)) {
+          sys->cpu->BindDecodePlan(
+              seg.get(),
+              vm::DecodePlanRegistry::Instance().GetOrBuild(arch, *seg));
+        }
+      }
+    }
     return sys;
   }
   return util::Internal("could not place stack after 16 ASLR redraws");

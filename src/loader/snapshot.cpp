@@ -1,20 +1,48 @@
 #include "src/loader/snapshot.hpp"
 
+#include <atomic>
+
+#include "src/vm/decode_plan.hpp"
+
 namespace connlab::loader {
 
-Snapshot TakeSnapshot(const System& sys) {
+namespace {
+
+std::atomic<bool> g_dirty_restore_default{true};
+
+// Snapshot ids start at 1 so a freshly-mapped segment's baseline of 0 can
+// never accidentally match a real snapshot.
+std::atomic<std::uint64_t> g_next_snapshot_id{1};
+
+}  // namespace
+
+void SetDirtyRestoreDefault(bool enabled) noexcept {
+  g_dirty_restore_default.store(enabled, std::memory_order_relaxed);
+}
+
+bool DirtyRestoreDefault() noexcept {
+  return g_dirty_restore_default.load(std::memory_order_relaxed);
+}
+
+Snapshot TakeSnapshot(System& sys) {
   Snapshot snap;
+  snap.id = g_next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
   snap.segments.reserve(sys.space.segments().size());
   for (const auto& seg : sys.space.segments()) {
     snap.segments.push_back(Snapshot::SegmentImage{
-        seg->name(), seg->base(), seg->data(), seg->perms()});
+        seg->name(), seg->base(), seg->data(), seg->perms(),
+        vm::DecodePlan::HashContent(
+            util::ByteSpan(seg->data().data(), seg->data().size()))});
+    // From here on, "dirty" means "diverged from this snapshot".
+    seg->ResetDirty(snap.id);
   }
   snap.cpu = sys.cpu->SaveState();
   snap.rng = sys.rng;
   return snap;
 }
 
-util::Status RestoreSnapshot(System& sys, const Snapshot& snap) {
+util::Status RestoreSnapshot(System& sys, const Snapshot& snap,
+                             RestoreMode mode) {
   const auto& segments = sys.space.segments();
   if (segments.size() != snap.segments.size()) {
     return util::FailedPrecondition("snapshot segment roster mismatch");
@@ -28,13 +56,38 @@ util::Status RestoreSnapshot(System& sys, const Snapshot& snap) {
                                       seg.name() + "'");
     }
   }
+  const bool dirty_only = mode == RestoreMode::kDirtyOnly ||
+                          (mode == RestoreMode::kDefault &&
+                           DirtyRestoreDefault());
   for (std::size_t i = 0; i < segments.size(); ++i) {
     mem::Segment& seg = *segments[i];
     const Snapshot::SegmentImage& img = snap.segments[i];
-    // mutable_data() bumps the write generation, so stale predecodes of the
-    // pre-restore bytes can never execute.
-    seg.mutable_data() = img.data;
-    seg.set_perms(img.perms);
+    if (dirty_only && seg.dirty_baseline() == snap.id) {
+      // The dirty bitmap measures divergence from exactly this snapshot:
+      // copy back only the touched pages. An untouched segment keeps its
+      // write generation, so predecodes and shared-plan bindings stay warm.
+      seg.RestoreDirtyPagesFrom(
+          util::ByteSpan(img.data.data(), img.data.size()));
+    } else {
+      // Either a full restore was requested or the bitmap belongs to some
+      // other snapshot of this System — copy wholesale. mutable_data()
+      // bumps the write generation, so stale predecodes of the pre-restore
+      // bytes can never execute.
+      seg.mutable_data() = img.data;
+      // The bytes now equal the snapshot's, so future dirty-only restores
+      // against this snapshot may trust the (cleared) bitmap.
+      seg.ResetDirty(snap.id);
+    }
+    if (seg.perms() != img.perms) {
+      // Roll back W^X flips etc.; bump mirrors AddressSpace::Protect so any
+      // decode cached under the interim permissions dies with the restore.
+      seg.set_perms(img.perms);
+      seg.BumpGeneration();
+    }
+    // Full copies (and permission rollbacks) moved the generation even
+    // though the content provably matches the snapshot image again; re-arm
+    // the shared decode plan rather than losing it to the staleness check.
+    sys.cpu->RearmDecodePlan(&seg, img.content_hash);
   }
   sys.space.ClearFault();
   sys.cpu->RestoreState(snap.cpu);

@@ -1,12 +1,27 @@
 #include "src/mem/segment.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace connlab::mem {
 
+namespace {
+
+constexpr std::uint32_t DirtyWordCount(std::uint32_t size) noexcept {
+  const std::uint32_t pages =
+      (size + Segment::kDirtyPageSize - 1) >> Segment::kDirtyPageShift;
+  return (pages + 63u) >> 6u;
+}
+
+}  // namespace
+
 Segment::Segment(std::string name, GuestAddr base, std::uint32_t size, Perm perms)
-    : name_(std::move(name)), base_(base), perms_(perms), data_(size, 0) {}
+    : name_(std::move(name)),
+      base_(base),
+      perms_(perms),
+      data_(size, 0),
+      dirty_(DirtyWordCount(size), 0) {}
 
 bool Segment::ContainsRange(GuestAddr addr, std::uint32_t len) const noexcept {
   if (len == 0) return Contains(addr) || addr == end();
@@ -18,10 +33,73 @@ bool Segment::ContainsRange(GuestAddr addr, std::uint32_t len) const noexcept {
 void Segment::SetBytes(GuestAddr addr, util::ByteSpan bytes) noexcept {
   std::copy(bytes.begin(), bytes.end(), data_.begin() + (addr - base_));
   ++generation_;
+  if (bytes.empty()) return;
+  const std::uint32_t first = (addr - base_) >> kDirtyPageShift;
+  const std::uint32_t last =
+      (addr - base_ + static_cast<std::uint32_t>(bytes.size()) - 1u) >>
+      kDirtyPageShift;
+  for (std::uint32_t page = first; page <= last; ++page) {
+    dirty_[page >> 6u] |= 1ull << (page & 63u);
+  }
 }
 
 util::ByteSpan Segment::SpanAt(GuestAddr addr, std::uint32_t len) const noexcept {
   return util::ByteSpan(data_.data() + (addr - base_), len);
+}
+
+void Segment::ResetDirty(std::uint64_t baseline_id) noexcept {
+  // mutable_data() may have been used to swap in a differently-sized image;
+  // keep the bitmap in step before clearing it.
+  dirty_.assign(DirtyWordCount(size()), 0);
+  dirty_baseline_ = baseline_id;
+}
+
+bool Segment::HasDirtyPages() const noexcept {
+  for (const std::uint64_t word : dirty_) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+std::uint32_t Segment::CountDirtyPages() const noexcept {
+  std::uint32_t count = 0;
+  for (const std::uint64_t word : dirty_) {
+    count += static_cast<std::uint32_t>(std::popcount(word));
+  }
+  return count;
+}
+
+void Segment::MarkAllDirty() noexcept {
+  dirty_.assign(DirtyWordCount(size()), ~0ull);
+  // Mask off the bits past the last real page so CountDirtyPages stays
+  // honest.
+  const std::uint32_t pages = (size() + kDirtyPageSize - 1) >> kDirtyPageShift;
+  const std::uint32_t tail = pages & 63u;
+  if (tail != 0 && !dirty_.empty()) dirty_.back() = (1ull << tail) - 1;
+}
+
+std::uint32_t Segment::RestoreDirtyPagesFrom(util::ByteSpan reference) noexcept {
+  if (dirty_.size() != DirtyWordCount(size())) {
+    // The image was resized through mutable_data(); the bitmap can no longer
+    // be trusted, so pessimize to everything-dirty at the current size.
+    dirty_.assign(DirtyWordCount(size()), ~0ull);
+  }
+  std::uint32_t copied = 0;
+  const std::uint32_t page_count =
+      (size() + kDirtyPageSize - 1) >> kDirtyPageShift;
+  for (std::uint32_t page = 0; page < page_count; ++page) {
+    if ((dirty_[page >> 6u] & (1ull << (page & 63u))) == 0) continue;
+    const std::uint32_t off = page << kDirtyPageShift;
+    const std::uint32_t len = std::min(kDirtyPageSize, size() - off);
+    std::copy(reference.begin() + off, reference.begin() + off + len,
+              data_.begin() + off);
+    ++copied;
+  }
+  if (copied != 0) {
+    ++generation_;
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+  }
+  return copied;
 }
 
 }  // namespace connlab::mem

@@ -49,10 +49,57 @@ Cpu::Cpu(isa::Arch arch, mem::AddressSpace& space)
       space_(&space),
       predecode_(kPredecodeSlots),
       predecode_shift_(arch == isa::Arch::kVARM ? 2 : 0),
-      predecode_enabled_(predecode_default_) {}
+      predecode_enabled_(predecode_default_),
+      shared_plans_enabled_(shared_plans_default_) {}
 
 void Cpu::FlushPredecodeCache() noexcept {
   for (PredecodeEntry& slot : predecode_) slot = PredecodeEntry{};
+}
+
+void Cpu::BindDecodePlan(const mem::Segment* seg,
+                         std::shared_ptr<const DecodePlan> plan) {
+  if (seg == nullptr || plan == nullptr) return;
+  for (PlanBinding& binding : plan_bindings_) {
+    if (binding.seg == seg) {
+      binding.gen = seg->generation();
+      binding.plan = std::move(plan);
+      return;
+    }
+  }
+  plan_bindings_.push_back(PlanBinding{seg, seg->generation(), std::move(plan)});
+}
+
+void Cpu::RearmDecodePlan(const mem::Segment* seg,
+                          std::uint64_t content_hash) noexcept {
+  for (std::size_t i = 0; i < plan_bindings_.size(); ++i) {
+    if (plan_bindings_[i].seg != seg) continue;
+    if (plan_bindings_[i].plan->content_hash() == content_hash) {
+      plan_bindings_[i].gen = seg->generation();
+    } else {
+      plan_bindings_.erase(plan_bindings_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    }
+    return;
+  }
+}
+
+const DecodePlan* Cpu::BoundPlan(const mem::Segment* seg) const noexcept {
+  for (const PlanBinding& binding : plan_bindings_) {
+    if (binding.seg == seg) return binding.plan.get();
+  }
+  return nullptr;
+}
+
+const isa::Instr* Cpu::PlannedInstr(const mem::Segment* seg) const noexcept {
+  for (const PlanBinding& binding : plan_bindings_) {
+    if (binding.seg != seg) continue;
+    // A moved generation means the segment was written or re-protected
+    // since binding; the plan's decodes may be stale, so refuse and let the
+    // ordinary decode path (and its SMC-correct per-CPU cache) take over.
+    if (binding.gen != seg->generation()) return nullptr;
+    return binding.plan->Lookup(pc_);
+  }
+  return nullptr;
 }
 
 std::uint32_t Cpu::sp() const noexcept {
@@ -271,6 +318,33 @@ void Cpu::StepSlow() {
     return;
   }
   const mem::Segment* seg = head.value();
+
+  // Shared decode plan (the cross-CPU L2 behind the per-CPU slots): the
+  // fetch above already enforced X on this segment, a valid plan entry is
+  // wholly inside it, and the generation check above ruled out writes since
+  // the plan was built — so executing the planned decode is bit-identical
+  // to decoding here. Offsets the plan could not decode fall through so
+  // fault wording stays byte-identical to the plain path.
+  if (shared_plans_enabled_) {
+    if (const isa::Instr* planned = PlannedInstr(seg)) {
+      PredecodeEntry& slot = PredecodeSlot(pc_);
+      slot.pc = pc_;
+      slot.kind = PredecodeEntry::Kind::kInstr;
+      slot.seg = seg;
+      slot.gen = seg->generation();
+      slot.instr = *planned;
+      slot.host = nullptr;
+      const isa::Instr ins = *planned;  // plans are immutable; copy anyway,
+      ++steps_;                         // matching the hot path's idiom
+      if (trace_limit_ != 0) {
+        trace_.push_back({pc_, ins.ToString(arch_)});
+        if (trace_.size() > trace_limit_) trace_.pop_front();
+      }
+      ExecuteInstr(ins);
+      return;
+    }
+  }
+
   std::uint32_t len = first_len;
   if (arch_ == isa::Arch::kVX86) {
     const std::uint8_t op = seg->At(pc_);

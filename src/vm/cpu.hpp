@@ -23,6 +23,7 @@
 
 #include "src/isa/isa.hpp"
 #include "src/mem/address_space.hpp"
+#include "src/vm/decode_plan.hpp"
 #include "src/vm/events.hpp"
 
 namespace connlab::vm {
@@ -125,6 +126,39 @@ class Cpu {
     return predecode_default_;
   }
   void FlushPredecodeCache() noexcept;
+
+  // --- Shared decode plans --------------------------------------------------
+  // A binding attaches an immutable DecodePlan (see vm/decode_plan.hpp) to
+  // one of this CPU's segments at its current write generation. While the
+  // generation holds, predecode misses inside the segment are served from
+  // the plan instead of decoding; the moment the segment is written or
+  // re-protected the binding goes stale and the CPU falls back to the
+  // ordinary per-CPU decode path (SMC-correct by construction). The loader
+  // binds plans for executable, non-writable segments at Boot.
+  void BindDecodePlan(const mem::Segment* seg,
+                      std::shared_ptr<const DecodePlan> plan);
+  /// After a snapshot restore rewrote `seg`'s bytes: re-arms the binding at
+  /// the new generation when the restored content (identified by its hash)
+  /// is exactly what the plan was built from, and drops it otherwise.
+  void RearmDecodePlan(const mem::Segment* seg,
+                       std::uint64_t content_hash) noexcept;
+  /// The plan currently bound for `seg` (stale or not); nullptr if none.
+  [[nodiscard]] const DecodePlan* BoundPlan(const mem::Segment* seg) const noexcept;
+  void set_shared_plans_enabled(bool enabled) noexcept {
+    shared_plans_enabled_ = enabled;
+  }
+  [[nodiscard]] bool shared_plans_enabled() const noexcept {
+    return shared_plans_enabled_;
+  }
+  /// Process-wide default applied to newly constructed CPUs, mirroring
+  /// set_predecode_default (the differential suite toggles it around whole
+  /// scenarios).
+  static void set_shared_plans_default(bool enabled) noexcept {
+    shared_plans_default_ = enabled;
+  }
+  [[nodiscard]] static bool shared_plans_default() noexcept {
+    return shared_plans_default_;
+  }
 
   // --- Snapshot state (loader::Snapshot) ------------------------------------
   /// Architectural state a snapshot must capture to make a later
@@ -248,6 +282,16 @@ class Cpu {
   void StepSlow();
   void DispatchHostFn(const std::pair<std::string, HostFn>& fn);
 
+  /// One bound shared plan. Valid while seg->generation() == gen.
+  struct PlanBinding {
+    const mem::Segment* seg = nullptr;
+    std::uint64_t gen = 0;
+    std::shared_ptr<const DecodePlan> plan;
+  };
+  /// Shared-plan lookup for the current pc inside `seg`, nullptr on a stale
+  /// binding or an offset the plan could not decode.
+  [[nodiscard]] const isa::Instr* PlannedInstr(const mem::Segment* seg) const noexcept;
+
   void Fault(std::string detail);
   void RecordCoverageEdge() noexcept {
     const std::uint32_t cur = CoverageLocation(pc_);
@@ -281,6 +325,9 @@ class Cpu {
   std::uint32_t predecode_shift_ = 0;  // 2 on VARM (4-byte aligned), 0 on VX86
   bool predecode_enabled_ = true;
   inline static bool predecode_default_ = true;
+  std::vector<PlanBinding> plan_bindings_;  // one or two entries (.text, libc)
+  bool shared_plans_enabled_ = true;
+  inline static bool shared_plans_default_ = true;
 };
 
 }  // namespace connlab::vm

@@ -1,0 +1,75 @@
+#include "src/vm/decode_plan.hpp"
+
+#include "src/isa/disasm.hpp"
+
+namespace connlab::vm {
+
+std::uint64_t DecodePlan::HashContent(util::ByteSpan bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::shared_ptr<const DecodePlan> DecodePlan::Build(isa::Arch arch,
+                                                    const mem::Segment& seg) {
+  auto plan = std::shared_ptr<DecodePlan>(new DecodePlan());
+  plan->arch_ = arch;
+  plan->base_ = seg.base();
+  plan->size_ = seg.size();
+  plan->hash_ = HashContent(seg.data());
+  const util::ByteSpan bytes(seg.data().data(), seg.data().size());
+  const std::uint32_t step = arch == isa::Arch::kVARM ? isa::kVARMInstrSize : 1;
+  plan->entries_.resize(plan->size_ / step + (plan->size_ % step != 0));
+  for (std::uint32_t off = 0; off < plan->size_; off += step) {
+    auto decoded = isa::Decode(arch, bytes, off);
+    if (!decoded.ok()) continue;  // entry stays length == 0 (invalid)
+    plan->entries_[off / step] = decoded.value();
+    ++plan->valid_;
+  }
+  return plan;
+}
+
+DecodePlanRegistry& DecodePlanRegistry::Instance() {
+  static DecodePlanRegistry registry;
+  return registry;
+}
+
+std::shared_ptr<const DecodePlan> DecodePlanRegistry::GetOrBuild(
+    isa::Arch arch, const mem::Segment& seg) {
+  Key key{static_cast<std::uint8_t>(arch), seg.base(), seg.size(),
+          DecodePlan::HashContent(seg.data()), seg.name()};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++shares_;
+    return it->second;
+  }
+  // Building under the lock serialises concurrent cold boots of the same
+  // image; that is the point — the second booter waits instead of decoding
+  // the same text a second time.
+  std::shared_ptr<const DecodePlan> plan = DecodePlan::Build(arch, seg);
+  ++builds_;
+  if (plans_.size() >= kMaxPlans && !insertion_order_.empty()) {
+    plans_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+  insertion_order_.push_back(key);
+  plans_.emplace(std::move(key), plan);
+  return plan;
+}
+
+DecodePlanRegistry::Stats DecodePlanRegistry::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{builds_, shares_, plans_.size()};
+}
+
+void DecodePlanRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  insertion_order_.clear();
+}
+
+}  // namespace connlab::vm

@@ -1,5 +1,6 @@
 // Differential correctness gate for the VM hot-path optimisations: the
-// predecode cache and snapshot fast reboots must be pure speedups.
+// predecode cache, snapshot fast reboots, shared decode plans and
+// dirty-page-only restores must be pure speedups.
 //
 // Every scenario below runs twice — once in fast mode (predecode cache on,
 // snapshot reboots on) and once in legacy mode (byte-copying fetch/decode,
@@ -14,6 +15,7 @@
 
 #include "src/attack/matrix.hpp"
 #include "src/fuzz/fuzzer.hpp"
+#include "src/loader/snapshot.hpp"
 #include "src/vm/cpu.hpp"
 
 namespace connlab {
@@ -29,6 +31,26 @@ class PredecodeDefault {
     vm::Cpu::set_predecode_default(enabled);
   }
   ~PredecodeDefault() { vm::Cpu::set_predecode_default(true); }
+};
+
+/// Same shape for the shared decode plans (Boot reads the default when
+/// deciding whether to bind plans to the freshly-loaded text images).
+class SharedPlansDefault {
+ public:
+  explicit SharedPlansDefault(bool enabled) {
+    vm::Cpu::set_shared_plans_default(enabled);
+  }
+  ~SharedPlansDefault() { vm::Cpu::set_shared_plans_default(true); }
+};
+
+/// And for dirty-page-only snapshot restores (RestoreSnapshot reads the
+/// default whenever the caller passes RestoreMode::kDefault).
+class DirtyRestoreGuard {
+ public:
+  explicit DirtyRestoreGuard(bool enabled) {
+    loader::SetDirtyRestoreDefault(enabled);
+  }
+  ~DirtyRestoreGuard() { loader::SetDirtyRestoreDefault(true); }
 };
 
 TEST(Differential, SixAttackMatrixIdenticalAcrossModes) {
@@ -109,6 +131,94 @@ TEST(Differential, FuzzReplayIdenticalAcrossModes) {
   EXPECT_EQ(snapshot_only.digest, legacy.digest);
   EXPECT_EQ(cache_only.buckets, legacy.buckets);
   EXPECT_EQ(snapshot_only.buckets, legacy.buckets);
+}
+
+// --- PR 4 features: shared decode plans × dirty-page restores --------------
+
+struct FeatureCombo {
+  bool shared_plans;
+  bool dirty_restore;
+  std::string Label() const {
+    return std::string("plans=") + (shared_plans ? "on" : "off") +
+           " dirty_restore=" + (dirty_restore ? "on" : "off");
+  }
+};
+
+constexpr FeatureCombo kCombos[] = {
+    {true, true}, {true, false}, {false, true}, {false, false}};
+
+/// The six-attack matrix — every protection level × technique outcome from
+/// the paper — must be bit-for-bit identical in all four on/off combos of
+/// the two new fast paths.
+TEST(Differential, SixAttackMatrixIdenticalAcrossPlanAndRestoreCombos) {
+  std::vector<attack::AttackResult> baseline;
+  std::string baseline_label;
+  for (const FeatureCombo& combo : kCombos) {
+    SharedPlansDefault plans(combo.shared_plans);
+    DirtyRestoreGuard dirty(combo.dirty_restore);
+    std::vector<attack::AttackResult> rows =
+        attack::RunSixAttackMatrix(4242).value();
+    if (baseline.empty()) {
+      baseline = std::move(rows);
+      baseline_label = combo.Label();
+      ASSERT_FALSE(baseline.empty());
+      continue;
+    }
+    ASSERT_EQ(rows.size(), baseline.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      SCOPED_TRACE(combo.Label() + " vs " + baseline_label + ", row " +
+                   std::to_string(i) + ": " + rows[i].RowLabel());
+      EXPECT_EQ(rows[i].kind, baseline[i].kind);
+      EXPECT_EQ(rows[i].shell, baseline[i].shell);
+      EXPECT_EQ(rows[i].crash, baseline[i].crash);
+      EXPECT_EQ(rows[i].exploit_available, baseline[i].exploit_available);
+      EXPECT_EQ(rows[i].failure, baseline[i].failure);
+      EXPECT_EQ(rows[i].detail, baseline[i].detail);
+      EXPECT_EQ(rows[i].guest_steps, baseline[i].guest_steps);
+      EXPECT_EQ(rows[i].payload_bytes, baseline[i].payload_bytes);
+      EXPECT_EQ(rows[i].response_bytes, baseline[i].response_bytes);
+    }
+  }
+}
+
+/// Fixed-seed fuzz campaign (snapshot reboots on, so dirty-only restores
+/// actually engage): coverage digest, buckets and corpus must not move in
+/// any of the four combos.
+TEST(Differential, FuzzReplayIdenticalAcrossPlanAndRestoreCombos) {
+  ReplayOutcome baseline{};
+  bool have_baseline = false;
+  for (const FeatureCombo& combo : kCombos) {
+    SharedPlansDefault plans(combo.shared_plans);
+    DirtyRestoreGuard dirty(combo.dirty_restore);
+    const ReplayOutcome out = RunReplay(true, true);
+    if (!have_baseline) {
+      baseline = out;
+      have_baseline = true;
+      continue;
+    }
+    SCOPED_TRACE(combo.Label());
+    EXPECT_EQ(out.digest, baseline.digest);
+    EXPECT_EQ(out.coverage_cells, baseline.coverage_cells);
+    EXPECT_EQ(out.buckets, baseline.buckets);
+    EXPECT_EQ(out.crashing_execs, baseline.crashing_execs);
+    EXPECT_EQ(out.corpus_size, baseline.corpus_size);
+  }
+}
+
+/// Multi-worker determinism with both features on: worker count must not
+/// leak into the merged outcome, and two runs of the same config agree.
+TEST(Differential, MultiWorkerSharedPlanCampaignIsDeterministic) {
+  fuzz::FuzzConfig config = ReplayConfig(true);
+  config.workers = 3;
+  auto first = fuzz::Fuzzer(config).Run();
+  auto second = fuzz::Fuzzer(config).Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().stats.execs, second.value().stats.execs);
+  EXPECT_EQ(first.value().stats.coverage_digest,
+            second.value().stats.coverage_digest);
+  EXPECT_EQ(first.value().triage.buckets().size(),
+            second.value().triage.buckets().size());
 }
 
 }  // namespace

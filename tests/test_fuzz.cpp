@@ -433,6 +433,27 @@ TEST(Fuzzer, RejectsDegenerateConfigs) {
   EXPECT_FALSE(Fuzzer(config).Run().ok());
 }
 
+/// A budget that doesn't divide evenly must still be spent exactly: the
+/// remainder execs go to the first max_execs % workers workers instead of
+/// being silently dropped.
+TEST(Fuzzer, IndivisibleBudgetIsSpentExactly) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.seed = 5;
+  config.max_execs = 150;  // 150 = 7*21 + 3: three workers run one extra
+  config.workers = 7;
+  config.minimize = false;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().stats.execs, 150u);
+
+  // Evenly divisible budgets are untouched by the remainder logic.
+  config.max_execs = 140;
+  auto even = Fuzzer(config).Run();
+  ASSERT_TRUE(even.ok());
+  EXPECT_EQ(even.value().stats.execs, 140u);
+}
+
 // ------------------------------------------------- corpus persistence ----
 
 TEST(CorpusPersistence, SerializeDeserializeRoundTrip) {

@@ -2,11 +2,14 @@
 // end-to-end guest execution of PLT/libc paths on both architectures.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/isa/disasm.hpp"
 #include "src/loader/boot.hpp"
 #include "src/loader/layout.hpp"
 #include "src/loader/libc_image.hpp"
 #include "src/loader/snapshot.hpp"
+#include "src/vm/decode_plan.hpp"
 
 namespace connlab::loader {
 namespace {
@@ -399,6 +402,151 @@ TEST(Snapshot, RefusesForeignSystem) {
   if (b->layout.libc_base != a->layout.libc_base) {
     EXPECT_FALSE(status.ok());
   }
+}
+
+// Trashes guest state the way a corrupted execution would: stack scribble,
+// register churn, a W^X flip, RNG advance. Deterministic, so two
+// identically-booted systems end up trashed identically.
+void TrashSystem(System& sys) {
+  const std::uint32_t sp0 = sys.cpu->sp();
+  ASSERT_TRUE(sys.space.DebugWrite(sp0 - 64, util::Bytes(32, 0xEE)).ok());
+  ASSERT_TRUE(sys.space.WriteU32(sys.layout.bss_base + 16, 0xFEEDu).ok());
+  sys.cpu->set_sp(sp0 - 256);
+  sys.cpu->set_pc(0xDEAD);
+  ASSERT_TRUE(sys.space.Protect("stack", mem::kPermRX).ok());
+  (void)sys.rng.NextU64();
+}
+
+std::vector<util::Bytes> AllSegmentBytes(const System& sys) {
+  std::vector<util::Bytes> out;
+  for (const auto& seg : sys.space.segments()) out.push_back(seg->data());
+  return out;
+}
+
+TEST(Snapshot, DirtyOnlyRestoreIsObservablyIdenticalToFull) {
+  auto full_sys = Boot(Arch::kVX86, ProtectionConfig::None(), 5).value();
+  auto dirty_sys = Boot(Arch::kVX86, ProtectionConfig::None(), 5).value();
+  const Snapshot full_snap = TakeSnapshot(*full_sys);
+  const Snapshot dirty_snap = TakeSnapshot(*dirty_sys);
+
+  TrashSystem(*full_sys);
+  TrashSystem(*dirty_sys);
+  ASSERT_TRUE(RestoreSnapshot(*full_sys, full_snap, RestoreMode::kFull).ok());
+  ASSERT_TRUE(
+      RestoreSnapshot(*dirty_sys, dirty_snap, RestoreMode::kDirtyOnly).ok());
+
+  EXPECT_EQ(AllSegmentBytes(*full_sys), AllSegmentBytes(*dirty_sys));
+  EXPECT_EQ(full_sys->cpu->sp(), dirty_sys->cpu->sp());
+  EXPECT_EQ(full_sys->cpu->pc(), dirty_sys->cpu->pc());
+  EXPECT_EQ(full_sys->rng.NextU64(), dirty_sys->rng.NextU64());
+
+  // Round 2 on the dirty system: the first restore must leave the bitmap
+  // re-armed so a second trash/rewind cycle is just as correct.
+  TrashSystem(*dirty_sys);
+  ASSERT_TRUE(
+      RestoreSnapshot(*dirty_sys, dirty_snap, RestoreMode::kDirtyOnly).ok());
+  EXPECT_EQ(AllSegmentBytes(*full_sys), AllSegmentBytes(*dirty_sys));
+}
+
+TEST(Snapshot, WxFlipRolledBackByRestoreInBothModes) {
+  for (const RestoreMode mode : {RestoreMode::kFull, RestoreMode::kDirtyOnly}) {
+    auto sys = Boot(Arch::kVX86, ProtectionConfig::WxAslr(), 5).value();
+    const Snapshot snap = TakeSnapshot(*sys);
+
+    // mprotect-style attack staging between snapshot and restore: make the
+    // stack executable and the text image writable.
+    ASSERT_TRUE(sys->space.Protect("stack", mem::kPermRWX).ok());
+    ASSERT_TRUE(sys->space.Protect(".text", mem::kPermRWX).ok());
+
+    ASSERT_TRUE(RestoreSnapshot(*sys, snap, mode).ok());
+    const mem::Segment* stack = sys->space.FindSegmentByName("stack");
+    const mem::Segment* text = sys->space.FindSegmentByName(".text");
+    ASSERT_NE(stack, nullptr);
+    ASSERT_NE(text, nullptr);
+    // Permissions — not just bytes — are part of the snapshot contract.
+    EXPECT_EQ(stack->perms(), mem::kPermRW)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(text->perms(), mem::kPermRX) << "mode " << static_cast<int>(mode);
+  }
+}
+
+// --- Shared decode plans at boot -------------------------------------------
+
+TEST(Boot, BindsSharedPlansForImmutableTextOnly) {
+  auto sys = Boot(Arch::kVX86, ProtectionConfig::None(), 5).value();
+  const mem::Segment* text = sys->space.FindSegmentByName(".text");
+  const mem::Segment* libc = sys->space.FindSegmentByName("libc");
+  const mem::Segment* stack = sys->space.FindSegmentByName("stack");
+  ASSERT_NE(text, nullptr);
+  ASSERT_NE(libc, nullptr);
+  ASSERT_NE(stack, nullptr);
+  EXPECT_NE(sys->cpu->BoundPlan(text), nullptr);
+  EXPECT_NE(sys->cpu->BoundPlan(libc), nullptr);
+  // The non-W^X stack is RWX: the first shellcode byte would invalidate a
+  // plan anyway, so Boot never binds one to writable memory.
+  EXPECT_EQ(sys->cpu->BoundPlan(stack), nullptr);
+
+  // An identically-seeded boot — campaign worker N — reuses worker 0's plan
+  // object rather than re-decoding the image.
+  auto sys2 = Boot(Arch::kVX86, ProtectionConfig::None(), 5).value();
+  EXPECT_EQ(sys2->cpu->BoundPlan(sys2->space.FindSegmentByName(".text")),
+            sys->cpu->BoundPlan(text));
+}
+
+/// Diversity-reshuffled boots (per-boot function shuffle) must never be
+/// served a plan built from a differently-shuffled image: the registry keys
+/// on content, so each layout gets a plan hashing exactly its own bytes.
+TEST(Boot, DiversityReshuffledBootNeverSeesAForeignPlan) {
+  ProtectionConfig prot = ProtectionConfig::WxAslr();
+  prot.stochastic_diversity = true;
+  auto a = Boot(Arch::kVX86, prot, 11).value();
+  auto b = Boot(Arch::kVX86, prot, 12).value();
+  const mem::Segment* text_a = a->space.FindSegmentByName(".text");
+  const mem::Segment* text_b = b->space.FindSegmentByName(".text");
+  ASSERT_NE(text_a, nullptr);
+  ASSERT_NE(text_b, nullptr);
+  ASSERT_NE(text_a->data(), text_b->data());  // the shuffle actually shuffled
+
+  const vm::DecodePlan* plan_a = a->cpu->BoundPlan(text_a);
+  const vm::DecodePlan* plan_b = b->cpu->BoundPlan(text_b);
+  ASSERT_NE(plan_a, nullptr);
+  ASSERT_NE(plan_b, nullptr);
+  EXPECT_NE(plan_a, plan_b);
+  // Each plan describes its own boot's bytes — a stale cross-boot decode is
+  // structurally impossible.
+  EXPECT_EQ(plan_a->content_hash(),
+            vm::DecodePlan::HashContent(
+                util::ByteSpan(text_a->data().data(), text_a->data().size())));
+  EXPECT_EQ(plan_b->content_hash(),
+            vm::DecodePlan::HashContent(
+                util::ByteSpan(text_b->data().data(), text_b->data().size())));
+
+  // And both images execute from their own plans without faulting.
+  EXPECT_NE(a->cpu->Run(50).reason, vm::StopReason::kFault);
+  EXPECT_NE(b->cpu->Run(50).reason, vm::StopReason::kFault);
+}
+
+TEST(Snapshot, DirtyOnlyFallsBackWhenBaselineBelongsToAnotherSnapshot) {
+  auto sys = Boot(Arch::kVX86, ProtectionConfig::None(), 5).value();
+  const mem::GuestAddr probe = sys->layout.bss_base + 8;
+  const std::uint32_t probe_at_a = sys->space.ReadU32(probe).value();
+  const Snapshot snap_a = TakeSnapshot(*sys);
+
+  ASSERT_TRUE(sys->space.WriteU32(probe, 0xB000Bu).ok());
+  const Snapshot snap_b = TakeSnapshot(*sys);  // baselines now point at B
+
+  ASSERT_TRUE(sys->space.WriteU32(probe, 0xC000Cu).ok());
+
+  // Restoring A with the bitmap armed for B must not trust the dirty bits:
+  // every segment falls back to a full copy, and the probe returns to A's
+  // value, not B's.
+  ASSERT_TRUE(RestoreSnapshot(*sys, snap_a, RestoreMode::kDirtyOnly).ok());
+  EXPECT_EQ(sys->space.ReadU32(probe).value(), probe_at_a);
+
+  // And the fallback re-armed the baseline for A: flipping back to B now
+  // takes the mismatch path again, still byte-correct.
+  ASSERT_TRUE(RestoreSnapshot(*sys, snap_b, RestoreMode::kDirtyOnly).ok());
+  EXPECT_EQ(sys->space.ReadU32(probe).value(), 0xB000Bu);
 }
 
 }  // namespace

@@ -240,5 +240,73 @@ TEST(Segment, GenerationBumpsOnEveryMutation) {
   EXPECT_EQ(data->generation(), gen);
 }
 
+TEST(Segment, DirtyTrackingMarksTouchedPages) {
+  Segment seg("scratch", 0x4000, 0x1000, kPermRW);  // 16 pages of 256 bytes
+  EXPECT_EQ(seg.dirty_baseline(), 0u);  // no snapshot baseline yet
+
+  seg.ResetDirty(7);
+  EXPECT_EQ(seg.dirty_baseline(), 7u);
+  EXPECT_FALSE(seg.HasDirtyPages());
+  EXPECT_EQ(seg.CountDirtyPages(), 0u);
+
+  seg.Set(0x4010, 0xAA);  // page 0
+  EXPECT_TRUE(seg.HasDirtyPages());
+  EXPECT_EQ(seg.CountDirtyPages(), 1u);
+
+  // A bulk write straddling the page-0/page-1 boundary dirties both, but
+  // page 0 was already dirty: only one new bit.
+  seg.SetBytes(0x40F0, util::Bytes(32, 0xBB));
+  EXPECT_EQ(seg.CountDirtyPages(), 2u);
+
+  seg.Set(0x4300, 0xCC);  // page 3
+  EXPECT_EQ(seg.CountDirtyPages(), 3u);
+
+  // Reads don't dirty anything.
+  (void)seg.At(0x4FFF);
+  (void)seg.SpanAt(0x4800, 16);
+  EXPECT_EQ(seg.CountDirtyPages(), 3u);
+
+  seg.MarkAllDirty();
+  EXPECT_EQ(seg.CountDirtyPages(), 16u);
+}
+
+TEST(Segment, RestoreDirtyPagesCopiesOnlyTouchedAndBumpsOnce) {
+  Segment seg("scratch", 0x4000, 0x400, kPermRW);  // 4 pages
+  seg.SetBytes(0x4000, util::Bytes(0x400, 0x11));
+  seg.ResetDirty(1);
+  const util::Bytes reference = seg.data();
+
+  seg.Set(0x4100, 0xEE);  // page 1
+  seg.Set(0x43FF, 0xEF);  // page 3
+  EXPECT_EQ(seg.CountDirtyPages(), 2u);
+  const std::uint64_t gen = seg.generation();
+
+  EXPECT_EQ(seg.RestoreDirtyPagesFrom(
+                util::ByteSpan(reference.data(), reference.size())),
+            2u);
+  EXPECT_EQ(seg.data(), reference);
+  // One bump total — enough to kill stale decodes, cheap enough to keep the
+  // restore O(touched pages).
+  EXPECT_EQ(seg.generation(), gen + 1);
+  EXPECT_FALSE(seg.HasDirtyPages());
+  // Baseline survives the restore, so the next rewind to the same snapshot
+  // may trust the bitmap again.
+  EXPECT_EQ(seg.dirty_baseline(), 1u);
+
+  // Nothing dirty => nothing copied, generation untouched, caches stay warm.
+  EXPECT_EQ(seg.RestoreDirtyPagesFrom(
+                util::ByteSpan(reference.data(), reference.size())),
+            0u);
+  EXPECT_EQ(seg.generation(), gen + 1);
+}
+
+TEST(Segment, MutableDataPessimisticallyDirtiesEverything) {
+  Segment seg("scratch", 0x4000, 0x1000, kPermRW);
+  seg.ResetDirty(3);
+  EXPECT_FALSE(seg.HasDirtyPages());
+  (void)seg.mutable_data();
+  EXPECT_EQ(seg.CountDirtyPages(), 16u);
+}
+
 }  // namespace
 }  // namespace connlab::mem
