@@ -6,9 +6,13 @@ baseline and fails (exit 1) when a headline number regressed by more than
 the threshold (default 30%). Throughput-style keys regress by dropping;
 latency-style keys (microsecond costs) regress by rising.
 
-Only keys present in BOTH files are compared, so adding a new metric never
-breaks the gate, and CI runners that legitimately differ from the machine
-that produced the baseline have 30% of headroom before the alarm sounds.
+Keys that exist only in the fresh artifact are ignored, so adding a new
+metric never breaks the gate, and CI runners that legitimately differ from
+the machine that produced the baseline have 30% of headroom before the
+alarm sounds. The reverse is NOT ignored: a gated baseline key that is
+missing from the fresh artifact fails the run — a renamed or deleted bench
+silently dropping its measurement is exactly how a regression would sneak
+past the tripwire.
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.30]
@@ -69,9 +73,19 @@ def main():
 
     checked = 0
     failures = []
+    missing = []
     for key, base_value in sorted(baseline.items()):
         want = direction(key)
-        if want is None or key not in fresh:
+        if want is None:
+            continue
+        if key not in fresh:
+            # A gated measurement vanished from the fresh artifact: warn and
+            # fail rather than silently shrinking the gate's coverage.
+            if key in INFO_ONLY:
+                print(f"  [info] {key:32s} missing from fresh artifact")
+            else:
+                print(f"  [MISS] {key:32s} missing from fresh artifact")
+                missing.append(key)
             continue
         new_value = fresh[key]
         if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
@@ -96,6 +110,11 @@ def main():
                 failures.append(key)
         print(f"  [{marker}] {key:32s} {base_value:14.4g} -> {new_value:14.4g}  {verdict}")
 
+    if missing:
+        print(f"\nbench regression: {len(missing)} gated baseline metric(s) "
+              f"missing from the fresh artifact: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
     if checked == 0:
         print("error: no comparable keys between baseline and fresh artifact",
               file=sys.stderr)

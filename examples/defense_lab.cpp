@@ -12,9 +12,13 @@
 //   4. Stochastic diversity — the same exploit volley fired at N freshly
 //      re-randomised boots; success drops from certainty to a probability.
 //
-//   ./examples/defense_lab
+//   ./examples/defense_lab [--trace=t.json] [--metrics=m.json]
+//
+//   --trace=PATH    chrome://tracing / Perfetto JSON of the whole lab run
+//   --metrics=PATH  scraped metrics registry (grid cells, traps, boots, ...)
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/attack/matrix.hpp"
 #include "src/attack/report.hpp"
@@ -22,6 +26,7 @@
 #include "src/defense/cfi.hpp"
 #include "src/defense/diversity.hpp"
 #include "src/defense/mitigation.hpp"
+#include "src/obs/obs.hpp"
 #include "src/vm/cpu.hpp"
 
 using namespace connlab;
@@ -33,9 +38,44 @@ int Fail(const util::Status& status) {
   return 1;
 }
 
+std::string TakeFlag(std::vector<std::string>& args, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (it->rfind(prefix, 0) == 0) {
+      std::string value = it->substr(prefix.size());
+      args.erase(it);
+      return value;
+    }
+  }
+  return {};
+}
+
+/// Writes the scope's exports (and prints the table) before main returns.
+int FinishObs(obs::Scope& scope, const std::string& metrics_path,
+              const std::string& trace_path) {
+  if (!metrics_path.empty()) {
+    auto status = scope.WriteMetricsJson(metrics_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    auto status = scope.WriteTraceJson(trace_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    std::printf("\nrun metrics:\n%s", scope.RenderTable().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string trace_path = TakeFlag(args, "trace");
+  const std::string metrics_path = TakeFlag(args, "metrics");
+  obs::Scope scope(obs::ScopeOptions{.trace = !trace_path.empty()});
   std::printf("connlab defense lab — mitigations vs the six-attack matrix\n");
   std::printf("==========================================================\n\n");
   for (const defense::DefensePolicy& policy : defense::StandardPolicies()) {
@@ -153,5 +193,5 @@ int main() {
               "targets the stack, which diversity does not move); the\n"
               "address-reuse attacks die on (nearly) every re-randomised\n"
               "layout — DAEDALUS turns deterministic RCE into a lottery.\n");
-  return 0;
+  return FinishObs(scope, metrics_path, trace_path);
 }

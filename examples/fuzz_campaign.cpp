@@ -7,17 +7,29 @@
 // 1.35 build to show the fix holds.
 //
 //   ./examples/fuzz_campaign [seed] [execs] [workers] [target] \
-//                            [corpus_file] [dict_file]
+//                            [corpus_file] [dict_file] \
+//                            [--trace=t.json] [--metrics=m.json] \
+//                            [--repro-dir=dir]
 //
 // `corpus_file` persists the merged corpus across invocations (missing file
 // = first run, creates it). `dict_file` is an AFL-style token dictionary;
 // the literal value `builtin` selects the built-in DNS dictionary.
+//
+// Observability flags (order-independent, stripped before positional args):
+//   --trace=PATH    write a chrome://tracing / Perfetto JSON of the run
+//   --metrics=PATH  write the scraped metrics registry as flat JSON; the
+//                   `fuzz.execs` counter equals the reported exec count
+//   --repro-dir=DIR write one reproducer file per crash bucket
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "src/fuzz/dict.hpp"
 #include "src/fuzz/fuzzer.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/hexdump.hpp"
 
 using namespace connlab;
@@ -46,24 +58,44 @@ void PrintReport(const fuzz::FuzzReport& report) {
               static_cast<unsigned long long>(s.reboots));
 }
 
+/// Pulls `--name=value` out of the argument list (anywhere on the line) so
+/// the positional parameters keep their historical meaning.
+std::string TakeFlag(std::vector<std::string>& args, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (it->rfind(prefix, 0) == 0) {
+      std::string value = it->substr(prefix.size());
+      args.erase(it);
+      return value;
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string trace_path = TakeFlag(args, "trace");
+  const std::string metrics_path = TakeFlag(args, "metrics");
+  const std::string repro_dir = TakeFlag(args, "repro-dir");
+
   fuzz::FuzzConfig config;
-  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 42;
-  config.max_execs = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 20000;
-  config.workers = argc > 3 ? std::strtoul(argv[3], nullptr, 0) : 1;
-  if (argc > 4) {
-    auto kind = fuzz::ParseTargetKind(argv[4]);
+  config.seed = args.size() > 0 ? std::strtoull(args[0].c_str(), nullptr, 0) : 42;
+  config.max_execs =
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 0) : 20000;
+  config.workers = args.size() > 2 ? std::strtoul(args[2].c_str(), nullptr, 0) : 1;
+  if (args.size() > 3) {
+    auto kind = fuzz::ParseTargetKind(args[3]);
     if (!kind.ok()) return Fail(kind.status());
     config.target.kind = kind.value();
   }
-  if (argc > 5) config.corpus_path = argv[5];
-  if (argc > 6) {
-    if (std::strcmp(argv[6], "builtin") == 0) {
+  if (args.size() > 4) config.corpus_path = args[4];
+  if (args.size() > 5) {
+    if (args[5] == "builtin") {
       config.dictionary = fuzz::DefaultDnsDictionary();
     } else {
-      auto dict = fuzz::LoadDictionaryFile(argv[6]);
+      auto dict = fuzz::LoadDictionaryFile(args[5]);
       if (!dict.ok()) return Fail(dict.status());
       config.dictionary = std::move(dict).value();
     }
@@ -84,11 +116,51 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // The scope opens right before the campaign and its exports are written
+  // right after, so the scraped fuzz.execs is exactly this campaign's exec
+  // count — the patched-build rerun below happens outside the window.
+  obs::Scope scope(obs::ScopeOptions{.trace = !trace_path.empty()});
+
   auto report_or = fuzz::Fuzzer(config).Run();
   if (!report_or.ok()) return Fail(report_or.status());
   fuzz::FuzzReport& report = report_or.value();
   std::printf("campaign finished:\n");
   PrintReport(report);
+
+  if (!metrics_path.empty()) {
+    auto status = scope.WriteMetricsJson(metrics_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    auto status = scope.WriteTraceJson(trace_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    std::printf("\nrun metrics:\n%s\n", scope.RenderTable().c_str());
+  }
+
+  if (!repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(repro_dir, ec);
+    if (ec) {
+      std::printf("error: cannot create %s: %s\n", repro_dir.c_str(),
+                  ec.message().c_str());
+      return 1;
+    }
+    std::size_t written = 0;
+    for (const fuzz::CrashBucket& bucket : report.triage.buckets()) {
+      const std::string path = repro_dir + "/bucket-" +
+                               std::to_string(written) + ".repro";
+      auto status = obs::WriteTextFile(
+          path, fuzz::SerializeReproducer(config.target, bucket));
+      if (!status.ok()) return Fail(status);
+      ++written;
+    }
+    std::printf("%zu reproducer(s) written to %s/\n", written,
+                repro_dir.c_str());
+  }
 
   if (report.triage.buckets().empty()) {
     std::printf("no crashes found — try a bigger budget.\n");

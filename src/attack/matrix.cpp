@@ -1,6 +1,24 @@
 #include "src/attack/matrix.hpp"
 
+#include "src/obs/obs.hpp"
+
 namespace connlab::attack {
+
+namespace {
+
+/// Grid-cell bookkeeping shared by the matrix drivers: every completed cell
+/// counts once; "blocked" means the generator produced a payload but the
+/// victim survived with no shell and no crash (the mitigation ate it).
+void CountGridCell(const AttackResult& result) {
+  OBS_COUNT("attack.grid_cells");
+  if (result.shell) {
+    OBS_COUNT("attack.grid_shells");
+  } else if (result.exploit_available && !result.crash) {
+    OBS_COUNT("attack.grid_blocked");
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -23,6 +41,7 @@ util::Result<std::vector<AttackResult>> RunSixAttackMatrix(
       config.target_seed = target_seed;
       CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
                                RunControlledScenario(config));
+      CountGridCell(result);
       results.push_back(std::move(result));
     }
   }
@@ -84,6 +103,7 @@ util::Result<std::vector<AttackResult>> RunDefenseMatrix(
 
 util::Result<std::vector<AttackResult>> RunDefenseGrid(
     std::uint64_t target_seed) {
+  OBS_TRACE_SPAN(grid_span, "attack", "RunDefenseGrid");
   const std::vector<defense::DefensePolicy> policies =
       defense::StandardPolicies();
   std::vector<AttackResult> results;
@@ -96,12 +116,18 @@ util::Result<std::vector<AttackResult>> RunDefenseGrid(
         config.prot = prot;
         config.target_seed = target_seed;
         config.defense = policy;
+        OBS_TRACE_SPAN(cell_span, "attack", "GridCell");
+        cell_span.Arg("arch", std::string(isa::ArchName(arch)));
+        cell_span.Arg("defense", policy.Label());
         CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
                                  RunControlledScenario(config));
+        cell_span.Arg("outcome", result.OutcomeLabel());
+        CountGridCell(result);
         results.push_back(std::move(result));
       }
     }
   }
+  grid_span.Arg("cells", static_cast<std::uint64_t>(results.size()));
   return results;
 }
 

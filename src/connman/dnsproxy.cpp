@@ -4,6 +4,7 @@
 
 #include "src/dns/name.hpp"
 #include "src/dns/record.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/log.hpp"
 
 namespace connlab::connman {
@@ -426,6 +427,7 @@ ProxyOutcome DnsProxy::HandleServerResponse(util::ByteSpan wire) {
   if (frame_.canary) {
     auto canary = sys_.space.ReadU32(frame_base_ + frame_.canary_offset());
     if (!canary.ok() || canary.value() != sys_.canary_value) {
+      OBS_COUNT("defense.canary_traps");
       sys_.cpu->PushEvent(vm::EventKind::kCanaryAbort,
                           "*** stack smashing detected ***: connmand terminated");
       outcome.kind = Kind::kAbort;
@@ -480,6 +482,7 @@ ProxyOutcome DnsProxy::RunEpilogueAndClassify(ProxyOutcome outcome) {
   // parse_response's own return is shadow-checked under CFI — the first
   // and decisive control transfer every technique hijacks.
   if (cpu.shadow_stack_enabled() && !cpu.ShadowCheckReturn(ret.value())) {
+    OBS_COUNT("defense.cfi_traps");
     cpu.PushEvent(vm::EventKind::kCfiViolation,
                   "CFI: parse_response return target rejected");
     outcome.kind = Kind::kCfiViolation;

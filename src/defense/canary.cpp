@@ -9,6 +9,7 @@
 #include "src/dns/record.hpp"
 #include "src/exploit/generator.hpp"
 #include "src/exploit/profile.hpp"
+#include "src/obs/obs.hpp"
 
 namespace connlab::defense {
 
@@ -59,6 +60,7 @@ util::Result<dns::PayloadImage> SpliceGuess(const dns::PayloadImage& base,
 util::Result<CanaryBruteForceReport> BruteForceCanary(
     isa::Arch arch, int entropy_bits, std::uint64_t target_seed,
     std::uint64_t max_attempts) {
+  OBS_TRACE_SPAN(brute_span, "defense", "BruteForceCanary");
   if (entropy_bits < 1 || entropy_bits > 24) {
     return util::InvalidArgument(
         "brute force is only tractable against narrowed canaries "

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/fuzz/mutator.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/rng.hpp"
 
 namespace connlab::fuzz {
@@ -13,6 +14,9 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
                                        std::size_t worker_index,
                                        std::uint64_t budget) {
   WorkerOutput out;
+  OBS_TRACE_SPAN(worker_span, "fuzz", "RunWorker");
+  worker_span.Arg("worker", static_cast<std::uint64_t>(worker_index));
+  worker_span.Arg("budget", budget);
   auto target_or = MakeTarget(config.target);
   if (!target_or.ok()) {
     out.status = target_or.status();
@@ -37,6 +41,11 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
     exec_map.Clear();
     ExecResult result = target->Execute(input, exec_map);
     ++out.execs;
+    // Counted here and nowhere else, so the scraped fuzz.execs is exactly
+    // the campaign's reported exec count (minimization and crash replays
+    // deliberately bypass run_one and therefore the counter).
+    OBS_COUNT("fuzz.execs");
+    OBS_HISTOGRAM("fuzz.input_bytes", input.size());
     return result;
   };
 
@@ -54,6 +63,7 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
       exec_map.Classify();
       const int news = exec_map.AbsorbInto(out.virgin);
       if (news > 0) {
+        OBS_COUNT("fuzz.corpus_adds");
         util::Bytes data(input.begin(), input.end());
         if (defer_adds) {
           pending.push_back(CorpusEntry{std::move(data), news, out.execs, 0});
@@ -63,6 +73,8 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
       }
     } else {
       ++out.crashing_execs;
+      OBS_COUNT("fuzz.crashes");
+      OBS_TRACE_INSTANT("fuzz", "crash");
       out.triage.Record(result, input, out.execs, *target);
     }
   };
@@ -90,6 +102,7 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
   };
 
   while (!done() && !corpus.empty()) {
+    OBS_COUNT("fuzz.scheduler_picks");
     const std::size_t pick = corpus.PickIndex(rng);
     const std::uint32_t energy = corpus.EnergyFor(pick);
     // The corpus is frozen for the whole burst (adds are deferred), so the
@@ -123,6 +136,17 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
   out.reboots = target->reboots();
   out.corpus_size = corpus.size();
   out.corpus_entries = corpus.entries();
+  OBS_COUNT_N("fuzz.reboots", out.reboots);
+#ifndef CONNLAB_OBS_DISABLED
+  // Per-worker throughput: the name varies per worker, so this has to hit
+  // the registry directly instead of the per-call-site interning macro
+  // (which would pin whichever worker index arrived first).
+  obs::Registry::Instance()
+      .GetCounter("fuzz.worker." + std::to_string(worker_index) + ".execs")
+      .Add(out.execs);
+#endif
+  worker_span.Arg("execs", out.execs);
+  worker_span.Arg("crashes", out.crashing_execs);
   return out;
 }
 
@@ -150,6 +174,11 @@ util::Result<FuzzReport> Fuzzer::Run() {
       return persisted.status();
     }
   }
+
+  OBS_TRACE_SPAN(campaign_span, "fuzz", "Campaign");
+  campaign_span.Arg("workers", static_cast<std::uint64_t>(workers));
+  campaign_span.Arg("max_execs", config.max_execs);
+  OBS_GAUGE_SET("fuzz.workers", workers);
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<WorkerOutput> outputs(workers);

@@ -2,6 +2,7 @@
 
 #include "src/loader/connman_image.hpp"
 #include "src/loader/libc_image.hpp"
+#include "src/obs/obs.hpp"
 #include "src/vm/decode_plan.hpp"
 
 namespace connlab::loader {
@@ -9,6 +10,8 @@ namespace connlab::loader {
 util::Result<std::unique_ptr<System>> Boot(isa::Arch arch,
                                            const ProtectionConfig& prot,
                                            std::uint64_t seed) {
+  OBS_TRACE_SPAN(boot_span, "loader", "Boot");
+  OBS_COUNT("loader.boots");
   util::Rng rng(seed ^ 0xB007B007B007ULL);
 
   // High-entropy ASLR draws can (rarely) collide libc with the stack; real

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/obs/obs.hpp"
 #include "src/vm/decode_plan.hpp"
 
 namespace connlab::loader {
@@ -25,6 +26,7 @@ bool DirtyRestoreDefault() noexcept {
 }
 
 Snapshot TakeSnapshot(System& sys) {
+  OBS_COUNT("loader.snapshots_taken");
   Snapshot snap;
   snap.id = g_next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
   snap.segments.reserve(sys.space.segments().size());
@@ -59,6 +61,9 @@ util::Status RestoreSnapshot(System& sys, const Snapshot& snap,
   const bool dirty_only = mode == RestoreMode::kDirtyOnly ||
                           (mode == RestoreMode::kDefault &&
                            DirtyRestoreDefault());
+  std::uint64_t pages_copied = 0;
+  std::uint64_t dirty_restores = 0;
+  std::uint64_t full_restores = 0;
   for (std::size_t i = 0; i < segments.size(); ++i) {
     mem::Segment& seg = *segments[i];
     const Snapshot::SegmentImage& img = snap.segments[i];
@@ -66,8 +71,9 @@ util::Status RestoreSnapshot(System& sys, const Snapshot& snap,
       // The dirty bitmap measures divergence from exactly this snapshot:
       // copy back only the touched pages. An untouched segment keeps its
       // write generation, so predecodes and shared-plan bindings stay warm.
-      seg.RestoreDirtyPagesFrom(
+      pages_copied += seg.RestoreDirtyPagesFrom(
           util::ByteSpan(img.data.data(), img.data.size()));
+      ++dirty_restores;
     } else {
       // Either a full restore was requested or the bitmap belongs to some
       // other snapshot of this System — copy wholesale. mutable_data()
@@ -77,6 +83,7 @@ util::Status RestoreSnapshot(System& sys, const Snapshot& snap,
       // The bytes now equal the snapshot's, so future dirty-only restores
       // against this snapshot may trust the (cleared) bitmap.
       seg.ResetDirty(snap.id);
+      ++full_restores;
     }
     if (seg.perms() != img.perms) {
       // Roll back W^X flips etc.; bump mirrors AddressSpace::Protect so any
@@ -92,6 +99,12 @@ util::Status RestoreSnapshot(System& sys, const Snapshot& snap,
   sys.space.ClearFault();
   sys.cpu->RestoreState(snap.cpu);
   sys.rng = snap.rng;
+  OBS_COUNT("loader.restores");
+  // Per-segment counts: a single restore call can mix modes when some
+  // segments' dirty baselines match the snapshot and others don't.
+  OBS_COUNT_N("loader.restore_segments_dirty", dirty_restores);
+  OBS_COUNT_N("loader.restore_segments_full", full_restores);
+  OBS_COUNT_N("mem.dirty_pages_copied", pages_copied);
   return util::OkStatus();
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/obs/obs.hpp"
+
 namespace connlab::net {
 
 std::string Datagram::Summary() const {
@@ -20,6 +22,9 @@ void Network::Detach(const std::string& ip) { endpoints_.erase(ip); }
 
 util::Status Network::Send(Datagram dgram) {
   if (dgram.dst_ip.empty()) return util::InvalidArgument("no destination");
+  OBS_COUNT("net.datagrams");
+  if (dgram.dst_port == kDnsPort) OBS_COUNT("net.dns_queries");
+  if (dgram.src_port == kDnsPort) OBS_COUNT("net.dns_responses");
   log_.push_back(dgram);
   queue_.push_back(std::move(dgram));
   return util::OkStatus();
@@ -34,9 +39,11 @@ int Network::DeliverAll(int max) {
     auto it = endpoints_.find(dgram.dst_ip);
     if (it == endpoints_.end() || it->second == nullptr) {
       ++dropped_;
+      OBS_COUNT("net.dropped");
       continue;
     }
     ++delivered_;
+    OBS_COUNT("net.delivered");
     it->second->OnDatagram(*this, dgram);
   }
   return count;

@@ -1,0 +1,155 @@
+#include "src/obs/export.hpp"
+
+#include <cstdio>
+
+namespace connlab::obs {
+
+namespace {
+
+/// JSON string escaping for names/args (quotes, backslashes, control
+/// bytes). Metric names are clean identifiers, but trace args carry
+/// free-form detail strings (crash details, stop reasons).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+/// "vm.stop.fault" -> "vm" (the table's grouping key).
+std::string GroupOf(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::vector<std::string> fields;
+  for (const auto& [name, value] : snapshot.counters) {
+    fields.push_back("\"" + JsonEscape(name) + "\": " + U64(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    fields.push_back("\"" + JsonEscape(name) + "\": " + U64(value));
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    fields.push_back("\"" + JsonEscape(name) + ".count\": " + U64(data.count));
+    fields.push_back("\"" + JsonEscape(name) + ".sum\": " + U64(data.sum));
+    std::string buckets = "\"" + JsonEscape(name) + ".buckets\": [";
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      if (i != 0) buckets += ", ";
+      buckets += U64(data.buckets[i]);
+    }
+    buckets += "]";
+    fields.push_back(std::move(buckets));
+  }
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out += "  " + fields[i];
+    if (i + 1 < fields.size()) out += ',';
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderMetricsTable(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[160];
+  std::string group;
+  const auto group_header = [&](const std::string& name) {
+    const std::string g = GroupOf(name);
+    if (g != group) {
+      group = g;
+      out += "  [" + group + "]\n";
+    }
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value == 0) continue;
+    group_header(name);
+    std::snprintf(line, sizeof(line), "    %-40s %14llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value == 0) continue;
+    group_header(name);
+    std::snprintf(line, sizeof(line), "    %-40s %14llu  (gauge)\n",
+                  name.c_str(), static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    if (data.count == 0) continue;
+    group_header(name);
+    std::snprintf(line, sizeof(line),
+                  "    %-40s %14llu  (hist: sum %llu, mean %.1f)\n",
+                  name.c_str(), static_cast<unsigned long long>(data.count),
+                  static_cast<unsigned long long>(data.sum),
+                  static_cast<double>(data.sum) /
+                      static_cast<double>(data.count));
+    out += line;
+  }
+  if (out.empty()) out = "  (no metrics recorded)\n";
+  return out;
+}
+
+std::string TraceToJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
+           JsonEscape(e.phase) + "\", \"ph\": \"";
+    out += e.instant ? 'i' : 'X';
+    out += "\", \"pid\": 1, \"tid\": " + U64(e.tid) +
+           ", \"ts\": " + U64(e.ts_us);
+    if (!e.instant) out += ", \"dur\": " + U64(e.dur_us);
+    if (e.instant) out += ", \"s\": \"t\"";  // thread-scoped instant
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a != 0) out += ", ";
+        out += "\"" + JsonEscape(e.args[a].first) + "\": \"" +
+               JsonEscape(e.args[a].second) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+    if (i + 1 < events.size()) out += ',';
+    out += '\n';
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+util::Status WriteTextFile(const std::string& path,
+                           const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Internal("cannot open " + path + " for writing");
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok) return util::Internal("short write to " + path);
+  return util::OkStatus();
+}
+
+}  // namespace connlab::obs

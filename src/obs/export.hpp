@@ -1,0 +1,33 @@
+// Exporters for the observability layer: metrics snapshots as flat JSON
+// and a human-readable end-of-run table; trace events as Chrome
+// `chrome://tracing` / Perfetto-compatible JSON ("traceEvents" array of
+// "X"/"i" phase records with microsecond timestamps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::obs {
+
+/// Flat JSON object: one key per counter/gauge, histograms as
+/// `<name>.count` / `<name>.sum` plus a `<name>.buckets` array. Keys are
+/// emitted sorted so fixed-seed runs produce byte-identical artifacts.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Aligned text table of every non-zero metric, grouped by the dotted
+/// prefix ("vm", "fuzz", ...) — the end-of-run report the examples print.
+std::string RenderMetricsTable(const MetricsSnapshot& snapshot);
+
+/// Chrome trace JSON: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+/// Spans are "ph":"X" complete events, instants "ph":"i"; the subsystem
+/// phase lands in "cat" and the args map is carried verbatim.
+std::string TraceToJson(const std::vector<TraceEvent>& events);
+
+/// Writes `content` to `path` (the --trace= / --metrics= flag backend).
+util::Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace connlab::obs

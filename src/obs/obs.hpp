@@ -1,0 +1,93 @@
+// Umbrella header + instrumentation macros for the observability layer.
+//
+// The macros are built so instrumented code costs (almost) nothing when
+// nobody is looking:
+//
+//   OBS_COUNT / OBS_COUNT_N  — the registry lookup happens once per call
+//     site (a function-local static reference); steady state is a single
+//     relaxed atomic add on a per-thread shard. Hot loops batch instead:
+//     the VM adds its retired-step count once per Run(), not per step.
+//   OBS_TRACE_SPAN / OBS_TRACE_INSTANT — branch-on-null against the
+//     process-wide sink pointer; with no obs::Scope tracing, a span is one
+//     atomic load and a skipped branch.
+//
+// Compile-time kill switch: building with -DCONNLAB_OBS_DISABLED turns
+// every macro into a compile-checked no-op — the name and value
+// expressions are still type-checked (sizeof in an unevaluated context),
+// so instrumentation can never rot behind the flag, but no counter, sink
+// check or registry exists in the binary at all.
+#pragma once
+
+#include "src/obs/export.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/scope.hpp"
+#include "src/obs/trace.hpp"
+
+#ifndef CONNLAB_OBS_DISABLED
+
+#define OBS_COUNT_N(metric_name, n)                                \
+  do {                                                             \
+    static ::connlab::obs::Counter& obs_counter_ =                 \
+        ::connlab::obs::Registry::Instance().GetCounter(metric_name); \
+    obs_counter_.Add(n);                                           \
+  } while (0)
+
+#define OBS_COUNT(metric_name) OBS_COUNT_N(metric_name, 1)
+
+#define OBS_GAUGE_SET(metric_name, value)                          \
+  do {                                                             \
+    static ::connlab::obs::Gauge& obs_gauge_ =                     \
+        ::connlab::obs::Registry::Instance().GetGauge(metric_name); \
+    obs_gauge_.Set(value);                                         \
+  } while (0)
+
+#define OBS_HISTOGRAM(metric_name, value)                          \
+  do {                                                             \
+    static ::connlab::obs::Histogram& obs_hist_ =                  \
+        ::connlab::obs::Registry::Instance().GetHistogram(metric_name); \
+    obs_hist_.Observe(value);                                      \
+  } while (0)
+
+/// Declares a local RAII span named `var`; use var.Arg(...) to attach
+/// key/value detail before the scope closes.
+#define OBS_TRACE_SPAN(var, phase, span_name) \
+  ::connlab::obs::TraceSpan var((phase), (span_name))
+
+#define OBS_TRACE_INSTANT(phase, event_name, ...)                      \
+  do {                                                                 \
+    if (::connlab::obs::TraceSink* obs_sink_ =                         \
+            ::connlab::obs::CurrentTraceSink()) {                      \
+      obs_sink_->RecordInstant((phase), (event_name), {__VA_ARGS__});  \
+    }                                                                  \
+  } while (0)
+
+#else  // CONNLAB_OBS_DISABLED: compile-checked zero-cost no-ops.
+
+#define OBS_COUNT_N(metric_name, n) \
+  do {                              \
+    (void)sizeof(metric_name);      \
+    (void)sizeof(n);                \
+  } while (0)
+#define OBS_COUNT(metric_name) OBS_COUNT_N(metric_name, 1)
+#define OBS_GAUGE_SET(metric_name, value) OBS_COUNT_N(metric_name, value)
+#define OBS_HISTOGRAM(metric_name, value) OBS_COUNT_N(metric_name, value)
+#define OBS_TRACE_SPAN(var, phase, span_name) \
+  ::connlab::obs::NullSpan var;               \
+  (void)sizeof(phase);                        \
+  (void)sizeof(span_name)
+#define OBS_TRACE_INSTANT(phase, event_name, ...) \
+  do {                                            \
+    (void)sizeof(phase);                          \
+    (void)sizeof(event_name);                     \
+  } while (0)
+
+namespace connlab::obs {
+/// Stand-in for TraceSpan under the kill switch: accepts Arg() calls and
+/// optimizes to nothing.
+struct NullSpan {
+  template <typename K, typename V>
+  void Arg(K&&, V&&) noexcept {}
+};
+}  // namespace connlab::obs
+
+#endif  // CONNLAB_OBS_DISABLED

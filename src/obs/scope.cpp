@@ -1,0 +1,34 @@
+#include "src/obs/scope.hpp"
+
+#include "src/obs/export.hpp"
+
+namespace connlab::obs {
+
+Scope::Scope(Options options) : options_(options) {
+  baseline_ = Registry::Instance().Scrape();
+  if (options_.trace) previous_sink_ = InstallTraceSink(&sink_);
+}
+
+Scope::~Scope() {
+  if (options_.trace) InstallTraceSink(previous_sink_);
+}
+
+MetricsSnapshot Scope::Metrics() const {
+  return Registry::Instance().Scrape().DeltaSince(baseline_);
+}
+
+std::string Scope::RenderTable() const { return RenderMetricsTable(Metrics()); }
+
+util::Status Scope::WriteMetricsJson(const std::string& path) const {
+  return WriteTextFile(path, MetricsToJson(Metrics()));
+}
+
+util::Status Scope::WriteTraceJson(const std::string& path) const {
+  if (!options_.trace) {
+    return util::FailedPrecondition(
+        "scope was opened without trace; nothing to write to " + path);
+  }
+  return WriteTextFile(path, TraceToJson(sink_.Events()));
+}
+
+}  // namespace connlab::obs

@@ -1,0 +1,62 @@
+// obs::Scope — campaign-scoped observability: rebases the process-wide
+// metrics registry at construction and (optionally) installs a trace sink,
+// so everything a run records lands in one exportable report.
+//
+//   obs::Scope scope({.trace = true});
+//   ... run the campaign ...
+//   scope.WriteMetricsJson("m.json");
+//   scope.WriteTraceJson("t.json");
+//   std::printf("%s", scope.RenderTable().c_str());
+//
+// Scopes nest poorly on purpose: installing a second tracing scope while
+// one is active would interleave two campaigns into one trace, so the
+// constructor chains to (and the destructor restores) the previously
+// installed sink instead of silently dropping it.
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/status.hpp"
+
+namespace connlab::obs {
+
+struct ScopeOptions {
+  /// Install a TraceSink for the scope's lifetime. Off by default: with
+  /// no sink installed every TraceSpan in the codebase is branch-on-null.
+  bool trace = false;
+};
+
+class Scope {
+ public:
+  using Options = ScopeOptions;
+
+  explicit Scope(Options options = Options{});
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  /// Everything counted since the scope opened (counters and histograms
+  /// rebased against the construction-time snapshot).
+  [[nodiscard]] MetricsSnapshot Metrics() const;
+
+  /// The scope's trace sink; nullptr when tracing is off.
+  [[nodiscard]] TraceSink* trace_sink() noexcept {
+    return options_.trace ? &sink_ : nullptr;
+  }
+
+  [[nodiscard]] std::string RenderTable() const;
+  util::Status WriteMetricsJson(const std::string& path) const;
+  /// Fails when the scope was opened without tracing (nothing to write —
+  /// better loud than an empty artifact that looks like a quiet run).
+  util::Status WriteTraceJson(const std::string& path) const;
+
+ private:
+  Options options_;
+  MetricsSnapshot baseline_;
+  TraceSink sink_;
+  TraceSink* previous_sink_ = nullptr;
+};
+
+}  // namespace connlab::obs

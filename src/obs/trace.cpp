@@ -1,0 +1,89 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace connlab::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+std::chrono::steady_clock::time_point TraceEpoch() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+std::uint32_t ThisThreadTraceId() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t TraceNowUs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+void TraceSink::RecordSpan(
+    std::uint64_t start_us, std::uint64_t end_us, std::string phase,
+    std::string name, std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.ts_us = start_us;
+  event.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  event.tid = ThisThreadTraceId();
+  event.phase = std::move(phase);
+  event.name = std::move(name);
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::RecordInstant(
+    std::string phase, std::string name,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.ts_us = TraceNowUs();
+  event.tid = ThisThreadTraceId();
+  event.instant = true;
+  event.phase = std::move(phase);
+  event.name = std::move(name);
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+TraceSink* InstallTraceSink(TraceSink* sink) noexcept {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* CurrentTraceSink() noexcept {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+}  // namespace connlab::obs

@@ -1,0 +1,103 @@
+// Structured trace events: {ts, tid, phase, name, args} spans and instants,
+// exported as Chrome `chrome://tracing` / Perfetto-compatible JSON.
+//
+// One TraceSink is installed process-wide (an atomic pointer); when none is
+// installed the instrumentation macros are a single branch-on-null, so the
+// fuzz loop and the VM pay nothing for the feature they are not using.
+// Recording takes a mutex — spans are emitted at campaign/worker/boot
+// granularity (tens to thousands per run), never per instruction or per
+// exec, so the lock is cold by construction.
+//
+// Timestamps are steady-clock microseconds since a process-wide anchor, so
+// every event in a process shares one monotonic axis regardless of which
+// sink or thread recorded it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace connlab::obs {
+
+/// Small integer id for the calling thread (assigned on first use), stable
+/// for the thread's lifetime — what the `tid` track in the trace UI shows.
+std::uint32_t ThisThreadTraceId() noexcept;
+
+/// Microseconds since the process-wide trace epoch (first use).
+std::uint64_t TraceNowUs() noexcept;
+
+struct TraceEvent {
+  std::uint64_t ts_us = 0;   // start (spans) or occurrence (instants)
+  std::uint64_t dur_us = 0;  // span duration; unused for instants
+  std::uint32_t tid = 0;
+  bool instant = false;
+  std::string phase;  // subsystem bucket: "vm", "loader", "fuzz", ...
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceSink {
+ public:
+  void RecordSpan(std::uint64_t start_us, std::uint64_t end_us,
+                  std::string phase, std::string name,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+  void RecordInstant(
+      std::string phase, std::string name,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Copy of everything recorded so far, sorted by timestamp (ties keep
+  /// record order), so consumers and the JSON export see a monotonic axis.
+  [[nodiscard]] std::vector<TraceEvent> Events() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Installs `sink` as the process-wide trace sink (nullptr uninstalls).
+/// Returns the previously installed sink.
+TraceSink* InstallTraceSink(TraceSink* sink) noexcept;
+
+/// The currently installed sink, or nullptr — THE hot-path check.
+TraceSink* CurrentTraceSink() noexcept;
+
+/// RAII span: captures the start timestamp if (and only if) a sink is
+/// installed at construction, records the completed span at destruction.
+/// Args can be attached any time before the scope closes.
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view phase, std::string_view name) {
+    sink_ = CurrentTraceSink();
+    if (sink_ == nullptr) return;
+    phase_ = phase;
+    name_ = name;
+    start_us_ = TraceNowUs();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (sink_ == nullptr) return;
+    sink_->RecordSpan(start_us_, TraceNowUs(), std::move(phase_),
+                      std::move(name_), std::move(args_));
+  }
+
+  void Arg(std::string key, std::string value) {
+    if (sink_ != nullptr) args_.emplace_back(std::move(key), std::move(value));
+  }
+  void Arg(std::string key, std::uint64_t value) {
+    Arg(std::move(key), std::to_string(value));
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  std::string phase_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace connlab::obs

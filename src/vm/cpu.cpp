@@ -5,6 +5,7 @@
 #include "src/isa/disasm.hpp"
 #include "src/isa/varm.hpp"
 #include "src/isa/vx86.hpp"
+#include "src/obs/obs.hpp"
 #include "src/util/log.hpp"
 #include "src/vm/syscalls.hpp"
 
@@ -16,6 +17,29 @@ std::string Hex(std::uint32_t v) {
   std::snprintf(buf, sizeof(buf), "0x%08x", v);
   return buf;
 }
+
+#ifndef CONNLAB_OBS_DISABLED
+constexpr std::size_t kStopReasons =
+    static_cast<std::size_t>(StopReason::kCfiViolation) + 1;
+
+/// Per-stop-reason counters, interned once (magic-static, so the table is
+/// built thread-safely): flushes happen often enough under fuzzing that the
+/// name-building + registry lookup must not recur per flush.
+obs::Counter* const* StopReasonCounters() {
+  struct Table {
+    obs::Counter* c[kStopReasons];
+    Table() {
+      for (std::size_t i = 0; i < kStopReasons; ++i) {
+        c[i] = &obs::Registry::Instance().GetCounter(
+            "vm.stop." +
+            std::string(StopReasonName(static_cast<StopReason>(i))));
+      }
+    }
+  };
+  static const Table table;
+  return table.c;
+}
+#endif
 }  // namespace
 
 std::string_view StopReasonName(StopReason reason) noexcept {
@@ -51,6 +75,25 @@ Cpu::Cpu(isa::Arch arch, mem::AddressSpace& space)
       predecode_shift_(arch == isa::Arch::kVARM ? 2 : 0),
       predecode_enabled_(predecode_default_),
       shared_plans_enabled_(shared_plans_default_) {}
+
+Cpu::~Cpu() {
+#ifndef CONNLAB_OBS_DISABLED
+  FlushObsBatch();
+#endif
+}
+
+#ifndef CONNLAB_OBS_DISABLED
+void Cpu::FlushObsBatch() noexcept {
+  if (obs_batch_.runs == 0) return;
+  static obs::Counter* const steps = &obs::Registry::Instance().GetCounter("vm.steps");
+  steps->Add(obs_batch_.steps);
+  obs::Counter* const* stop_counters = StopReasonCounters();
+  for (std::size_t i = 0; i < kStopReasons; ++i) {
+    if (obs_batch_.stops[i] != 0) stop_counters[i]->Add(obs_batch_.stops[i]);
+  }
+  obs_batch_ = ObsBatch{};
+}
+#endif
 
 void Cpu::FlushPredecodeCache() noexcept {
   for (PredecodeEntry& slot : predecode_) slot = PredecodeEntry{};
@@ -189,6 +232,19 @@ StopInfo Cpu::Run(std::uint64_t max_steps) {
     Step();
   }
   stop_.steps = steps_ - start_steps;
+  // Plain member increments only: fuzz targets issue tens of short Run()
+  // calls per exec, so even one shard add per Run costs a few percent of
+  // throughput. The batch flushes to the registry every kFlushRuns runs and
+  // in ~Cpu(), which covers every current scrape point (campaign reports
+  // scrape after the workers' Systems are destroyed). No separate runs
+  // counter: every Run ends in exactly one stop reason, so total runs is
+  // the sum of the vm.stop.* counters.
+#ifndef CONNLAB_OBS_DISABLED
+  obs_batch_.steps += stop_.steps;
+  const auto reason_index = static_cast<std::size_t>(stop_.reason);
+  if (reason_index < kStopReasons) ++obs_batch_.stops[reason_index];
+  if (++obs_batch_.runs >= ObsBatch::kFlushRuns) FlushObsBatch();
+#endif
   if (stop_.reason != StopReason::kBreakpoint) skip_breakpoint_once_ = false;
   return stop_;
 }
@@ -299,6 +355,7 @@ void Cpu::StepSlow() {
       Fault("illegal instruction at " + Hex(pc_));
       return;
     }
+    OBS_COUNT("vm.decodes");
     ++steps_;
     if (trace_limit_ != 0) {
       trace_.push_back({pc_, decoded.value().ToString(arch_)});
@@ -327,6 +384,7 @@ void Cpu::StepSlow() {
   // fault wording stays byte-identical to the plain path.
   if (shared_plans_enabled_) {
     if (const isa::Instr* planned = PlannedInstr(seg)) {
+      OBS_COUNT("vm.plan_hits");
       PredecodeEntry& slot = PredecodeSlot(pc_);
       slot.pc = pc_;
       slot.kind = PredecodeEntry::Kind::kInstr;
@@ -367,6 +425,7 @@ void Cpu::StepSlow() {
     Fault("illegal instruction at " + Hex(pc_));
     return;
   }
+  OBS_COUNT("vm.decodes");
 
   PredecodeEntry& slot = PredecodeSlot(pc_);
   slot.pc = pc_;
@@ -497,6 +556,7 @@ void Cpu::ExecVX86(const isa::Instr& ins, mem::GuestAddr pc_next) {
       auto target = Pop();
       if (!target.ok()) { Fault("ret pop failed"); return; }
       if (!ShadowCheckReturn(target.value())) {
+        OBS_COUNT("defense.cfi_traps");
         PushEvent(EventKind::kCfiViolation, "CFI: return address mismatch");
         RequestStop(StopReason::kCfiViolation, "CFI violation on ret");
         return;
@@ -639,6 +699,7 @@ void Cpu::ExecVARM(const isa::Instr& ins, mem::GuestAddr pc_next) {
       set_sp(addr);
       if (has_pc) {
         if (!ShadowCheckReturn(new_pc)) {
+          OBS_COUNT("defense.cfi_traps");
           PushEvent(EventKind::kCfiViolation, "CFI: return address mismatch");
           RequestStop(StopReason::kCfiViolation, "CFI violation on pop {pc}");
           return;

@@ -59,6 +59,9 @@ class Cpu {
   using HostFn = std::function<util::Status(Cpu&)>;
 
   Cpu(isa::Arch arch, mem::AddressSpace& space);
+  ~Cpu();
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
 
   [[nodiscard]] isa::Arch arch() const noexcept { return arch_; }
   [[nodiscard]] mem::AddressSpace& space() noexcept { return *space_; }
@@ -328,6 +331,22 @@ class Cpu {
   std::vector<PlanBinding> plan_bindings_;  // one or two entries (.text, libc)
   bool shared_plans_enabled_ = true;
   inline static bool shared_plans_default_ = true;
+
+#ifndef CONNLAB_OBS_DISABLED
+  /// Per-CPU staging for the obs counters: fuzz targets issue tens of tiny
+  /// Run() calls per exec, so per-Run shard adds are measurable. Plain
+  /// member increments accumulate here and flush to the registry every
+  /// kObsFlushRuns runs and at destruction — totals are exact whenever the
+  /// CPU's owning System is gone (every current scrape point).
+  struct ObsBatch {
+    static constexpr std::uint32_t kFlushRuns = 256;
+    std::uint64_t steps = 0;
+    std::uint32_t runs = 0;
+    std::uint32_t stops[16] = {};  // indexed by StopReason
+  };
+  ObsBatch obs_batch_;
+  void FlushObsBatch() noexcept;
+#endif
 };
 
 }  // namespace connlab::vm
