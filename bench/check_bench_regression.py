@@ -37,6 +37,7 @@ HIGHER_BETTER = {
     "execs_per_sec",
     "execs_per_sec_legacy",
     "speedup",
+    "fleet_victims_per_sec",
 }
 HIGHER_BETTER_PREFIXES = ("execs_per_sec_w",)
 

@@ -109,6 +109,9 @@ util::Result<RemoteResult> RunPineappleScenario(const ScenarioConfig& config) {
 
   // --- The legitimate environment ----------------------------------------
   net::Network network;
+  // The scenario reports the wire size of the final response, so capture
+  // the (small, bounded) traffic of this one exchange.
+  network.EnableCapture();
   net::Radio radio;
   net::LegitDnsServer legit_dns("192.168.1.53");
   legit_dns.AddRecord("updates.vendor.example", "93.184.216.34");

@@ -1,10 +1,7 @@
 #include "src/defense/diversity.hpp"
 
+#include "src/attack/battery.hpp"
 #include "src/connman/dnsproxy.hpp"
-#include "src/dns/craft.hpp"
-#include "src/dns/record.hpp"
-#include "src/exploit/generator.hpp"
-#include "src/exploit/profile.hpp"
 #include "src/loader/snapshot.hpp"
 
 namespace connlab::defense {
@@ -39,22 +36,12 @@ util::Result<std::vector<DiversityTrialStats>> MeasureDiversityResistanceMatrix(
   // The attacker profiles the stock (non-diversified) firmware and builds
   // one volley per technique; diversity's whole claim is that these
   // volleys go stale.
-  CONNLAB_ASSIGN_OR_RETURN(auto lab, loader::Boot(arch, base, 100));
-  connman::DnsProxy lab_proxy(*lab, connman::Version::k134);
-  exploit::ProfileExtractor extractor(*lab, lab_proxy);
-  CONNLAB_ASSIGN_OR_RETURN(exploit::TargetProfile profile, extractor.Extract());
-  exploit::ExploitGenerator generator(profile);
-
-  dns::Message query = dns::Message::Query(0x7E57, "target.device.lan");
-  CONNLAB_ASSIGN_OR_RETURN(util::Bytes qwire, dns::Encode(query));
-  std::vector<util::Bytes> volleys;
-  volleys.reserve(techniques.size());
-  for (const exploit::Technique technique : techniques) {
-    CONNLAB_ASSIGN_OR_RETURN(dns::LabelSeq labels,
-                             generator.BuildLabels(technique));
-    dns::Message evil = dns::MaliciousAResponse(query, labels);
-    CONNLAB_ASSIGN_OR_RETURN(util::Bytes rwire, dns::Encode(evil));
-    volleys.push_back(std::move(rwire));
+  CONNLAB_ASSIGN_OR_RETURN(
+      attack::VolleyBattery battery,
+      attack::BuildVolleyBattery(arch, base, /*lab_seed=*/100, techniques));
+  if (battery.volleys.size() != techniques.size()) {
+    return util::FailedPrecondition(
+        "not every technique is buildable for this profile");
   }
 
   loader::ProtectionConfig victim_prot = base;
@@ -71,18 +58,20 @@ util::Result<std::vector<DiversityTrialStats>> MeasureDiversityResistanceMatrix(
         loader::Boot(arch, victim_prot, seed0 + static_cast<std::uint64_t>(t)));
     const loader::Snapshot snap = loader::TakeSnapshot(*victim);
 
-    for (std::size_t v = 0; v < volleys.size(); ++v) {
+    for (std::size_t v = 0; v < battery.volleys.size(); ++v) {
       if (v > 0) {
         CONNLAB_RETURN_IF_ERROR(loader::RestoreSnapshot(*victim, snap));
       }
       // A fresh proxy per volley clears host-side pending state, exactly
       // like a fresh boot would.
       connman::DnsProxy proxy(*victim, connman::Version::k134);
-      CONNLAB_ASSIGN_OR_RETURN(util::Bytes fwd, proxy.AcceptClientQuery(qwire));
+      CONNLAB_ASSIGN_OR_RETURN(util::Bytes fwd,
+                               proxy.AcceptClientQuery(battery.query_wire));
       (void)fwd;
 
       using Kind = connman::ProxyOutcome::Kind;
-      switch (proxy.HandleServerResponse(volleys[v]).kind) {
+      switch (proxy.HandleServerResponse(battery.volleys[v].response_wire)
+                  .kind) {
         case Kind::kShell: ++rows[v].shells; break;
         case Kind::kCrash: ++rows[v].crashes; break;
         case Kind::kAbort:

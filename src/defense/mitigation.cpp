@@ -103,6 +103,29 @@ util::Result<std::unique_ptr<loader::System>> DefensePolicy::BootHardened(
   return sys;
 }
 
+DefensePolicy PolicySpec::Build() const {
+  DefensePolicy policy;
+  if (canary_bits > 0) policy.Add(std::make_shared<StackCanary>(canary_bits));
+  if (cfi) policy.Add(std::make_shared<ShadowStackCfi>());
+  if (stochastic_diversity) policy.Add(std::make_shared<StochasticDiversity>());
+  return policy;
+}
+
+std::string PolicySpec::Label() const {
+  if (canary_bits <= 0 && !cfi && !stochastic_diversity) return "none";
+  std::string label;
+  if (canary_bits > 0) label = "canary" + std::to_string(canary_bits);
+  if (cfi) {
+    if (!label.empty()) label += '+';
+    label += "CFI";
+  }
+  if (stochastic_diversity) {
+    if (!label.empty()) label += '+';
+    label += "diversity";
+  }
+  return label;
+}
+
 std::vector<DefensePolicy> StandardPolicies() {
   std::vector<DefensePolicy> policies;
   policies.push_back(DefensePolicy::None());

@@ -94,4 +94,28 @@ class DefensePolicy {
 /// none, canary, CFI, diversity, all.
 std::vector<DefensePolicy> StandardPolicies();
 
+/// A value-type description of a DefensePolicy — the batch/population form.
+/// Where DefensePolicy composes live Mitigation objects, a PolicySpec is a
+/// POD a population profile can sample per client and a snapshot pool can
+/// use as a cache key: equal keys boot byte-identical protection configs.
+struct PolicySpec {
+  /// Canary entropy in bits; 0 disables the stack protector entirely.
+  int canary_bits = 0;
+  bool cfi = false;
+  bool stochastic_diversity = false;
+
+  /// Stable compact key (canary bits are 0..32, so 6 bits suffice).
+  [[nodiscard]] std::uint32_t Key() const noexcept {
+    return static_cast<std::uint32_t>(canary_bits) |
+           (cfi ? 1u << 6 : 0u) | (stochastic_diversity ? 1u << 7 : 0u);
+  }
+  /// Builds the equivalent composed policy.
+  [[nodiscard]] DefensePolicy Build() const;
+  /// Short label in DefensePolicy::Label() vocabulary ("none",
+  /// "canary16+CFI", "diversity", ...).
+  [[nodiscard]] std::string Label() const;
+
+  bool operator==(const PolicySpec&) const = default;
+};
+
 }  // namespace connlab::defense

@@ -1,0 +1,325 @@
+#include "src/fleet/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/attack/battery.hpp"
+#include "src/defense/canary.hpp"
+#include "src/exploit/generator.hpp"
+#include "src/obs/obs.hpp"
+
+namespace connlab::fleet {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void Fold(std::uint64_t& digest, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (8 * i)) & 0xffu;
+    digest *= kFnvPrime;
+  }
+}
+
+struct ClientState {
+  ClientTraits traits;
+  util::Rng rng{0};
+  std::uint32_t remaining = 0;  // queries left in the current session
+  bool attached = false;
+  bool roamed = false;
+  bool renew_scheduled = false;
+  bool canary_burned = false;  // guard already brute-forced
+};
+
+std::string ClientName(std::uint32_t id) { return "c" + std::to_string(id); }
+
+}  // namespace
+
+util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
+  if (config.victims == 0) {
+    return util::InvalidArgument("victims must be positive");
+  }
+  if (config.max_concurrent == 0) {
+    return util::InvalidArgument("max_concurrent must be positive");
+  }
+  if (config.population.diversity_bits < 0 ||
+      config.population.diversity_bits > 8) {
+    return util::InvalidArgument("diversity_bits must be in [0, 8]");
+  }
+  const std::uint64_t variants = 1ull << config.population.diversity_bits;
+  if (config.profiled_variant >= variants) {
+    return util::InvalidArgument("profiled_variant outside the variant space");
+  }
+  if (config.ap.lease_ttl_us == 0) {
+    // Crashed and shelled devices leak their leases; without expiry a long
+    // campaign wedges on a permanently exhausted pool.
+    return util::InvalidArgument("fleet campaigns need a nonzero lease TTL");
+  }
+
+  OBS_TRACE_SPAN(span, "fleet", "RunFleetCampaign");
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  FleetResult r;
+  r.victims = config.victims;
+  r.digest = kFnvOffset;
+
+  // The attacker's lab boot IS the captured device: same variant seed, same
+  // diversity setting, so the recovered addresses are that variant's — the
+  // rest of the fleet is compromised only insofar as it shares them.
+  const std::uint64_t victim_seed0 = config.seed ^ 0x9e3779b97f4a7c15ull;
+  loader::ProtectionConfig lab_prot = config.base;
+  if (config.population.diversity_bits > 0) {
+    lab_prot.stochastic_diversity = true;
+  }
+  const exploit::Technique technique =
+      exploit::TechniqueFor(config.arch, config.base);
+  CONNLAB_ASSIGN_OR_RETURN(
+      const attack::VolleyBattery battery,
+      attack::BuildVolleyBattery(config.arch, lab_prot,
+                                 victim_seed0 + config.profiled_variant,
+                                 {technique}));
+  const util::Bytes& volley = battery.volleys[0].response_wire;
+
+  defense::VictimPool pool({config.arch, config.base, victim_seed0});
+  // Per-victim boots restore the victim's own variant lane (its diversity
+  // draw is the whole point); mitigation hardening only matters when a
+  // volley is actually evaluated, so it stays off the restore path and the
+  // resident-lane count is 2^b + a handful of hardened eval lanes.
+  defense::PolicySpec restore_spec;
+  restore_spec.stochastic_diversity = config.population.diversity_bits > 0;
+  // Every mismatched variant fails the same way — the volley's addresses
+  // are stale — so one representative wrong variant stands in for all of
+  // them at evaluation time. Victims on the profiled variant are evaluated
+  // exactly.
+  const std::uint32_t wrong_rep =
+      variants > 1 ? static_cast<std::uint32_t>(
+                         (config.profiled_variant + 1) & (variants - 1))
+                   : 0;
+  RogueAp ap(config.ap);
+  EventQueue queue;
+  const util::Rng master(config.seed);
+  std::unordered_map<std::uint32_t, ClientState> active;
+  std::uint64_t next_client = 0;
+
+  const SimTime ttl = config.ap.lease_ttl_us;
+  const SimTime stagger =
+      std::max<SimTime>(config.population.join_stagger_us, 1);
+  const SimTime gap_span =
+      2 * std::max<SimTime>(config.population.query_gap_us, 1);
+
+  auto seat = [&](SimTime at) {
+    if (next_client >= config.victims) return;
+    const auto id = static_cast<std::uint32_t>(next_client++);
+    ClientState st;
+    st.rng = master.Split(id);
+    st.traits = SampleTraits(config.population, st.rng);
+    st.remaining = st.traits.queries;
+    active.emplace(id, std::move(st));
+    queue.Push({at, Event::Kind::kJoin, id});
+  };
+  auto retire = [&](std::uint32_t id, SimTime at) {
+    active.erase(id);
+    seat(at + stagger);
+  };
+
+  const std::uint64_t initial =
+      std::min<std::uint64_t>(config.max_concurrent, config.victims);
+  for (std::uint64_t i = 0; i < initial; ++i) {
+    seat(static_cast<SimTime>(i) * stagger);
+  }
+  if (ttl > 0) queue.Push({ttl, Event::Kind::kHousekeep, 0});
+
+  while (!queue.empty()) {
+    const Event ev = queue.Pop();
+    const SimTime now = queue.now();
+    switch (ev.kind) {
+      case Event::Kind::kHousekeep: {
+        r.lease_expiries += ap.dhcp().ExpireLeases(now);
+        if (!active.empty() || next_client < config.victims) {
+          queue.Push({now + ttl, Event::Kind::kHousekeep, 0});
+        }
+        break;
+      }
+
+      case Event::Kind::kJoin: {
+        auto it = active.find(ev.client);
+        if (it == active.end()) break;
+        ClientState& st = it->second;
+        if (!ap.dhcp().Offer(ClientName(ev.client), now).ok()) {
+          // Pool exhausted: back off half a lease and try again.
+          ++r.join_retries;
+          queue.Push({now + ttl / 2 + 1, Event::Kind::kJoin, ev.client});
+          break;
+        }
+        ++r.joins;
+        st.attached = true;
+        // The device boots when it attaches: a dirty-page restore of its
+        // diversity variant under its own sampled mitigation policy.
+        CONNLAB_RETURN_IF_ERROR(
+            pool.BootVictim(st.traits.variant, restore_spec));
+        Fold(r.digest, (static_cast<std::uint64_t>(ev.client) << 3) | 1u);
+        queue.Push({now + 1 + st.rng.NextBelow(gap_span), Event::Kind::kQuery,
+                    ev.client});
+        if (ttl > 0 && !st.renew_scheduled) {
+          st.renew_scheduled = true;
+          queue.Push(
+              {now + (ttl > 1 ? ttl - 1 : 1), Event::Kind::kRenew, ev.client});
+        }
+        break;
+      }
+
+      case Event::Kind::kRenew: {
+        auto it = active.find(ev.client);
+        if (it == active.end()) break;
+        ClientState& st = it->second;
+        if (!st.attached) {
+          // Roamed away; the next join starts a fresh renew chain.
+          st.renew_scheduled = false;
+          break;
+        }
+        if (ap.dhcp().Offer(ClientName(ev.client), now).ok()) ++r.renews;
+        queue.Push(
+            {now + (ttl > 1 ? ttl - 1 : 1), Event::Kind::kRenew, ev.client});
+        break;
+      }
+
+      case Event::Kind::kQuery: {
+        auto it = active.find(ev.client);
+        if (it == active.end()) break;
+        ClientState& st = it->second;
+        if (!st.attached) break;
+        const std::uint64_t name =
+            SampleQueryName(config.population, st.rng);
+        const bool raced = st.rng.NextBool(config.attack_rate);
+        ++r.queries;
+        if (!raced) {
+          const bool hit = ap.ServeBenignQuery(name);
+          Fold(r.digest, (name << 1) | (hit ? 1u : 0u));
+        } else {
+          ++r.deliveries;
+          const std::uint32_t eval_variant =
+              st.traits.variant == config.profiled_variant
+                  ? st.traits.variant
+                  : wrong_rep;
+          defense::PolicySpec spec = st.traits.policy;
+          if (st.canary_burned) spec.canary_bits = 0;
+          CONNLAB_ASSIGN_OR_RETURN(
+              defense::VictimPool::VolleyOutcome outcome,
+              pool.FireVolley(eval_variant, spec, /*volley_id=*/0,
+                              battery.query_wire, volley));
+          using Kind = connman::ProxyOutcome::Kind;
+          // A weak canary is a traffic problem, not a defense: when the
+          // attacker's per-victim response budget covers the expected
+          // guess count, the guard falls and the volley lands on the
+          // unguarded lane (same variant, other mitigations intact).
+          if (outcome.kind == Kind::kAbort && spec.canary_bits > 0) {
+            const double expected =
+                defense::StackCanary(spec.canary_bits)
+                    .ExpectedBruteForceAttempts();
+            if (expected <= static_cast<double>(config.brute_budget)) {
+              ++r.canaries_defeated;
+              r.brute_responses += static_cast<std::uint64_t>(expected);
+              st.canary_burned = true;
+              spec.canary_bits = 0;
+              CONNLAB_ASSIGN_OR_RETURN(
+                  outcome,
+                  pool.FireVolley(eval_variant, spec, /*volley_id=*/0,
+                                  battery.query_wire, volley));
+            }
+          }
+          Fold(r.digest, (static_cast<std::uint64_t>(ev.client) << 8) |
+                             static_cast<std::uint64_t>(outcome.kind));
+          if (outcome.shell) {
+            // Shelled: the attacker keeps the device attached; its lease
+            // lapses on its own once renewals stop.
+            ++r.compromised;
+            OBS_COUNT("fleet.compromised");
+            retire(ev.client, now);
+            break;
+          }
+          if (outcome.crashed) {
+            ++r.crashed;
+            retire(ev.client, now);
+            break;
+          }
+          if (outcome.trapped) ++r.trapped;
+        }
+        --st.remaining;
+        if (st.remaining > 0) {
+          queue.Push({now + 1 + st.rng.NextBelow(gap_span),
+                      Event::Kind::kQuery, ev.client});
+        } else if (st.traits.roams && !st.roamed) {
+          // Roam: detach (address back to the pool) and re-attach shortly;
+          // the returning client usually renumbers.
+          st.roamed = true;
+          st.attached = false;
+          ap.dhcp().Release(ClientName(ev.client));
+          ++r.roams;
+          st.remaining = 1 + st.traits.queries / 2;
+          queue.Push({now + 1 + st.rng.NextBelow(gap_span),
+                      Event::Kind::kJoin, ev.client});
+        } else {
+          queue.Push({now + 1, Event::Kind::kLeave, ev.client});
+        }
+        break;
+      }
+
+      case Event::Kind::kLeave: {
+        auto it = active.find(ev.client);
+        if (it == active.end()) break;
+        ap.dhcp().Release(ClientName(ev.client));
+        ++r.leaves;
+        Fold(r.digest, (static_cast<std::uint64_t>(ev.client) << 3) | 2u);
+        retire(ev.client, now);
+        break;
+      }
+    }
+  }
+
+  r.cache_hits = ap.cache().hits();
+  r.cache_misses = ap.cache().misses();
+  r.cache_evictions = ap.cache().evictions();
+  r.pool = pool.stats();
+  r.sim_end_us = queue.now();
+  r.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  r.victims_per_sec =
+      r.wall_seconds > 0.0
+          ? static_cast<double>(r.victims) / r.wall_seconds
+          : 0.0;
+  OBS_COUNT_N("fleet.victims_simulated", r.victims);
+  OBS_COUNT_N("fleet.queries", r.queries);
+  OBS_COUNT_N("fleet.deliveries", r.deliveries);
+  span.Arg("victims", r.victims);
+  span.Arg("compromised", r.compromised);
+  return r;
+}
+
+util::Result<std::vector<SurvivalPoint>> RunSurvivalSweep(
+    FleetConfig config, const std::vector<int>& entropy_bits) {
+  if (entropy_bits.empty()) {
+    return util::InvalidArgument("need at least one entropy point");
+  }
+  std::vector<SurvivalPoint> curve;
+  curve.reserve(entropy_bits.size());
+  for (const int bits : entropy_bits) {
+    config.population.diversity_bits = bits;
+    CONNLAB_ASSIGN_OR_RETURN(const FleetResult r, RunFleetCampaign(config));
+    SurvivalPoint point;
+    point.diversity_bits = bits;
+    point.victims = r.victims;
+    point.compromised = r.compromised;
+    point.crashed = r.crashed;
+    point.compromised_fraction = r.compromised_fraction();
+    point.digest = r.digest;
+    point.victims_per_sec = r.victims_per_sec;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace connlab::fleet

@@ -1,0 +1,35 @@
+#include "src/fleet/population.hpp"
+
+#include <algorithm>
+
+namespace connlab::fleet {
+
+ClientTraits SampleTraits(const PopulationProfile& profile, util::Rng& rng) {
+  ClientTraits traits;
+  // Draw order is part of the replay contract: policy, variant, traffic.
+  if (rng.NextBool(profile.p_canary) && !profile.canary_bits.empty()) {
+    traits.policy.canary_bits = profile.canary_bits[static_cast<std::size_t>(
+        rng.NextBelow(profile.canary_bits.size()))];
+  }
+  traits.policy.cfi = rng.NextBool(profile.p_cfi);
+  traits.policy.stochastic_diversity = profile.diversity_bits > 0;
+  if (profile.diversity_bits > 0) {
+    traits.variant = static_cast<std::uint32_t>(
+        rng.NextBelow(1ull << profile.diversity_bits));
+  }
+  const std::uint64_t span =
+      2ull * std::max<std::uint32_t>(profile.queries_per_session_mean, 1);
+  traits.queries = static_cast<std::uint32_t>(1 + rng.NextBelow(span - 1));
+  traits.roams = rng.NextBool(profile.p_roam);
+  return traits;
+}
+
+std::uint64_t SampleQueryName(const PopulationProfile& profile,
+                              util::Rng& rng) {
+  if (rng.NextBool(profile.p_hot) && profile.hot_names > 0) {
+    return rng.NextBelow(profile.hot_names);
+  }
+  return profile.hot_names + rng.NextBelow(std::max(profile.tail_names, 1u));
+}
+
+}  // namespace connlab::fleet

@@ -1,0 +1,101 @@
+#include "src/fleet/report.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace connlab::fleet {
+namespace {
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string RenderFleetReport(const FleetResult& r) {
+  std::string out;
+  Appendf(out,
+          "fleet campaign: %" PRIu64 " victims in %.2fs (%.0f victims/s, "
+          "virtual %.1f ms)\n",
+          r.victims, r.wall_seconds, r.victims_per_sec,
+          static_cast<double>(r.sim_end_us) / 1000.0);
+  Appendf(out,
+          "  churn   : joins %" PRIu64 "  renews %" PRIu64 "  roams %" PRIu64
+          "  leaves %" PRIu64 "  expiries %" PRIu64 "  retries %" PRIu64 "\n",
+          r.joins, r.renews, r.roams, r.leaves, r.lease_expiries,
+          r.join_retries);
+  Appendf(out,
+          "  traffic : queries %" PRIu64 "  cache hit/miss/evict %" PRIu64
+          "/%" PRIu64 "/%" PRIu64 "\n",
+          r.queries, r.cache_hits, r.cache_misses, r.cache_evictions);
+  Appendf(out,
+          "  attack  : deliveries %" PRIu64 "  compromised %" PRIu64
+          " (%.4f)  crashed %" PRIu64 "  trapped %" PRIu64
+          "  canaries defeated %" PRIu64 " (%" PRIu64 " brute responses)\n",
+          r.deliveries, r.compromised, r.compromised_fraction(), r.crashed,
+          r.trapped, r.canaries_defeated, r.brute_responses);
+  Appendf(out,
+          "  pool    : lanes %" PRIu64 "  restores %" PRIu64 "  evals %" PRIu64
+          "  memo hits %" PRIu64 "\n",
+          r.pool.lanes, r.pool.restores, r.pool.evaluations,
+          r.pool.memo_hits);
+  Appendf(out, "  digest  : %016" PRIx64 "\n", r.digest);
+  return out;
+}
+
+std::string RenderSurvivalCurve(const std::vector<SurvivalPoint>& curve) {
+  std::string out;
+  Appendf(out, "%8s %12s %12s %10s %10s %12s  %s\n", "entropy", "victims",
+          "compromised", "fraction", "crashed", "victims/s", "digest");
+  for (const SurvivalPoint& p : curve) {
+    Appendf(out,
+            "%7db %12" PRIu64 " %12" PRIu64 " %10.4f %10" PRIu64
+            " %12.0f  %016" PRIx64 "\n",
+            p.diversity_bits, p.victims, p.compromised, p.compromised_fraction,
+            p.crashed, p.victims_per_sec, p.digest);
+  }
+  return out;
+}
+
+std::string SurvivalCurveJson(const std::vector<SurvivalPoint>& curve,
+                              std::uint64_t seed, std::uint64_t victims) {
+  std::string out;
+  Appendf(out,
+          "{\n  \"seed\": %" PRIu64 ",\n  \"victims\": %" PRIu64
+          ",\n  \"curve_digest\": \"%016" PRIx64 "\",\n  \"points\": [\n",
+          seed, victims, CurveDigest(curve));
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const SurvivalPoint& p = curve[i];
+    Appendf(out,
+            "    {\"diversity_bits\": %d, \"compromised\": %" PRIu64
+            ", \"compromised_fraction\": %.6f, \"crashed\": %" PRIu64
+            ", \"victims_per_sec\": %.1f, \"digest\": \"%016" PRIx64 "\"}%s\n",
+            p.diversity_bits, p.compromised, p.compromised_fraction, p.crashed,
+            p.victims_per_sec, p.digest, i + 1 < curve.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::uint64_t CurveDigest(const std::vector<SurvivalPoint>& curve) {
+  std::uint64_t digest = 14695981039346656037ull;
+  for (const SurvivalPoint& p : curve) {
+    std::uint64_t values[2] = {static_cast<std::uint64_t>(p.diversity_bits),
+                               p.digest};
+    for (const std::uint64_t v : values) {
+      for (int i = 0; i < 8; ++i) {
+        digest ^= (v >> (8 * i)) & 0xffu;
+        digest *= 1099511628211ull;
+      }
+    }
+  }
+  return digest;
+}
+
+}  // namespace connlab::fleet

@@ -1,0 +1,28 @@
+// Rendering for fleet campaigns: the human-readable summary, the survival
+// curve table, and the machine-readable JSON the bench tripwire and the
+// experiment notebooks consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/campaign.hpp"
+
+namespace connlab::fleet {
+
+/// Multi-line human summary of one campaign.
+std::string RenderFleetReport(const FleetResult& result);
+
+/// The survival curve as an aligned table: one row per entropy point.
+std::string RenderSurvivalCurve(const std::vector<SurvivalPoint>& curve);
+
+/// JSON document with campaign metadata + one object per curve point.
+std::string SurvivalCurveJson(const std::vector<SurvivalPoint>& curve,
+                              std::uint64_t seed, std::uint64_t victims);
+
+/// Folds every point's digest into one curve digest — the value two runs
+/// of the same (seed, config) must reproduce exactly.
+std::uint64_t CurveDigest(const std::vector<SurvivalPoint>& curve);
+
+}  // namespace connlab::fleet

@@ -2,11 +2,17 @@
 // cares about — gateway and DNS server. This is the knob the Wi-Fi
 // Pineapple turns: "configure it to utilize DHCP to assign our malicious
 // DNS server to clients" (§III-D).
+//
+// Fleet-scale additions: leases carry an expiry deadline (virtual time),
+// Release() returns an address to a free list so a churning population can
+// cycle through a bounded pool, and a released address is handed to the
+// next client that asks — the renumbering case the churn tests cover.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/util/status.hpp"
 
@@ -16,6 +22,8 @@ struct DhcpLease {
   std::string ip;
   std::string gateway;
   std::string dns_server;
+  /// Virtual time at which the lease lapses (0 = no expiry configured).
+  std::uint64_t expires_at = 0;
 };
 
 class DhcpServer {
@@ -25,7 +33,21 @@ class DhcpServer {
              int pool_size = 100);
 
   /// Offers (or renews) a lease for a client identifier (MAC/hostname).
-  util::Result<DhcpLease> Offer(const std::string& client_id);
+  /// `now` stamps expires_at when a lease TTL is configured.
+  util::Result<DhcpLease> Offer(const std::string& client_id,
+                                std::uint64_t now = 0);
+
+  /// Releases a client's lease, returning its address to the pool. The
+  /// address will be re-offered to the *next* client that needs one, so a
+  /// returning client usually renumbers. No-op for unknown clients.
+  void Release(const std::string& client_id);
+
+  /// Expires every lease with expires_at <= now; returns how many lapsed.
+  std::size_t ExpireLeases(std::uint64_t now);
+
+  /// Lease lifetime in virtual time units; 0 (the default) never expires.
+  void set_lease_ttl(std::uint64_t ttl) noexcept { lease_ttl_ = ttl; }
+  [[nodiscard]] std::uint64_t lease_ttl() const noexcept { return lease_ttl_; }
 
   void set_dns_server(std::string dns) { dns_server_ = std::move(dns); }
   [[nodiscard]] const std::string& dns_server() const noexcept {
@@ -34,6 +56,10 @@ class DhcpServer {
   [[nodiscard]] std::size_t active_leases() const noexcept {
     return leases_.size();
   }
+  [[nodiscard]] std::uint64_t offers() const noexcept { return offers_; }
+  [[nodiscard]] std::uint64_t exhaustions() const noexcept {
+    return exhaustions_;
+  }
 
  private:
   std::string prefix_;
@@ -41,6 +67,10 @@ class DhcpServer {
   std::string dns_server_;
   int pool_size_;
   int next_host_ = 100;
+  std::uint64_t lease_ttl_ = 0;
+  std::uint64_t offers_ = 0;
+  std::uint64_t exhaustions_ = 0;
+  std::vector<std::string> free_ips_;  // released addresses, reused LIFO
   std::map<std::string, DhcpLease> leases_;
 };
 

@@ -65,15 +65,94 @@ TEST(Network, ChainedResponsesDeliverInOneDrain) {
   ASSERT_EQ(sink.received.size(), 1u);
 }
 
-TEST(Network, LogCapturesAllTraffic) {
+TEST(Network, LogCapturesAllTrafficWhenEnabled) {
   Network net;
   Sink sink;
+  net.EnableCapture();
   net.Attach("x", &sink);
   (void)net.Send({"a", 1, "x", 2, {1}});
   (void)net.Send({"a", 1, "y", 2, {2}});
   net.DeliverAll();
   EXPECT_EQ(net.log().size(), 2u);
   EXPECT_NE(net.log()[0].Summary().find("a:1 -> x:2"), std::string::npos);
+}
+
+TEST(Network, CaptureIsOffByDefault) {
+  Network net;
+  Sink sink;
+  net.Attach("x", &sink);
+  (void)net.Send({"a", 1, "x", 2, {1}});
+  net.DeliverAll();
+  EXPECT_FALSE(net.capturing());
+  EXPECT_TRUE(net.log().empty());
+  EXPECT_EQ(net.delivered(), 1u);  // delivery itself is unaffected
+}
+
+TEST(Network, CaptureRingBufferDropsOldest) {
+  Network net;
+  Sink sink;
+  net.EnableCapture(/*max_datagrams=*/2);
+  net.Attach("x", &sink);
+  for (std::uint8_t i = 1; i <= 4; ++i) {
+    (void)net.Send({"a", i, "x", 2, {i}});
+  }
+  net.DeliverAll();
+  ASSERT_EQ(net.log().size(), 2u);
+  EXPECT_EQ(net.log()[0].payload, (util::Bytes{3}));
+  EXPECT_EQ(net.log()[1].payload, (util::Bytes{4}));
+}
+
+TEST(Network, VirtualTimeDeliversInDeadlineOrder) {
+  Network net;
+  Sink sink;
+  net.Attach("x", &sink);
+  ASSERT_TRUE(net.SendAt({"a", 1, "x", 2, {30}}, 300).ok());
+  ASSERT_TRUE(net.SendAt({"a", 1, "x", 2, {10}}, 100).ok());
+  ASSERT_TRUE(net.SendAt({"a", 1, "x", 2, {20}}, 200).ok());
+  EXPECT_EQ(net.DeliverAll(), 3);
+  ASSERT_EQ(sink.received.size(), 3u);
+  EXPECT_EQ(sink.received[0].payload, (util::Bytes{10}));
+  EXPECT_EQ(sink.received[1].payload, (util::Bytes{20}));
+  EXPECT_EQ(sink.received[2].payload, (util::Bytes{30}));
+  EXPECT_EQ(net.now(), 300u);  // clock advanced to the last deadline
+}
+
+TEST(Network, EqualDeadlinesDeliverInSendOrder) {
+  Network net;
+  Sink sink;
+  net.Attach("x", &sink);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(net.SendAt({"a", 1, "x", 2, {i}}, 50).ok());
+  }
+  net.DeliverAll();
+  ASSERT_EQ(sink.received.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink.received[i].payload, (util::Bytes{i}));
+  }
+}
+
+TEST(Network, DeliverUntilLeavesFutureTrafficPending) {
+  Network net;
+  Sink sink;
+  net.Attach("x", &sink);
+  (void)net.SendAt({"a", 1, "x", 2, {1}}, 100);
+  (void)net.SendAt({"a", 1, "x", 2, {2}}, 900);
+  EXPECT_EQ(net.DeliverUntil(500), 1);
+  EXPECT_EQ(net.now(), 500u);
+  EXPECT_EQ(net.pending(), 1u);
+  EXPECT_EQ(net.DeliverUntil(900), 1);
+  EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(Network, LatencySchedulesSendsIntoTheFuture) {
+  Network net;
+  Sink sink;
+  net.Attach("x", &sink);
+  net.set_latency(250);
+  (void)net.Send({"a", 1, "x", 2, {1}});
+  EXPECT_EQ(net.DeliverUntil(249), 0);  // still in flight
+  EXPECT_EQ(net.DeliverUntil(250), 1);
+  ASSERT_EQ(sink.received.size(), 1u);
 }
 
 TEST(Dhcp, LeasesAreStableAndOptionsRefresh) {
@@ -99,6 +178,64 @@ TEST(Dhcp, PoolExhaustion) {
   EXPECT_TRUE(dhcp.Offer("b").ok());
   EXPECT_FALSE(dhcp.Offer("c").ok());
   EXPECT_TRUE(dhcp.Offer("a").ok());  // renewal still fine
+}
+
+TEST(Dhcp, ReleaseRenumbersTheReturningClient) {
+  DhcpServer dhcp("10.2.2", "10.2.2.1", "10.2.2.53", /*pool_size=*/4);
+  const std::string first_ip = dhcp.Offer("roamer").value().ip;
+  dhcp.Release("roamer");
+  // Another client arrives before the roamer returns and takes the freed
+  // address; the returning client gets the next one — renumbered.
+  EXPECT_EQ(dhcp.Offer("newcomer").value().ip, first_ip);
+  EXPECT_NE(dhcp.Offer("roamer").value().ip, first_ip);
+}
+
+TEST(Dhcp, ReleaseRefillsAnExhaustedPool) {
+  DhcpServer dhcp("10.3.3", "10.3.3.1", "10.3.3.53", /*pool_size=*/1);
+  ASSERT_TRUE(dhcp.Offer("a").ok());
+  EXPECT_FALSE(dhcp.Offer("b").ok());
+  EXPECT_EQ(dhcp.exhaustions(), 1u);
+  dhcp.Release("a");
+  EXPECT_TRUE(dhcp.Offer("b").ok());
+  EXPECT_EQ(dhcp.active_leases(), 1u);
+}
+
+TEST(Dhcp, ExpireLeasesLapsesOnlyDueLeases) {
+  DhcpServer dhcp("10.4.4", "10.4.4.1", "10.4.4.53", /*pool_size=*/8);
+  dhcp.set_lease_ttl(100);
+  ASSERT_EQ(dhcp.Offer("early", /*now=*/0).value().expires_at, 100u);
+  ASSERT_EQ(dhcp.Offer("late", /*now=*/50).value().expires_at, 150u);
+  EXPECT_EQ(dhcp.ExpireLeases(99), 0u);
+  EXPECT_EQ(dhcp.ExpireLeases(100), 1u);  // only "early" lapses
+  EXPECT_EQ(dhcp.active_leases(), 1u);
+  // Renewal pushes the surviving lease's deadline out.
+  EXPECT_EQ(dhcp.Offer("late", /*now=*/140).value().expires_at, 240u);
+  EXPECT_EQ(dhcp.ExpireLeases(150), 0u);
+}
+
+TEST(Dhcp, LeaseExpiryMidExchangeDropsTheInFlightResponse) {
+  // A victim sends a query upstream, but its lease lapses (and the device
+  // detaches) while the response is still in the air: the response must be
+  // dropped, not delivered to a stale binding.
+  Network net;
+  net.set_latency(10);
+  Echo server;
+  Sink victim;
+  net.Attach("server", &server);
+  net.Attach("10.5.5.100", &victim);
+  DhcpServer dhcp("10.5.5", "10.5.5.1", "server", /*pool_size=*/4);
+  dhcp.set_lease_ttl(15);
+  ASSERT_EQ(dhcp.Offer("victim", /*now=*/0).value().ip, "10.5.5.100");
+
+  (void)net.Send({"10.5.5.100", 4000, "server", kDnsPort, {0xAA}});
+  net.DeliverUntil(10);  // query reaches the server; reply scheduled at t=20
+  ASSERT_EQ(net.pending(), 1u);
+
+  EXPECT_EQ(dhcp.ExpireLeases(15), 1u);  // lease lapses mid-exchange
+  net.Detach("10.5.5.100");
+  net.DeliverUntil(30);
+  EXPECT_TRUE(victim.received.empty());
+  EXPECT_EQ(net.dropped(), 1u);
 }
 
 TEST(Radio, StrongestSignalWinsAssociation) {
