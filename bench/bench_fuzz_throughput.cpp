@@ -60,6 +60,15 @@ fuzz::FuzzConfig CampaignConfig(std::size_t workers, std::uint64_t execs) {
   return config;
 }
 
+/// The heap-class campaign: camstored execs carry allocator work (real
+/// Alloc/Free walks in guest memory) on top of parsing, so this gauges the
+/// guest-heap subsystem's cost, not just the HTTP front end.
+fuzz::FuzzConfig HeapCampaignConfig(std::uint64_t execs) {
+  fuzz::FuzzConfig config = CampaignConfig(1, execs);
+  config.target.kind = fuzz::TargetKind::kCamstored;
+  return config;
+}
+
 void PrintTable(std::size_t workers_flag) {
   std::printf("== E11: fuzzing throughput — dnsproxy, seed 42 ==\n");
   std::printf("host concurrency: %u thread(s)\n\n",
@@ -176,6 +185,12 @@ void CompareModes(const std::string& json_path, std::size_t workers_flag) {
   std::printf("speedup: %.2fx, coverage digest %s\n\n", speedup,
               digests_match ? "identical" : "DIVERGED");
 
+  auto heap = fuzz::Fuzzer(HeapCampaignConfig(kExecs)).Run();
+  if (heap.ok()) {
+    std::printf("heap-class campaign (camstored, 1 worker): %.0f execs/sec\n\n",
+                heap.value().stats.execs_per_sec);
+  }
+
   if (!json_path.empty()) {
     char digest[24];
     std::snprintf(digest, sizeof(digest), "%016llx",
@@ -190,6 +205,9 @@ void CompareModes(const std::string& json_path, std::size_t workers_flag) {
     json.Integer("reboots", fs.reboots);
     json.Bool("digest_matches_legacy", digests_match);
     json.String("coverage_digest", digest);
+    if (heap.ok()) {
+      json.Number("execs_per_sec_heap", heap.value().stats.execs_per_sec);
+    }
     // Per-worker scaling ladder (shared decode plans + dirty-only restores
     // mean worker N's boot reuses worker 0's plans and each reboot copies
     // only touched pages). On a single-core runner these stay ~flat.

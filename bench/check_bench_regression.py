@@ -36,6 +36,7 @@ HIGHER_BETTER = {
     "dirty_restore_speedup",
     "execs_per_sec",
     "execs_per_sec_legacy",
+    "execs_per_sec_heap",
     "speedup",
     "fleet_victims_per_sec",
 }

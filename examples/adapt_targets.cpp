@@ -42,5 +42,39 @@ int main() {
   }
   std::printf("\nBoth services fall to the unmodified payload arithmetic; only\n"
               "addresses and framing changed — exactly the paper's claim.\n");
+
+  std::printf("\nresolvd (bug-class zoo — compression-pointer loop: a\n"
+              "control-flow-free DoS, so the crash IS the attack working):\n");
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (const auto& prot : levels) {
+      auto result = adapt::AttackResolvd(arch, prot);
+      std::printf("  %s\n", result.ok()
+                                ? result.value().ToString().c_str()
+                                : result.status().ToString().c_str());
+    }
+  }
+
+  std::printf("\ncamstored (bug-class zoo — heap-metadata overwrite: groom,\n"
+              "overflow a chunk header, and let free() do the arbitrary\n"
+              "write; W^X degrades it to DoS, heap-integrity traps it):\n");
+  loader::ProtectionConfig hardened = loader::ProtectionConfig::None();
+  hardened.heap_integrity = true;
+  const loader::ProtectionConfig heap_levels[] = {
+      loader::ProtectionConfig::None(),
+      loader::ProtectionConfig::WxAslr(),
+      hardened,
+  };
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (const auto& prot : heap_levels) {
+      auto result = adapt::AttackCamstored(arch, prot);
+      std::printf("  %s\n", result.ok()
+                                ? result.value().ToString().c_str()
+                                : result.status().ToString().c_str());
+    }
+  }
+  std::printf("\nThe zoo separates bug class from defense class: stack\n"
+              "defenses never touch the heap exploit, heap integrity never\n"
+              "touches the stack smash, and nothing touches the pointer\n"
+              "loop but input validation.\n");
   return 0;
 }

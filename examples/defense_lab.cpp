@@ -101,25 +101,41 @@ int main(int argc, char** argv) {
                                                 "full grid, row per scenario")
                           .c_str());
 
-  // Sanity over the grid: undefended rows all shell; CFI, canary and the
-  // stack block everything; diversity blocks the address-reuse attacks
-  // (3-6) but honestly NOT the stack-targeted injections (1-2).
+  // Sanity over the grid, per bug class. dnsproxy (stack smash): undefended
+  // rows all shell, CFI/canary/all block everything, diversity blocks the
+  // address-reuse attacks (3-6) but honestly NOT the stack-targeted
+  // injections (1-2), and heap-integrity catches *nothing* (wrong class).
+  // resolvd (pointer loop): never a shell under any policy — the DoS crash
+  // is the payoff. camstored (heap metadata): shells under every stack
+  // defense and falls only to heap-integrity.
   int bad_rows = 0;
   for (const attack::AttackResult& r : grid.value()) {
-    const bool injection =
-        r.technique == exploit::Technique::kCodeInjection;
     bool expect_shell = false;
-    if (r.defense == "none") expect_shell = true;
-    if (r.defense == "diversity") expect_shell = injection;
+    if (r.service == "dnsproxy") {
+      const bool injection =
+          r.technique == exploit::Technique::kCodeInjection;
+      if (r.defense == "none") expect_shell = true;
+      if (r.defense == "diversity") expect_shell = injection;
+      if (r.defense == "heap-integrity") expect_shell = true;
+    } else if (r.service == "camstored") {
+      expect_shell = r.defense != "heap-integrity";
+    }  // resolvd: expect_shell stays false everywhere
     if (r.shell != expect_shell) {
       std::printf("UNEXPECTED: %s / defense=%s -> %s\n", r.RowLabel().c_str(),
                   r.defense.c_str(), r.OutcomeLabel().c_str());
       ++bad_rows;
     }
+    if (r.service == "resolvd" && !r.crash) {
+      std::printf("UNEXPECTED: %s / defense=%s should DoS-crash\n",
+                  r.RowLabel().c_str(), r.defense.c_str());
+      ++bad_rows;
+    }
   }
   if (bad_rows != 0) return 1;
-  std::printf("grid shape verified: none=6 shells, canary/CFI/all=0, "
-              "diversity blocks the 4 address-reuse attacks.\n\n");
+  std::printf("grid shape verified: stack class falls to canary/CFI (and "
+              "partly diversity)\nbut sails past heap-integrity; the pointer "
+              "loop only ever DoSes; the heap\nclass ignores every stack "
+              "defense and dies to heap-integrity alone.\n\n");
 
   // --- 2. CFI close-up ------------------------------------------------------
   std::printf("== CFI close-up: shadow stack vs the x86 ROP chain ==\n");

@@ -110,10 +110,14 @@ int main(int argc, char** argv) {
   auto curve = fleet::RunSurvivalSweep(config, entropy);
   if (!curve.ok()) return Fail(curve.status());
 
-  // The last (highest-entropy) point's full campaign report, for texture.
-  {
+  // The last (highest-entropy) point's full campaign reports — one per
+  // bug class, so the per-class bookkeeping is visible, not just the curve.
+  for (const fleet::BugClass bug_class :
+       {fleet::BugClass::kStackSmash, fleet::BugClass::kPointerLoop,
+        fleet::BugClass::kHeapMetadata}) {
     fleet::FleetConfig last = config;
     last.population.diversity_bits = entropy.back();
+    last.bug_class = bug_class;
     auto result = fleet::RunFleetCampaign(last);
     if (!result.ok()) return Fail(result.status());
     std::printf("%s\n", fleet::RenderFleetReport(result.value()).c_str());
@@ -146,6 +150,35 @@ int main(int argc, char** argv) {
         points[i - 1].compromised_fraction) {
       std::printf("FAIL: compromise grew from %db to %db\n",
                   points[i - 1].diversity_bits, points[i].diversity_bits);
+      ++bad;
+    }
+  }
+  // Per-class shape: the pointer loop DoSes regardless of entropy, and the
+  // heap class never shells through the default W^X base — entropy starves
+  // only the address-dependent stack smash.
+  for (const auto& p : points) {
+    if (p.loop_crashed == 0) {
+      std::printf("FAIL: pointer loop stopped DoSing at %db\n",
+                  p.diversity_bits);
+      ++bad;
+    }
+    if (p.heap_compromised != 0) {
+      std::printf("FAIL: heap class shelled through W^X at %db\n",
+                  p.diversity_bits);
+      ++bad;
+    }
+    if (p.heap_crashed + p.heap_trapped == 0) {
+      std::printf("FAIL: heap class had no effect at %db\n",
+                  p.diversity_bits);
+      ++bad;
+    }
+  }
+  if (points.size() > 1) {
+    const double first = points.front().loop_crashed_fraction;
+    const double last = points.back().loop_crashed_fraction;
+    if (last < first - 0.1 || last > first + 0.1) {
+      std::printf("FAIL: pointer-loop DoS fraction moved with entropy "
+                  "(%0.3f -> %0.3f)\n", first, last);
       ++bad;
     }
   }

@@ -9,11 +9,13 @@
 //   ./examples/fuzz_campaign [seed] [execs] [workers] [target] \
 //                            [corpus_file] [dict_file] \
 //                            [--trace=t.json] [--metrics=m.json] \
-//                            [--repro-dir=dir]
+//                            [--repro-dir=dir] [--distill]
 //
 // `corpus_file` persists the merged corpus across invocations (missing file
 // = first run, creates it). `dict_file` is an AFL-style token dictionary;
 // the literal value `builtin` selects the built-in DNS dictionary.
+// `--distill` runs coverage-ranked corpus distillation before the save, so
+// a nightly re-seeded corpus stays a minimal covering set.
 //
 // Observability flags (order-independent, stripped before positional args):
 //   --trace=PATH    write a chrome://tracing / Perfetto JSON of the run
@@ -72,6 +74,18 @@ std::string TakeFlag(std::vector<std::string>& args, const std::string& name) {
   return {};
 }
 
+/// Pulls a bare `--name` switch out of the argument list.
+bool TakeBareFlag(std::vector<std::string>& args, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +93,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = TakeFlag(args, "trace");
   const std::string metrics_path = TakeFlag(args, "metrics");
   const std::string repro_dir = TakeFlag(args, "repro-dir");
+  const bool distill = TakeBareFlag(args, "distill");
 
   fuzz::FuzzConfig config;
   config.seed = args.size() > 0 ? std::strtoull(args[0].c_str(), nullptr, 0) : 42;
@@ -91,6 +106,7 @@ int main(int argc, char** argv) {
     config.target.kind = kind.value();
   }
   if (args.size() > 4) config.corpus_path = args[4];
+  config.distill = distill;
   if (args.size() > 5) {
     if (args[5] == "builtin") {
       config.dictionary = fuzz::DefaultDnsDictionary();
@@ -109,7 +125,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.max_execs),
               config.workers);
   if (!config.corpus_path.empty()) {
-    std::printf("persistent corpus: %s\n", config.corpus_path.c_str());
+    std::printf("persistent corpus: %s%s\n", config.corpus_path.c_str(),
+                config.distill ? " (distilled on save)" : "");
   }
   if (!config.dictionary.empty()) {
     std::printf("dictionary: %zu token(s)\n", config.dictionary.size());
@@ -184,14 +201,27 @@ int main(int argc, char** argv) {
   std::printf("minimized input:\n%s\n",
               util::HexDump(head.minimized, 0).c_str());
 
-  auto parsed = fuzz::ParseReproducer(repro_text);
-  if (!parsed.ok()) return Fail(parsed.status());
-  auto replay = fuzz::ReplayReproducer(parsed.value());
-  if (!replay.ok()) return Fail(replay.status());
-  std::printf("replay: %s (pc=0x%08x, %u bytes expanded%s)\n\n",
-              replay.value().detail.c_str(), replay.value().pc,
-              replay.value().bytes_expanded,
-              replay.value().overflow ? ", buffer overflowed" : "");
+  auto probe = fuzz::MakeTarget(config.target);
+  if (!probe.ok()) return Fail(probe.status());
+  if (probe.value()->stateful_across_execs()) {
+    // The daemon keeps guest state across executions, so the crash is a
+    // property of the request *sequence*, not of one input — the witness
+    // need not reproduce on a freshly booted instance.
+    std::printf(
+        "replay: skipped — %s keeps heap state across requests, so the\n"
+        "crash is a sequence property; replay the whole campaign (same\n"
+        "seed) to reproduce it.\n\n",
+        std::string(probe.value()->name()).c_str());
+  } else {
+    auto parsed = fuzz::ParseReproducer(repro_text);
+    if (!parsed.ok()) return Fail(parsed.status());
+    auto replay = fuzz::ReplayReproducer(parsed.value());
+    if (!replay.ok()) return Fail(replay.status());
+    std::printf("replay: %s (pc=0x%08x, %u bytes expanded%s)\n\n",
+                replay.value().detail.c_str(), replay.value().pc,
+                replay.value().bytes_expanded,
+                replay.value().overflow ? ", buffer overflowed" : "");
+  }
 
   // Same campaign, patched build: the fix holds or we want to know.
   if (config.target.kind == fuzz::TargetKind::kDnsproxy) {

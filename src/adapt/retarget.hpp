@@ -39,4 +39,24 @@ util::Result<AdaptResult> AttackHttpCamd(
     std::uint64_t seed = 3000,
     std::optional<exploit::Technique> technique = std::nullopt);
 
+/// Pointer-loop DoS against resolvd: one self-referential compression
+/// pointer, unbounded recursion, stack exhaustion. Control-flow-free, so a
+/// *crash* is the attack succeeding — there is no shell to pop.
+util::Result<AdaptResult> AttackResolvd(isa::Arch arch,
+                                        const loader::ProtectionConfig& prot,
+                                        std::uint64_t seed = 3000);
+
+/// Heap-metadata overwrite against camstored: the four-request unlink
+/// volley from exploit/heap_smash (groom, victim, overflow, delete).
+util::Result<AdaptResult> AttackCamstored(isa::Arch arch,
+                                          const loader::ProtectionConfig& prot,
+                                          std::uint64_t seed = 3000);
+
+/// Failure diagnosis for the bug-class zoo, where the stack-centric
+/// exploit::DiagnoseFailure does not apply: heap-integrity aborts, W^X
+/// heap pivots, and DoS-by-design crashes.
+exploit::FailureCause DiagnoseZooFailure(exploit::Technique technique,
+                                         const loader::ProtectionConfig& prot,
+                                         ServiceOutcome::Kind kind);
+
 }  // namespace connlab::adapt

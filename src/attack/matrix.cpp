@@ -1,5 +1,6 @@
 #include "src/attack/matrix.hpp"
 
+#include "src/adapt/retarget.hpp"
 #include "src/obs/obs.hpp"
 
 namespace connlab::attack {
@@ -101,13 +102,66 @@ util::Result<std::vector<AttackResult>> RunDefenseMatrix(
   return results;
 }
 
+namespace {
+
+/// Bridges a zoo-service outcome into the ProxyOutcome vocabulary the
+/// report tables speak.
+connman::ProxyOutcome::Kind BridgeKind(adapt::ServiceOutcome::Kind kind) {
+  using In = adapt::ServiceOutcome::Kind;
+  using Out = connman::ProxyOutcome::Kind;
+  switch (kind) {
+    case In::kOk: return Out::kParsedOk;
+    case In::kRejected: return Out::kDroppedInvalid;
+    case In::kCrash: return Out::kCrash;
+    case In::kShell: return Out::kShell;
+    case In::kExec: return Out::kExec;
+    case In::kAbort: return Out::kAbort;
+    case In::kOther: return Out::kOther;
+  }
+  return Out::kOther;
+}
+
+/// One bug-class-zoo grid cell: fires the service's native exploit at a
+/// victim hardened with `policy` (over a no-protection base, so each
+/// mitigation's contribution is isolated).
+util::Result<AttackResult> RunZooCell(const std::string& service,
+                                      isa::Arch arch,
+                                      const defense::DefensePolicy& policy,
+                                      std::uint64_t target_seed) {
+  loader::ProtectionConfig prot = loader::ProtectionConfig::None();
+  policy.Configure(prot);
+
+  CONNLAB_ASSIGN_OR_RETURN(
+      adapt::AdaptResult zoo,
+      service == "resolvd" ? adapt::AttackResolvd(arch, prot, target_seed)
+                           : adapt::AttackCamstored(arch, prot, target_seed));
+  AttackResult result;
+  result.service = service;
+  result.arch = arch;
+  result.prot = loader::ProtectionConfig::None();
+  result.technique = zoo.technique;
+  result.exploit_available = true;
+  result.shell = zoo.shell;
+  result.crash = zoo.kind == adapt::ServiceOutcome::Kind::kCrash;
+  result.kind = BridgeKind(zoo.kind);
+  result.detail = zoo.detail;
+  result.defense = policy.Label();
+  result.payload_bytes = zoo.payload_bytes;
+  result.failure = adapt::DiagnoseZooFailure(zoo.technique, prot, zoo.kind);
+  return result;
+}
+
+}  // namespace
+
 util::Result<std::vector<AttackResult>> RunDefenseGrid(
     std::uint64_t target_seed) {
   OBS_TRACE_SPAN(grid_span, "attack", "RunDefenseGrid");
-  const std::vector<defense::DefensePolicy> policies =
-      defense::StandardPolicies();
+  // The standard sweep plus the heap-integrity policy: the stack attacks
+  // show it blocks nothing of theirs, the zoo shows what it does block.
+  std::vector<defense::DefensePolicy> policies = defense::StandardPolicies();
+  policies.push_back(defense::DefensePolicy::HeapIntegrityChecks());
   std::vector<AttackResult> results;
-  results.reserve(6 * policies.size());
+  results.reserve(10 * policies.size());
   for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
     for (const loader::ProtectionConfig& prot : kLevels) {
       for (const defense::DefensePolicy& policy : policies) {
@@ -121,6 +175,24 @@ util::Result<std::vector<AttackResult>> RunDefenseGrid(
         cell_span.Arg("defense", policy.Label());
         CONNLAB_ASSIGN_OR_RETURN(AttackResult result,
                                  RunControlledScenario(config));
+        cell_span.Arg("outcome", result.OutcomeLabel());
+        CountGridCell(result);
+        results.push_back(std::move(result));
+      }
+    }
+  }
+  // The bug-class zoo: one row per (arch, service) per policy, covering
+  // the two classes the stack-smash rows cannot represent.
+  for (isa::Arch arch : {isa::Arch::kVX86, isa::Arch::kVARM}) {
+    for (const char* service : {"resolvd", "camstored"}) {
+      for (const defense::DefensePolicy& policy : policies) {
+        OBS_TRACE_SPAN(cell_span, "attack", "GridCell");
+        cell_span.Arg("arch", std::string(isa::ArchName(arch)));
+        cell_span.Arg("service", std::string(service));
+        cell_span.Arg("defense", policy.Label());
+        CONNLAB_ASSIGN_OR_RETURN(
+            AttackResult result,
+            RunZooCell(service, arch, policy, target_seed));
         cell_span.Arg("outcome", result.OutcomeLabel());
         CountGridCell(result);
         results.push_back(std::move(result));

@@ -26,9 +26,13 @@ util::Result<std::vector<AttackResult>> RunDefenseMatrix(
 
 /// The full defense grid: every one of the six paper attacks fired at a
 /// victim hardened with each standard mitigation policy — none, canary,
-/// shadow-stack CFI, stochastic diversity, and all three stacked (30 rows,
-/// attack-major). The attacker's lab always profiles the *undefended*
-/// build, so each row records honestly why the exploit missed.
+/// shadow-stack CFI, stochastic diversity, all three stacked, plus the
+/// heap-integrity policy (attack-major). On top of the 36 dnsproxy rows,
+/// the bug-class zoo contributes resolvd (pointer-loop DoS) and camstored
+/// (heap-metadata unlink) on both architectures against every policy —
+/// 60 rows total. The attacker's lab always profiles the *undefended*
+/// build, so each row records honestly why the exploit missed: the stack
+/// policies do nothing against the heap bug class and vice versa.
 util::Result<std::vector<AttackResult>> RunDefenseGrid(
     std::uint64_t target_seed = 4242);
 

@@ -5,7 +5,11 @@ namespace connlab::attack {
 std::string AttackResult::RowLabel() const {
   std::string out(isa::ArchName(arch));
   out += " / " + prot.ToString();
-  out += " / connman " + std::string(connman::VersionName(version));
+  if (service == "dnsproxy") {
+    out += " / connman " + std::string(connman::VersionName(version));
+  } else {
+    out += " / " + service;
+  }
   return out;
 }
 

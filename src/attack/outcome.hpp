@@ -16,6 +16,9 @@ struct AttackResult {
   loader::ProtectionConfig prot;
   connman::Version version = connman::Version::k134;
   exploit::Technique technique = exploit::Technique::kDosCrash;
+  /// Which guest service the row attacked. The paper rows are all
+  /// "dnsproxy"; the bug-class zoo adds "resolvd" and "camstored".
+  std::string service = "dnsproxy";
 
   bool exploit_available = false;  // generator produced a payload
   bool shell = false;              // root shell spawned (the paper's goal)

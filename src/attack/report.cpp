@@ -28,6 +28,20 @@ std::string RenderMatrixTable(const std::vector<AttackResult>& results,
   return out;
 }
 
+namespace {
+
+/// Grid row identity: the zoo rows carry their service name, the paper
+/// rows stay exactly as before (service "dnsproxy" is implicit).
+std::string GridRowKey(const AttackResult& r) {
+  std::string key = std::string(isa::ArchName(r.arch)) + " / " +
+                    r.prot.ToString() + " / " +
+                    std::string(exploit::TechniqueName(r.technique));
+  if (r.service != "dnsproxy") key = r.service + ": " + key;
+  return key;
+}
+
+}  // namespace
+
 std::string RenderDefenseGrid(const std::vector<AttackResult>& results,
                               const std::string& title) {
   // Column order = order of first appearance (RunDefenseGrid emits the
@@ -51,9 +65,7 @@ std::string RenderDefenseGrid(const std::vector<AttackResult>& results,
 
   std::vector<std::string> row_keys;
   for (const AttackResult& r : results) {
-    const std::string key = std::string(isa::ArchName(r.arch)) + " / " +
-                            r.prot.ToString() + " / " +
-                            std::string(exploit::TechniqueName(r.technique));
+    const std::string key = GridRowKey(r);
     bool known = false;
     for (const std::string& k : row_keys) known = known || k == key;
     if (known) continue;
@@ -64,12 +76,16 @@ std::string RenderDefenseGrid(const std::vector<AttackResult>& results,
     for (const std::string& c : columns) {
       std::string value = "?";
       for (const AttackResult& other : results) {
-        const std::string other_key =
-            std::string(isa::ArchName(other.arch)) + " / " +
-            other.prot.ToString() + " / " +
-            std::string(exploit::TechniqueName(other.technique));
-        if (other_key != key || other.defense != c) continue;
-        value = other.shell ? "SHELL" : "blocked:" + other.FailureLabel();
+        if (GridRowKey(other) != key || other.defense != c) continue;
+        if (other.shell) {
+          value = "SHELL";
+        } else if (other.crash &&
+                   other.failure == exploit::FailureCause::kNone) {
+          // Control-flow-free bug classes: the crash *is* the attack.
+          value = "DoS";
+        } else {
+          value = "blocked:" + other.FailureLabel();
+        }
         break;
       }
       std::snprintf(cell, sizeof(cell), " %-15s", value.c_str());
@@ -82,12 +98,13 @@ std::string RenderDefenseGrid(const std::vector<AttackResult>& results,
 
 std::string RenderCsv(const std::vector<AttackResult>& results) {
   std::string out =
-      "arch,protections,version,technique,defense,shell,crash,outcome,failure,"
-      "payload_bytes,labels,response_bytes,probes,guest_steps\n";
+      "service,arch,protections,version,technique,defense,shell,crash,outcome,"
+      "failure,payload_bytes,labels,response_bytes,probes,guest_steps\n";
   char line[384];
   for (const AttackResult& r : results) {
     std::snprintf(line, sizeof(line),
-                  "%s,%s,%s,%s,%s,%d,%d,%s,%s,%zu,%zu,%zu,%d,%llu\n",
+                  "%s,%s,%s,%s,%s,%s,%d,%d,%s,%s,%zu,%zu,%zu,%d,%llu\n",
+                  r.service.c_str(),
                   std::string(isa::ArchName(r.arch)).c_str(),
                   r.prot.ToString().c_str(),
                   std::string(connman::VersionName(r.version)).c_str(),
@@ -120,11 +137,13 @@ std::string RenderJson(const std::vector<AttackResult>& results) {
     const AttackResult& r = results[i];
     std::snprintf(
         line, sizeof(line),
-        "  {\"arch\": \"%s\", \"protections\": \"%s\", \"version\": \"%s\", "
+        "  {\"service\": \"%s\", \"arch\": \"%s\", \"protections\": \"%s\", "
+        "\"version\": \"%s\", "
         "\"technique\": \"%s\", \"defense\": \"%s\", \"shell\": %s, "
         "\"crash\": %s, \"outcome\": \"%s\", \"failure\": \"%s\", "
         "\"payload_bytes\": %zu, \"labels\": %zu, "
         "\"probes\": %d, \"detail\": \"%s\"}%s\n",
+        JsonEscape(r.service).c_str(),
         std::string(isa::ArchName(r.arch)).c_str(),
         r.prot.ToString().c_str(),
         std::string(connman::VersionName(r.version)).c_str(),

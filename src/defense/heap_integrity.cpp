@@ -1,0 +1,15 @@
+#include "src/defense/heap_integrity.hpp"
+
+namespace connlab::defense {
+
+void HeapIntegrity::Configure(loader::ProtectionConfig& prot) const {
+  prot.heap_integrity = true;
+}
+
+std::string HeapIntegrity::Describe() const {
+  return "heap integrity: chunk-header canaries (size ^ per-boot secret) and "
+         "safe-unlink fd/bk checks verified on every free; a mismatch raises "
+         "the HeapCorruption VM stop before the unlink write fires";
+}
+
+}  // namespace connlab::defense

@@ -1,0 +1,31 @@
+// Heap-integrity checks as a deployable mitigation (the embedded-mitigations
+// survey's "heap protection" column, made concrete): the guest allocator's
+// chunk-header canaries and safe-unlink invariants are verified on every
+// free, and a mismatch stops the VM with the dedicated HeapCorruption
+// reason instead of letting the unlink write fire. Stack canaries and CFI
+// never see the heap-metadata bug class; this is the defense that does.
+#pragma once
+
+#include "src/defense/mitigation.hpp"
+
+namespace connlab::defense {
+
+class HeapIntegrity : public Mitigation {
+ public:
+  HeapIntegrity() = default;
+
+  [[nodiscard]] DefenseKind kind() const noexcept override {
+    return DefenseKind::kHeapIntegrity;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "heap-integrity";
+  }
+
+  /// Boots the victim with prot.heap_integrity; services that attach a
+  /// GuestHeap arm the allocator checks from that flag.
+  void Configure(loader::ProtectionConfig& prot) const override;
+
+  [[nodiscard]] std::string Describe() const override;
+};
+
+}  // namespace connlab::defense

@@ -3,6 +3,7 @@
 #include "src/defense/canary.hpp"
 #include "src/defense/cfi.hpp"
 #include "src/defense/diversity.hpp"
+#include "src/defense/heap_integrity.hpp"
 
 namespace connlab::defense {
 
@@ -11,6 +12,7 @@ std::string_view DefenseKindName(DefenseKind kind) noexcept {
     case DefenseKind::kStackCanary: return "stack-canary";
     case DefenseKind::kShadowStackCfi: return "shadow-stack-cfi";
     case DefenseKind::kStochasticDiversity: return "stochastic-diversity";
+    case DefenseKind::kHeapIntegrity: return "heap-integrity";
   }
   return "?";
 }
@@ -28,6 +30,8 @@ std::shared_ptr<const Mitigation> MakeMitigation(DefenseKind kind) {
       return std::make_shared<ShadowStackCfi>();
     case DefenseKind::kStochasticDiversity:
       return std::make_shared<StochasticDiversity>();
+    case DefenseKind::kHeapIntegrity:
+      return std::make_shared<HeapIntegrity>();
   }
   return nullptr;
 }
@@ -47,6 +51,12 @@ DefensePolicy DefensePolicy::Cfi() {
 DefensePolicy DefensePolicy::Diversity() {
   DefensePolicy policy;
   policy.Add(std::make_shared<StochasticDiversity>());
+  return policy;
+}
+
+DefensePolicy DefensePolicy::HeapIntegrityChecks() {
+  DefensePolicy policy;
+  policy.Add(std::make_shared<HeapIntegrity>());
   return policy;
 }
 
@@ -108,11 +118,14 @@ DefensePolicy PolicySpec::Build() const {
   if (canary_bits > 0) policy.Add(std::make_shared<StackCanary>(canary_bits));
   if (cfi) policy.Add(std::make_shared<ShadowStackCfi>());
   if (stochastic_diversity) policy.Add(std::make_shared<StochasticDiversity>());
+  if (heap_integrity) policy.Add(std::make_shared<HeapIntegrity>());
   return policy;
 }
 
 std::string PolicySpec::Label() const {
-  if (canary_bits <= 0 && !cfi && !stochastic_diversity) return "none";
+  if (canary_bits <= 0 && !cfi && !stochastic_diversity && !heap_integrity) {
+    return "none";
+  }
   std::string label;
   if (canary_bits > 0) label = "canary" + std::to_string(canary_bits);
   if (cfi) {
@@ -122,6 +135,10 @@ std::string PolicySpec::Label() const {
   if (stochastic_diversity) {
     if (!label.empty()) label += '+';
     label += "diversity";
+  }
+  if (heap_integrity) {
+    if (!label.empty()) label += '+';
+    label += "heap-integrity";
   }
   return label;
 }

@@ -27,6 +27,7 @@ enum class DefenseKind : std::uint8_t {
   kStackCanary,
   kShadowStackCfi,
   kStochasticDiversity,
+  kHeapIntegrity,
 };
 
 std::string_view DefenseKindName(DefenseKind kind) noexcept;
@@ -61,6 +62,7 @@ class DefensePolicy {
   static DefensePolicy Canary(int entropy_bits = 32);
   static DefensePolicy Cfi();
   static DefensePolicy Diversity();
+  static DefensePolicy HeapIntegrityChecks();
   static DefensePolicy All();
 
   DefensePolicy& Add(std::shared_ptr<const Mitigation> mitigation);
@@ -103,11 +105,13 @@ struct PolicySpec {
   int canary_bits = 0;
   bool cfi = false;
   bool stochastic_diversity = false;
+  bool heap_integrity = false;
 
   /// Stable compact key (canary bits are 0..32, so 6 bits suffice).
   [[nodiscard]] std::uint32_t Key() const noexcept {
     return static_cast<std::uint32_t>(canary_bits) |
-           (cfi ? 1u << 6 : 0u) | (stochastic_diversity ? 1u << 7 : 0u);
+           (cfi ? 1u << 6 : 0u) | (stochastic_diversity ? 1u << 7 : 0u) |
+           (heap_integrity ? 1u << 8 : 0u);
   }
   /// Builds the equivalent composed policy.
   [[nodiscard]] DefensePolicy Build() const;

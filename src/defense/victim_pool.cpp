@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/adapt/camstored.hpp"
+#include "src/adapt/resolvd.hpp"
 #include "src/obs/obs.hpp"
 
 namespace connlab::defense {
@@ -12,6 +14,31 @@ std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+/// The zoo daemons speak ServiceOutcome; the pool's memo speaks the proxy
+/// vocabulary. Same bridge as the attack matrix uses.
+connman::ProxyOutcome::Kind BridgeServiceKind(
+    adapt::ServiceOutcome::Kind kind) noexcept {
+  using In = adapt::ServiceOutcome::Kind;
+  using Out = connman::ProxyOutcome::Kind;
+  switch (kind) {
+    case In::kOk:
+      return Out::kParsedOk;
+    case In::kRejected:
+      return Out::kDroppedInvalid;
+    case In::kCrash:
+      return Out::kCrash;
+    case In::kShell:
+      return Out::kShell;
+    case In::kExec:
+      return Out::kExec;
+    case In::kAbort:
+      return Out::kAbort;
+    case In::kOther:
+      return Out::kOther;
+  }
+  return Out::kOther;
 }
 
 }  // namespace
@@ -81,6 +108,60 @@ util::Result<VictimPool::VolleyOutcome> VictimPool::FireVolley(
   result.trapped = outcome.kind == Kind::kAbort ||
                    outcome.kind == Kind::kCfiViolation ||
                    outcome.kind == Kind::kParseError;
+  memo_[memo_key] = result;
+  return result;
+}
+
+util::Result<VictimPool::VolleyOutcome> VictimPool::FireServiceVolley(
+    std::uint32_t variant, const PolicySpec& spec, std::uint64_t volley_id,
+    ServiceKind service, const std::vector<util::Bytes>& requests,
+    bool bypass_memo) {
+  // Salt the service into the id's top bits so resolvd, camstored, and the
+  // dnsproxy volleys of FireVolley (which keeps the top bits zero) can
+  // never share a memo slot even at identical (lane, volley_id)
+  // coordinates.
+  const std::uint64_t salted_id =
+      volley_id | (static_cast<std::uint64_t>(service) + 1) << 56;
+  const auto memo_key = std::make_pair(LaneKey(variant, spec), salted_id);
+  if (!bypass_memo) {
+    auto hit = memo_.find(memo_key);
+    if (hit != memo_.end()) {
+      ++stats_.memo_hits;
+      return hit->second;
+    }
+  }
+
+  CONNLAB_RETURN_IF_ERROR(BootVictim(variant, spec));
+  CONNLAB_ASSIGN_OR_RETURN(Lane * lane, GetLane(variant, spec));
+
+  const auto start = std::chrono::steady_clock::now();
+  adapt::ServiceOutcome outcome;
+  switch (service) {
+    case ServiceKind::kResolvd: {
+      adapt::Resolvd daemon(*lane->sys);
+      for (const util::Bytes& wire : requests) {
+        outcome = daemon.HandleQuery(wire);
+        if (outcome.kind != adapt::ServiceOutcome::Kind::kOk) break;
+      }
+      break;
+    }
+    case ServiceKind::kCamstored: {
+      adapt::Camstored daemon(*lane->sys);
+      for (const util::Bytes& wire : requests) {
+        outcome = daemon.HandleRequest(wire);
+        if (outcome.kind != adapt::ServiceOutcome::Kind::kOk) break;
+      }
+      break;
+    }
+  }
+  OBS_HISTOGRAM("vm.exec_latency", ElapsedNs(start));
+  ++stats_.evaluations;
+
+  VolleyOutcome result;
+  result.kind = BridgeServiceKind(outcome.kind);
+  result.shell = outcome.kind == adapt::ServiceOutcome::Kind::kShell;
+  result.crashed = outcome.kind == adapt::ServiceOutcome::Kind::kCrash;
+  result.trapped = outcome.kind == adapt::ServiceOutcome::Kind::kAbort;
   memo_[memo_key] = result;
   return result;
 }

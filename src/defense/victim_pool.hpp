@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "src/connman/dnsproxy.hpp"
 #include "src/defense/mitigation.hpp"
@@ -40,6 +41,14 @@ class VictimPool {
     bool shell = false;    // exploit got its shell (compromise)
     bool crashed = false;  // DoS: the device went down
     bool trapped = false;  // a mitigation fired (abort / CFI / parse reject)
+  };
+
+  /// Which guest daemon FireServiceVolley constructs over the lane. The
+  /// dnsproxy path keeps its dedicated FireVolley (query + raced response);
+  /// the target-zoo daemons take a plain request sequence instead.
+  enum class ServiceKind : std::uint8_t {
+    kResolvd,    // pointer-loop name expander (adapt::Resolvd)
+    kCamstored,  // heap-backed cache daemon (adapt::Camstored)
   };
 
   struct Stats {
@@ -69,6 +78,18 @@ class VictimPool {
                                          const util::Bytes& query_wire,
                                          const util::Bytes& response_wire,
                                          bool bypass_memo = false);
+
+  /// Boots the victim, constructs `service` over the restored lane (a fresh
+  /// daemon on a freshly-restored device, exactly like FireVolley's fresh
+  /// proxy), and feeds `requests` in order — the groom sequence plus the
+  /// trigger. The first non-OK outcome ends the run: a device that dies
+  /// mid-groom is down, there is nobody left to parse the rest. Memoized on
+  /// (variant, spec, volley_id) like FireVolley; callers must hand distinct
+  /// volley_ids to distinct request sequences.
+  util::Result<VolleyOutcome> FireServiceVolley(
+      std::uint32_t variant, const PolicySpec& spec, std::uint64_t volley_id,
+      ServiceKind service, const std::vector<util::Bytes>& requests,
+      bool bypass_memo = false);
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

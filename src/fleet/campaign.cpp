@@ -6,9 +6,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/adapt/camstored.hpp"
+#include "src/adapt/resolvd.hpp"
 #include "src/attack/battery.hpp"
 #include "src/defense/canary.hpp"
 #include "src/exploit/generator.hpp"
+#include "src/exploit/heap_smash.hpp"
 #include "src/obs/obs.hpp"
 
 namespace connlab::fleet {
@@ -38,6 +41,18 @@ std::string ClientName(std::uint32_t id) { return "c" + std::to_string(id); }
 
 }  // namespace
 
+std::string_view BugClassName(BugClass bug_class) noexcept {
+  switch (bug_class) {
+    case BugClass::kStackSmash:
+      return "stack-smash";
+    case BugClass::kPointerLoop:
+      return "pointer-loop";
+    case BugClass::kHeapMetadata:
+      return "heap-metadata";
+  }
+  return "unknown";
+}
+
 util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
   if (config.victims == 0) {
     return util::InvalidArgument("victims must be positive");
@@ -63,25 +78,60 @@ util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   FleetResult r;
+  r.bug_class = config.bug_class;
   r.victims = config.victims;
   r.digest = kFnvOffset;
 
   // The attacker's lab boot IS the captured device: same variant seed, same
   // diversity setting, so the recovered addresses are that variant's — the
-  // rest of the fleet is compromised only insofar as it shares them.
+  // rest of the fleet is compromised only insofar as it shares them. The
+  // stack class delivers through the dnsproxy (query + raced response); the
+  // zoo classes deliver a plain request sequence to their daemon.
   const std::uint64_t victim_seed0 = config.seed ^ 0x9e3779b97f4a7c15ull;
   loader::ProtectionConfig lab_prot = config.base;
   if (config.population.diversity_bits > 0) {
     lab_prot.stochastic_diversity = true;
   }
-  const exploit::Technique technique =
-      exploit::TechniqueFor(config.arch, config.base);
-  CONNLAB_ASSIGN_OR_RETURN(
-      const attack::VolleyBattery battery,
-      attack::BuildVolleyBattery(config.arch, lab_prot,
-                                 victim_seed0 + config.profiled_variant,
-                                 {technique}));
-  const util::Bytes& volley = battery.volleys[0].response_wire;
+  attack::VolleyBattery battery;
+  std::vector<util::Bytes> service_requests;
+  switch (config.bug_class) {
+    case BugClass::kStackSmash: {
+      const exploit::Technique technique =
+          exploit::TechniqueFor(config.arch, config.base);
+      CONNLAB_ASSIGN_OR_RETURN(
+          battery,
+          attack::BuildVolleyBattery(config.arch, lab_prot,
+                                     victim_seed0 + config.profiled_variant,
+                                     {technique}));
+      break;
+    }
+    case BugClass::kPointerLoop: {
+      // Pure wire bytes: no lab boot, nothing to profile.
+      service_requests.push_back(adapt::Resolvd::SelfPointerQuery(0x1007));
+      break;
+    }
+    case BugClass::kHeapMetadata: {
+      // The heap plan does come from a lab boot, but every address in it is
+      // allocator geometry the diversity shuffle never moves.
+      CONNLAB_ASSIGN_OR_RETURN(
+          auto lab, loader::Boot(config.arch, lab_prot,
+                                 victim_seed0 + config.profiled_variant));
+      adapt::Camstored lab_daemon(*lab);
+      CONNLAB_ASSIGN_OR_RETURN(const exploit::TargetProfile profile,
+                               lab_daemon.ProfileFor());
+      CONNLAB_ASSIGN_OR_RETURN(const exploit::HeapUnlinkPlan plan,
+                               exploit::BuildHeapUnlinkPlan(profile));
+      service_requests.push_back(
+          adapt::Camstored::WrapInPut(plan.benign_body, "pad",
+                                      plan.groom_size));
+      service_requests.push_back(adapt::Camstored::WrapInPut(
+          plan.victim_body, "vic", plan.victim_size));
+      service_requests.push_back(adapt::Camstored::WrapInPut(
+          plan.overflow_body, "pad", plan.groom_size));
+      service_requests.push_back(adapt::Camstored::WrapInDelete("vic"));
+      break;
+    }
+  }
 
   defense::VictimPool pool({config.arch, config.base, victim_seed0});
   // Per-victim boots restore the victim's own variant lane (its diversity
@@ -98,6 +148,30 @@ util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
       variants > 1 ? static_cast<std::uint32_t>(
                          (config.profiled_variant + 1) & (variants - 1))
                    : 0;
+  // One delivery, three shapes. The volley_id keys the pool's memo, so each
+  // bug class owns a distinct id. (For the zoo classes the wrong-variant
+  // collapse is exact, not an approximation: their volleys carry no
+  // diversity-sensitive addresses, so every variant behaves identically.)
+  const auto volley_id = static_cast<std::uint64_t>(config.bug_class);
+  const auto fire = [&](std::uint32_t eval_variant,
+                        const defense::PolicySpec& spec)
+      -> util::Result<defense::VictimPool::VolleyOutcome> {
+    switch (config.bug_class) {
+      case BugClass::kStackSmash:
+        return pool.FireVolley(eval_variant, spec, volley_id,
+                               battery.query_wire,
+                               battery.volleys[0].response_wire);
+      case BugClass::kPointerLoop:
+        return pool.FireServiceVolley(
+            eval_variant, spec, volley_id,
+            defense::VictimPool::ServiceKind::kResolvd, service_requests);
+      case BugClass::kHeapMetadata:
+        return pool.FireServiceVolley(
+            eval_variant, spec, volley_id,
+            defense::VictimPool::ServiceKind::kCamstored, service_requests);
+    }
+    return util::InvalidArgument("unknown bug class");
+  };
   RogueAp ap(config.ap);
   EventQueue queue;
   const util::Rng master(config.seed);
@@ -208,14 +282,17 @@ util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
           if (st.canary_burned) spec.canary_bits = 0;
           CONNLAB_ASSIGN_OR_RETURN(
               defense::VictimPool::VolleyOutcome outcome,
-              pool.FireVolley(eval_variant, spec, /*volley_id=*/0,
-                              battery.query_wire, volley));
+              fire(eval_variant, spec));
           using Kind = connman::ProxyOutcome::Kind;
           // A weak canary is a traffic problem, not a defense: when the
           // attacker's per-victim response budget covers the expected
           // guess count, the guard falls and the volley lands on the
-          // unguarded lane (same variant, other mitigations intact).
-          if (outcome.kind == Kind::kAbort && spec.canary_bits > 0) {
+          // unguarded lane (same variant, other mitigations intact). Only
+          // the stack class aborts through a canary — a heap-integrity
+          // abort is a different trap, and no amount of traffic guesses a
+          // chunk secret the exploit never has to match.
+          if (config.bug_class == BugClass::kStackSmash &&
+              outcome.kind == Kind::kAbort && spec.canary_bits > 0) {
             const double expected =
                 defense::StackCanary(spec.canary_bits)
                     .ExpectedBruteForceAttempts();
@@ -224,10 +301,7 @@ util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
               r.brute_responses += static_cast<std::uint64_t>(expected);
               st.canary_burned = true;
               spec.canary_bits = 0;
-              CONNLAB_ASSIGN_OR_RETURN(
-                  outcome,
-                  pool.FireVolley(eval_variant, spec, /*volley_id=*/0,
-                                  battery.query_wire, volley));
+              CONNLAB_ASSIGN_OR_RETURN(outcome, fire(eval_variant, spec));
             }
           }
           Fold(r.digest, (static_cast<std::uint64_t>(ev.client) << 8) |
@@ -308,15 +382,33 @@ util::Result<std::vector<SurvivalPoint>> RunSurvivalSweep(
   curve.reserve(entropy_bits.size());
   for (const int bits : entropy_bits) {
     config.population.diversity_bits = bits;
-    CONNLAB_ASSIGN_OR_RETURN(const FleetResult r, RunFleetCampaign(config));
     SurvivalPoint point;
     point.diversity_bits = bits;
-    point.victims = r.victims;
-    point.compromised = r.compromised;
-    point.crashed = r.crashed;
-    point.compromised_fraction = r.compromised_fraction();
-    point.digest = r.digest;
-    point.victims_per_sec = r.victims_per_sec;
+    // Same seed, same population, three attackers: every class sees the
+    // identical fleet, so the per-class columns are directly comparable.
+    config.bug_class = BugClass::kStackSmash;
+    CONNLAB_ASSIGN_OR_RETURN(const FleetResult stack, RunFleetCampaign(config));
+    point.victims = stack.victims;
+    point.compromised = stack.compromised;
+    point.crashed = stack.crashed;
+    point.compromised_fraction = stack.compromised_fraction();
+    point.digest = stack.digest;
+    point.victims_per_sec = stack.victims_per_sec;
+    config.bug_class = BugClass::kPointerLoop;
+    CONNLAB_ASSIGN_OR_RETURN(const FleetResult loop, RunFleetCampaign(config));
+    point.loop_crashed = loop.crashed;
+    point.loop_crashed_fraction =
+        loop.victims == 0 ? 0.0
+                          : static_cast<double>(loop.crashed) /
+                                static_cast<double>(loop.victims);
+    point.loop_digest = loop.digest;
+    config.bug_class = BugClass::kHeapMetadata;
+    CONNLAB_ASSIGN_OR_RETURN(const FleetResult heap, RunFleetCampaign(config));
+    point.heap_compromised = heap.compromised;
+    point.heap_compromised_fraction = heap.compromised_fraction();
+    point.heap_crashed = heap.crashed;
+    point.heap_trapped = heap.trapped;
+    point.heap_digest = heap.digest;
     curve.push_back(point);
   }
   return curve;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "src/defense/victim_pool.hpp"
@@ -25,6 +26,20 @@
 
 namespace connlab::fleet {
 
+/// Which seeded bug class the campaign's attacker exercises. The classes
+/// differ in what their exploit depends on, which is exactly what the
+/// survival sweep measures: the stack smash carries profiled addresses
+/// (diversity moves them), the pointer loop is pure wire bytes (nothing to
+/// move), and the heap-metadata overwrite rides allocator addresses the
+/// diversity shuffle never touches (only heap-integrity adopters block it).
+enum class BugClass : std::uint8_t {
+  kStackSmash,    // dnsproxy response smash (address-dependent)
+  kPointerLoop,   // resolvd compression-pointer loop (address-free DoS)
+  kHeapMetadata,  // camstored chunk-tag overwrite + unlink write
+};
+
+std::string_view BugClassName(BugClass bug_class) noexcept;
+
 struct FleetConfig {
   std::uint64_t victims = 1000;
   std::uint64_t seed = 42;
@@ -36,9 +51,11 @@ struct FleetConfig {
   std::uint32_t profiled_variant = 0;   // the device the attacker captured
   double attack_rate = 0.25;            // fraction of queries the AP races
   std::uint64_t brute_budget = 4096;    // responses/victim for canary guessing
+  BugClass bug_class = BugClass::kStackSmash;  // the exploit the AP races
 };
 
 struct FleetResult {
+  BugClass bug_class = BugClass::kStackSmash;
   // Lifecycle.
   std::uint64_t victims = 0;
   std::uint64_t joins = 0;
@@ -78,20 +95,40 @@ struct FleetResult {
 /// kept resident, and 2^8 variants x policy buckets is the sane ceiling.
 util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config);
 
-/// One row of the survival curve: the same campaign at a given entropy.
+/// One row of the survival curve: the same population at a given entropy,
+/// attacked once per bug class. The unqualified fields are the stack-smash
+/// class (the original curve); the loop_/heap_ fields are the same fleet
+/// under the pointer-loop and heap-metadata attackers.
 struct SurvivalPoint {
   int diversity_bits = 0;
   std::uint64_t victims = 0;
+  // Stack smash: address-dependent, so diversity entropy starves it.
   std::uint64_t compromised = 0;
   std::uint64_t crashed = 0;
   double compromised_fraction = 0.0;
   std::uint64_t digest = 0;
   double victims_per_sec = 0.0;
+  // Pointer loop: address-free DoS — its curve should be flat in entropy.
+  std::uint64_t loop_crashed = 0;
+  double loop_crashed_fraction = 0.0;
+  std::uint64_t loop_digest = 0;
+  // Heap metadata: heap addresses are unrandomised, so entropy does not
+  // help; only the population's heap-integrity adopters trap it. Under a
+  // W^X base the pivot lands on non-executable heap pages and the class
+  // degrades to crashes instead of shells — both columns are kept so the
+  // curve stays honest either way.
+  std::uint64_t heap_compromised = 0;
+  double heap_compromised_fraction = 0.0;
+  std::uint64_t heap_crashed = 0;
+  std::uint64_t heap_trapped = 0;
+  std::uint64_t heap_digest = 0;
 };
 
 /// Sweeps diversity entropy, re-running the campaign per point (same seed,
-/// same population otherwise). The returned curve is the experiment's
-/// deliverable: compromised fraction vs entropy bits.
+/// same population otherwise) once per bug class. The returned curve is the
+/// experiment's deliverable: per-bug-class compromise/DoS fraction vs
+/// entropy bits — diversity starves the stack smash while leaving the
+/// pointer-loop and heap-metadata classes untouched.
 util::Result<std::vector<SurvivalPoint>> RunSurvivalSweep(
     FleetConfig config, const std::vector<int>& entropy_bits);
 

@@ -12,6 +12,7 @@ ClientTraits SampleTraits(const PopulationProfile& profile, util::Rng& rng) {
         rng.NextBelow(profile.canary_bits.size()))];
   }
   traits.policy.cfi = rng.NextBool(profile.p_cfi);
+  traits.policy.heap_integrity = rng.NextBool(profile.p_heap_integrity);
   traits.policy.stochastic_diversity = profile.diversity_bits > 0;
   if (profile.diversity_bits > 0) {
     traits.variant = static_cast<std::uint32_t>(

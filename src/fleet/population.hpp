@@ -22,6 +22,7 @@ struct PopulationProfile {
   // most ship with nothing, some with a stack protector, few with CFI.
   double p_canary = 0.25;
   double p_cfi = 0.10;
+  double p_heap_integrity = 0.15;  // allocators with hardened free()
   std::vector<int> canary_bits = {8, 16, 24};  // drawn uniformly if canaried
 
   // Diversity entropy: each device boots one of 2^diversity_bits layout

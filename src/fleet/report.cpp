@@ -20,10 +20,11 @@ void Appendf(std::string& out, const char* fmt, ...) {
 
 std::string RenderFleetReport(const FleetResult& r) {
   std::string out;
+  const std::string bug_class(BugClassName(r.bug_class));
   Appendf(out,
-          "fleet campaign: %" PRIu64 " victims in %.2fs (%.0f victims/s, "
+          "fleet campaign [%s]: %" PRIu64 " victims in %.2fs (%.0f victims/s, "
           "virtual %.1f ms)\n",
-          r.victims, r.wall_seconds, r.victims_per_sec,
+          bug_class.c_str(), r.victims, r.wall_seconds, r.victims_per_sec,
           static_cast<double>(r.sim_end_us) / 1000.0);
   Appendf(out,
           "  churn   : joins %" PRIu64 "  renews %" PRIu64 "  roams %" PRIu64
@@ -51,14 +52,18 @@ std::string RenderFleetReport(const FleetResult& r) {
 
 std::string RenderSurvivalCurve(const std::vector<SurvivalPoint>& curve) {
   std::string out;
-  Appendf(out, "%8s %12s %12s %10s %10s %12s  %s\n", "entropy", "victims",
-          "compromised", "fraction", "crashed", "victims/s", "digest");
+  Appendf(out, "%8s %9s %11s %9s %9s %10s %10s %10s %10s %12s  %s\n",
+          "entropy", "victims", "stack-shell", "fraction", "crashed",
+          "loop-dos", "heap-shell", "heap-dos", "heap-trap", "victims/s",
+          "digest");
   for (const SurvivalPoint& p : curve) {
     Appendf(out,
-            "%7db %12" PRIu64 " %12" PRIu64 " %10.4f %10" PRIu64
-            " %12.0f  %016" PRIx64 "\n",
+            "%7db %9" PRIu64 " %11" PRIu64 " %9.4f %9" PRIu64 " %10" PRIu64
+            " %10" PRIu64 " %10" PRIu64 " %10" PRIu64 " %12.0f  %016" PRIx64
+            "\n",
             p.diversity_bits, p.victims, p.compromised, p.compromised_fraction,
-            p.crashed, p.victims_per_sec, p.digest);
+            p.crashed, p.loop_crashed, p.heap_compromised, p.heap_crashed,
+            p.heap_trapped, p.victims_per_sec, p.digest);
   }
   return out;
 }
@@ -75,9 +80,21 @@ std::string SurvivalCurveJson(const std::vector<SurvivalPoint>& curve,
     Appendf(out,
             "    {\"diversity_bits\": %d, \"compromised\": %" PRIu64
             ", \"compromised_fraction\": %.6f, \"crashed\": %" PRIu64
-            ", \"victims_per_sec\": %.1f, \"digest\": \"%016" PRIx64 "\"}%s\n",
+            ", \"victims_per_sec\": %.1f, \"digest\": \"%016" PRIx64 "\",\n",
             p.diversity_bits, p.compromised, p.compromised_fraction, p.crashed,
-            p.victims_per_sec, p.digest, i + 1 < curve.size() ? "," : "");
+            p.victims_per_sec, p.digest);
+    Appendf(out,
+            "     \"loop_crashed\": %" PRIu64
+            ", \"loop_crashed_fraction\": %.6f, \"loop_digest\": \"%016" PRIx64
+            "\",\n",
+            p.loop_crashed, p.loop_crashed_fraction, p.loop_digest);
+    Appendf(out,
+            "     \"heap_compromised\": %" PRIu64
+            ", \"heap_compromised_fraction\": %.6f, \"heap_crashed\": %" PRIu64
+            ", \"heap_trapped\": %" PRIu64 ", \"heap_digest\": \"%016" PRIx64
+            "\"}%s\n",
+            p.heap_compromised, p.heap_compromised_fraction, p.heap_crashed,
+            p.heap_trapped, p.heap_digest, i + 1 < curve.size() ? "," : "");
   }
   out += "  ]\n}\n";
   return out;
@@ -86,8 +103,10 @@ std::string SurvivalCurveJson(const std::vector<SurvivalPoint>& curve,
 std::uint64_t CurveDigest(const std::vector<SurvivalPoint>& curve) {
   std::uint64_t digest = 14695981039346656037ull;
   for (const SurvivalPoint& p : curve) {
-    std::uint64_t values[2] = {static_cast<std::uint64_t>(p.diversity_bits),
-                               p.digest};
+    // All three per-class campaign digests fold in, so a rerun must
+    // reproduce every class's event stream, not just the stack one.
+    std::uint64_t values[4] = {static_cast<std::uint64_t>(p.diversity_bits),
+                               p.digest, p.loop_digest, p.heap_digest};
     for (const std::uint64_t v : values) {
       for (int i = 0; i < 8; ++i) {
         digest ^= (v >> (8 * i)) & 0xffu;

@@ -101,6 +101,14 @@ std::vector<util::Bytes> DefaultDnsDictionary() {
   tokens.push_back({0x3F});                    // max label length
   tokens.push_back({0x00, 0x01, 0x00, 0x01});  // type A / class IN
   tokens.push_back({0x00, 0x00, 0x00, 0x04});  // rdlength 4
+  // The RR-type words the record layer speaks: splicing one next to a
+  // class/rdlength word flips an answer into a decoder path (CNAME chains,
+  // SOA's seven fields, MX's preference word) the havoc loop rarely forms.
+  tokens.push_back({0x00, 0x05});              // type CNAME
+  tokens.push_back({0x00, 0x06});              // type SOA
+  tokens.push_back({0x00, 0x0C});              // type PTR
+  tokens.push_back({0x00, 0x0F});              // type MX
+  tokens.push_back({0x00, 0x10});              // type TXT
   util::Bytes run;                             // a ready-made 8-byte label
   run.push_back(0x08);
   for (int i = 0; i < 8; ++i) run.push_back(0x61);

@@ -127,7 +127,12 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
     pending.clear();
   }
 
-  if (config.minimize) {
+  // Minimization shrinks a witness by re-executing candidates and checking
+  // they still land in the same bucket — a single-input property. Stateful
+  // targets crash on request *sequences*, so shrinking one input against a
+  // live daemon whose heap the campaign already reshaped proves nothing;
+  // their buckets keep the full witness.
+  if (config.minimize && !target->stateful_across_execs()) {
     for (CrashBucket& bucket : out.triage.buckets()) {
       MinimizeBucket(*target, bucket, config.minimize_execs);
     }
@@ -223,10 +228,83 @@ util::Result<FuzzReport> Fuzzer::Run() {
       report.stats.seconds > 0
           ? static_cast<double>(report.stats.execs) / report.stats.seconds
           : 0;
+  if (config.distill) {
+    CONNLAB_ASSIGN_OR_RETURN(report.corpus,
+                             DistillCorpus(report.corpus, config.target));
+  }
   if (!config.corpus_path.empty()) {
     CONNLAB_RETURN_IF_ERROR(SaveCorpus(report.corpus, config.corpus_path));
   }
   return report;
+}
+
+namespace {
+
+/// Bits set in `candidate` that `covered` lacks (both classified).
+std::uint32_t NewBits(const CoverageMap& candidate,
+                      const CoverageMap& covered) noexcept {
+  std::uint32_t bits = 0;
+  const std::uint8_t* c = candidate.data();
+  const std::uint8_t* v = covered.data();
+  for (std::uint32_t i = 0; i < CoverageMap::kSize; ++i) {
+    std::uint8_t fresh = static_cast<std::uint8_t>(c[i] & ~v[i]);
+    while (fresh != 0) {
+      fresh &= static_cast<std::uint8_t>(fresh - 1);
+      ++bits;
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+util::Result<Corpus> DistillCorpus(const Corpus& corpus,
+                                   const TargetConfig& target_config) {
+  OBS_TRACE_SPAN(span, "fuzz", "DistillCorpus");
+  span.Arg("entries_in", static_cast<std::uint64_t>(corpus.size()));
+  Corpus kept;
+  if (corpus.empty()) return kept;
+  CONNLAB_ASSIGN_OR_RETURN(std::unique_ptr<FuzzTarget> target,
+                           MakeTarget(target_config));
+
+  // Re-execute every entry in corpus order (deterministic: stateful targets
+  // see the same request sequence every distillation run) and keep its
+  // classified per-entry map.
+  std::vector<CoverageMap> maps(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    target->Execute(corpus.entry(i).data, maps[i]);
+    maps[i].Classify();
+  }
+
+  // Greedy set cover over coverage bits: repeatedly keep the entry adding
+  // the most uncovered bits; ties break toward smaller inputs, then lower
+  // index. Stops when the remaining entries add nothing.
+  CoverageMap covered;
+  std::vector<bool> used(corpus.size(), false);
+  for (;;) {
+    std::size_t best = corpus.size();
+    std::uint32_t best_bits = 0;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (used[i]) continue;
+      const std::uint32_t bits = NewBits(maps[i], covered);
+      if (bits == 0) continue;
+      const bool wins =
+          best == corpus.size() || bits > best_bits ||
+          (bits == best_bits &&
+           corpus.entry(i).data.size() < corpus.entry(best).data.size());
+      if (wins) {
+        best = i;
+        best_bits = bits;
+      }
+    }
+    if (best == corpus.size()) break;
+    used[best] = true;
+    covered.MergeClassified(maps[best]);
+    const CorpusEntry& e = corpus.entry(best);
+    kept.Add(e.data, e.news, e.found_at);
+  }
+  span.Arg("entries_out", static_cast<std::uint64_t>(kept.size()));
+  return kept;
 }
 
 }  // namespace connlab::fuzz

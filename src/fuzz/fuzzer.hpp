@@ -52,6 +52,11 @@ struct FuzzConfig {
   /// Mutation dictionary (see fuzz/dict.hpp). Empty = no dictionary ops,
   /// bit-identical behaviour to a build without the feature.
   std::vector<util::Bytes> dictionary;
+  /// Distill the merged corpus (coverage-ranked greedy minimisation, see
+  /// DistillCorpus) before writing it back to `corpus_path`, so the
+  /// persistent corpus stays a minimal covering set instead of growing
+  /// without bound across nightly re-seeds.
+  bool distill = false;
 };
 
 struct FuzzStats {
@@ -71,6 +76,15 @@ struct FuzzReport {
   CoverageMap coverage;  // merged classified coverage
   Corpus corpus;         // merged (deduplicated) corpus across workers
 };
+
+/// Coverage-ranked corpus distillation: re-executes every entry against a
+/// fresh target, then greedily keeps the entry covering the most
+/// still-uncovered (classified) cells until the kept set covers everything
+/// the full corpus covers. Ties break toward smaller inputs, then lower
+/// index, so the result is deterministic. Entries contributing no new
+/// coverage are dropped — the accumulation-only re-seed's failure mode.
+util::Result<Corpus> DistillCorpus(const Corpus& corpus,
+                                   const TargetConfig& target_config);
 
 class Fuzzer {
  public:

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/adapt/camstored.hpp"
 #include "src/adapt/httpcamd.hpp"
 #include "src/adapt/minimasq.hpp"
+#include "src/adapt/resolvd.hpp"
 #include "src/connman/dnsproxy.hpp"
 #include "src/dns/craft.hpp"
 #include "src/dns/message.hpp"
@@ -89,6 +91,9 @@ void FillFromServiceOutcome(const adapt::ServiceOutcome& outcome,
     case Kind::kShell:
     case Kind::kExec:
       result->kind = ExecResult::Kind::kHijack;
+      break;
+    case Kind::kAbort:
+      result->kind = ExecResult::Kind::kAbort;
       break;
     case Kind::kOther:
       result->kind = ExecResult::Kind::kOther;
@@ -523,6 +528,212 @@ class HttpcamdTarget : public BootedTarget {
   std::unique_ptr<adapt::HttpCamd> service_;
 };
 
+// ------------------------------------------------------------------ resolvd --
+
+class ResolvdTarget : public BootedTarget {
+ public:
+  static util::Result<std::unique_ptr<FuzzTarget>> Make(
+      const TargetConfig& config) {
+    auto target = std::make_unique<ResolvdTarget>(config);
+    CONNLAB_RETURN_IF_ERROR(target->Init());
+    return std::unique_ptr<FuzzTarget>(std::move(target));
+  }
+
+  explicit ResolvdTarget(const TargetConfig& config) : BootedTarget(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "adapt::resolvd";
+  }
+  [[nodiscard]] std::size_t fixed_prefix() const noexcept override {
+    // Only the header survives untouched: the question *name* is the whole
+    // attack surface, so the label/pointer mutators must reach it.
+    return dns::kHeaderSize;
+  }
+  [[nodiscard]] bool dns_shaped() const noexcept override { return true; }
+
+  [[nodiscard]] std::vector<util::Bytes> SeedCorpus() const override {
+    std::vector<util::Bytes> seeds;
+    seeds.push_back(dns::Encode(dns::Message::Query(0x7264, kQName)).value());
+    seeds.push_back(
+        dns::Encode(dns::Message::Query(0x7265, "a.deeply.nested.label.chain.lan"))
+            .value());
+    // A benign *compressed* query: name ends in a pointer to a second name
+    // stored after the question — legal, loop-free, and one byte flip away
+    // from pointing at itself.
+    {
+      util::ByteWriter w;
+      w.WriteU16BE(0x7266);
+      w.WriteU16BE(0x0100);
+      w.WriteU16BE(1);
+      w.WriteU16BE(0);
+      w.WriteU16BE(0);
+      w.WriteU16BE(0);
+      w.WriteU8(3);
+      w.WriteString("cam");
+      w.WriteU8(0xC0);  // pointer to the tail name at offset 22
+      w.WriteU8(22);
+      w.WriteU16BE(1);
+      w.WriteU16BE(1);
+      w.WriteU8(3);
+      w.WriteString("lan");
+      w.WriteU8(0);
+      seeds.push_back(std::move(w).Take());
+    }
+    return seeds;
+  }
+
+  ExecResult Execute(util::ByteSpan input, CoverageMap& map) override {
+    ExecResult result;
+    auto& cpu = *sys_->cpu;
+    cpu.ClearEvents();
+    cpu.AttachCoverage(map.data(), CoverageMap::mask());
+    cpu.ResetCoverageEdge();
+    const adapt::ServiceOutcome outcome = service_->HandleQuery(input);
+    cpu.DetachCoverage();
+    FillFromServiceOutcome(outcome, &result, map, cpu.events(),
+                           service_->last_expanded(),
+                           /*overflow=*/false);
+    // The recursion-depth gradient: deeper expansions are new coverage, so
+    // the corpus walks toward (and finally off) the stack cliff.
+    map.AddFeature(vm::CoverageLocation(kDepthSalt ^
+                                        SizeBucket(service_->last_hops())));
+    if (result.kind != ExecResult::Kind::kBenign) {
+      result.stack = StackContext(*sys_);
+      if (Reboot().ok()) ++reboots_;
+    }
+    return result;
+  }
+
+  util::Status Init() override {
+    CONNLAB_RETURN_IF_ERROR(BootSystem());
+    ReattachService();
+    CaptureSnapshot();
+    return util::OkStatus();
+  }
+
+  void ReattachService() override {
+    service_ = std::make_unique<adapt::Resolvd>(*sys_);
+  }
+
+ private:
+  static constexpr std::uint32_t kDepthSalt = 0x00d3e970u;
+  static constexpr const char* kQName = "printer.office.lan";
+
+  std::unique_ptr<adapt::Resolvd> service_;
+};
+
+// ---------------------------------------------------------------- camstored --
+
+/// Host-side mirror of Camstored's size handling: the claimed
+/// Content-Length vs X-Record-Size mismatch is the bug's precondition, so
+/// it gets its own coverage feature (the fuzzer can hold a "sizes
+/// disagree" mutant while it works on making the body long enough).
+struct CacheSizeView {
+  std::uint32_t record_size = 0;
+  std::uint32_t content_length = 0;
+  bool mismatch = false;
+};
+
+CacheSizeView CamstoredSizeView(util::ByteSpan request) {
+  CacheSizeView view;
+  const std::string text(request.begin(), request.end());
+  const std::size_t headers_end = text.find("\r\n\r\n");
+  if (headers_end == std::string::npos || text.compare(0, 4, "PUT ") != 0) {
+    return view;
+  }
+  const std::size_t clen = text.find("Content-Length:");
+  const std::size_t rsize = text.find("X-Record-Size:");
+  if (clen != std::string::npos && clen < headers_end) {
+    view.content_length = static_cast<std::uint32_t>(
+        std::strtoul(text.c_str() + clen + 15, nullptr, 10));
+  }
+  if (rsize != std::string::npos && rsize < headers_end) {
+    view.record_size = static_cast<std::uint32_t>(
+        std::strtoul(text.c_str() + rsize + 14, nullptr, 10));
+  }
+  view.mismatch = view.record_size != 0 &&
+                  view.content_length > view.record_size;
+  return view;
+}
+
+class CamstoredTarget : public BootedTarget {
+ public:
+  static util::Result<std::unique_ptr<FuzzTarget>> Make(
+      const TargetConfig& config) {
+    auto target = std::make_unique<CamstoredTarget>(config);
+    CONNLAB_RETURN_IF_ERROR(target->Init());
+    return std::unique_ptr<FuzzTarget>(std::move(target));
+  }
+
+  explicit CamstoredTarget(const TargetConfig& config) : BootedTarget(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "adapt::camstored";
+  }
+  [[nodiscard]] std::size_t fixed_prefix() const noexcept override { return 0; }
+  [[nodiscard]] bool dns_shaped() const noexcept override { return false; }
+  [[nodiscard]] bool stateful_across_execs() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] std::vector<util::Bytes> SeedCorpus() const override {
+    // The benign protocol: store two adjacent records, read, delete one.
+    // The daemon keeps heap state *across* executions (until a corrupting
+    // run reboots it), so the fuzzer composes multi-request heap shapes
+    // for free; the seeds park it next to the size-mismatch cliff.
+    std::vector<util::Bytes> seeds;
+    seeds.push_back(
+        adapt::Camstored::WrapInPut(util::Bytes(56, 'a'), "snap", 64));
+    seeds.push_back(
+        adapt::Camstored::WrapInPut(util::Bytes(180, 'b'), "clip", 200));
+    seeds.push_back(util::BytesOf("GET /cache/snap HTTP/1.0\r\n\r\n"));
+    seeds.push_back(adapt::Camstored::WrapInDelete("snap"));
+    return seeds;
+  }
+
+  ExecResult Execute(util::ByteSpan input, CoverageMap& map) override {
+    ExecResult result;
+    auto& cpu = *sys_->cpu;
+    cpu.ClearEvents();
+    cpu.AttachCoverage(map.data(), CoverageMap::mask());
+    cpu.ResetCoverageEdge();
+    const adapt::ServiceOutcome outcome = service_->HandleRequest(input);
+    cpu.DetachCoverage();
+    const CacheSizeView view = CamstoredSizeView(input);
+    FillFromServiceOutcome(outcome, &result, map, cpu.events(),
+                           view.content_length, view.mismatch);
+    map.AddFeature(
+        vm::CoverageLocation(kRecordSalt ^ SizeBucket(view.record_size)));
+    // Allocator-shape features: split/coalesce counts change only when an
+    // input exercised a new heap path.
+    const heap::GuestHeap::Stats& stats = service_->heap().stats();
+    map.AddFeature(vm::CoverageLocation(
+        kHeapSalt ^ SizeBucket(static_cast<std::uint32_t>(stats.coalesces))));
+    if (result.kind != ExecResult::Kind::kBenign) {
+      result.stack = StackContext(*sys_);
+      if (Reboot().ok()) ++reboots_;
+    }
+    return result;
+  }
+
+  util::Status Init() override {
+    CONNLAB_RETURN_IF_ERROR(BootSystem());
+    ReattachService();
+    CaptureSnapshot();
+    return util::OkStatus();
+  }
+
+  void ReattachService() override {
+    service_ = std::make_unique<adapt::Camstored>(*sys_);
+  }
+
+ private:
+  static constexpr std::uint32_t kRecordSalt = 0x00ca54edu;
+  static constexpr std::uint32_t kHeapSalt = 0x0077ea90u;
+
+  std::unique_ptr<adapt::Camstored> service_;
+};
+
 }  // namespace
 
 std::string_view TargetKindName(TargetKind kind) noexcept {
@@ -530,6 +741,8 @@ std::string_view TargetKindName(TargetKind kind) noexcept {
     case TargetKind::kDnsproxy: return "dnsproxy";
     case TargetKind::kMinimasq: return "minimasq";
     case TargetKind::kHttpcamd: return "httpcamd";
+    case TargetKind::kResolvd: return "resolvd";
+    case TargetKind::kCamstored: return "camstored";
   }
   return "?";
 }
@@ -538,6 +751,8 @@ util::Result<TargetKind> ParseTargetKind(std::string_view name) {
   if (name == "dnsproxy") return TargetKind::kDnsproxy;
   if (name == "minimasq") return TargetKind::kMinimasq;
   if (name == "httpcamd") return TargetKind::kHttpcamd;
+  if (name == "resolvd") return TargetKind::kResolvd;
+  if (name == "camstored") return TargetKind::kCamstored;
   return util::InvalidArgument("unknown fuzz target: " + std::string(name));
 }
 
@@ -547,6 +762,8 @@ util::Result<std::unique_ptr<FuzzTarget>> MakeTarget(
     case TargetKind::kDnsproxy: return DnsproxyTarget::Make(config);
     case TargetKind::kMinimasq: return MinimasqTarget::Make(config);
     case TargetKind::kHttpcamd: return HttpcamdTarget::Make(config);
+    case TargetKind::kResolvd: return ResolvdTarget::Make(config);
+    case TargetKind::kCamstored: return CamstoredTarget::Make(config);
   }
   return util::InvalidArgument("unknown fuzz target kind");
 }

@@ -29,6 +29,8 @@ enum class TargetKind : std::uint8_t {
   kDnsproxy,   // connman::DnsProxy (CVE-2017-12865 path)
   kMinimasq,   // adapt::Minimasq (dnsmasq-flavoured overflow)
   kHttpcamd,   // adapt::HttpCamd (HTTP body overflow)
+  kResolvd,    // adapt::Resolvd (compression-pointer loop)
+  kCamstored,  // adapt::Camstored (heap-metadata overwrite)
 };
 
 std::string_view TargetKindName(TargetKind kind) noexcept;
@@ -85,6 +87,15 @@ class FuzzTarget {
   /// Whether the DNS-structure mutators (label surgery, compression
   /// pointers, count bumps) apply to this target's inputs.
   [[nodiscard]] virtual bool dns_shaped() const noexcept = 0;
+
+  /// True when the service keeps guest state across executions (e.g. a
+  /// daemon whose heap survives benign requests). Crashes in such targets
+  /// are sequence properties: a single witness input need not reproduce on
+  /// a freshly booted instance, so single-input replay is not a validity
+  /// check for them.
+  [[nodiscard]] virtual bool stateful_across_execs() const noexcept {
+    return false;
+  }
 
   /// Benign inputs that exercise the parser without crashing it.
   [[nodiscard]] virtual std::vector<util::Bytes> SeedCorpus() const = 0;

@@ -1,0 +1,296 @@
+#include "src/heap/heap.hpp"
+
+#include <cstdio>
+
+namespace connlab::heap {
+
+namespace {
+
+std::string Hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+constexpr std::uint32_t kSizeMask = ~7u;
+constexpr std::uint32_t kPrevInuse = 1u;
+/// Bound on freelist walks: a corrupted cyclic list must not hang the host.
+constexpr std::uint32_t kMaxListWalk = 4096;
+
+std::uint32_t AlignUp(std::uint32_t n) noexcept {
+  return (n + GuestHeap::kAlign - 1) & ~(GuestHeap::kAlign - 1);
+}
+
+}  // namespace
+
+std::uint32_t ChunkSecret(std::uint64_t boot_seed) noexcept {
+  std::uint64_t s = boot_seed + 0x9e3779b97f4a7c15ULL;
+  s ^= s >> 33;
+  s *= 0xff51afd7ed558ccdULL;
+  s ^= s >> 33;
+  s *= 0xc4ceb9fe1a85ec53ULL;
+  s ^= s >> 33;
+  // Never zero: a zeroed guard slot must not accidentally validate.
+  return static_cast<std::uint32_t>(s) | 1u;
+}
+
+GuestHeap::GuestHeap(mem::AddressSpace& space, mem::GuestAddr base,
+                     std::uint32_t size)
+    : space_(&space), base_(base), size_(size) {}
+
+std::uint32_t GuestHeap::U32(mem::GuestAddr a) const {
+  ++mem_ops_;
+  return space_->ReadU32(a).value_or(0);
+}
+
+util::Status GuestHeap::Put(mem::GuestAddr a, std::uint32_t v) {
+  ++mem_ops_;
+  return space_->WriteU32(a, v);
+}
+
+std::uint32_t GuestHeap::BinIndex(std::uint32_t chunk_size) noexcept {
+  if (chunk_size <= 32) return 0;
+  if (chunk_size <= 48) return 1;
+  if (chunk_size <= 64) return 2;
+  if (chunk_size <= 96) return 3;
+  if (chunk_size <= 128) return 4;
+  if (chunk_size <= 256) return 5;
+  return 6;
+}
+
+util::Status GuestHeap::Init(std::uint32_t secret, bool integrity) {
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffMagic, kMagic));
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffTop, base_ + kArenaSize));
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffEnd, base_ + size_));
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffSecret, secret));
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffFlags, integrity ? 1u : 0u));
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffTopPrevInuse, 1u));
+  for (std::uint32_t i = 0; i < kBins; ++i) {
+    const mem::GuestAddr s = BinSentinel(i);
+    CONNLAB_RETURN_IF_ERROR(Put(s + 12, s));  // fd = self (empty)
+    CONNLAB_RETURN_IF_ERROR(Put(s + 16, s));  // bk = self
+  }
+  return util::OkStatus();
+}
+
+bool GuestHeap::Attached() const { return U32(base_ + kOffMagic) == kMagic; }
+
+util::Status GuestHeap::Corruption(mem::GuestAddr chunk,
+                                   const std::string& what) {
+  ++stats_.corruptions;
+  const std::string detail =
+      "heap corruption at chunk " + Hex(chunk) + ": " + what;
+  if (cpu_ != nullptr) {
+    cpu_->PushEvent(vm::EventKind::kHeapCorruption, detail);
+    cpu_->RequestStop(vm::StopReason::kHeapCorruption, detail);
+  }
+  return util::Aborted(detail);
+}
+
+util::Status GuestHeap::Unlink(mem::GuestAddr chunk) {
+  const std::uint32_t fd = U32(chunk + 12);
+  const std::uint32_t bk = U32(chunk + 16);
+  if ((U32(base_ + kOffFlags) & 1u) != 0) {
+    // Safe unlink: both neighbours must still point back at the chunk.
+    if (U32(fd + 16) != chunk || U32(bk + 12) != chunk) {
+      return Corruption(chunk, "unlink fd/bk mismatch (fd=" + Hex(fd) +
+                                   " bk=" + Hex(bk) + ")");
+    }
+  }
+  // The unlink write pair — through attacker-controlled fd/bk this is the
+  // allocator-driven arbitrary write (mem[fd+16]=bk, mem[bk+12]=fd).
+  CONNLAB_RETURN_IF_ERROR(Put(fd + 16, bk));
+  CONNLAB_RETURN_IF_ERROR(Put(bk + 12, fd));
+  return util::OkStatus();
+}
+
+util::Status GuestHeap::InsertFree(mem::GuestAddr chunk, std::uint32_t size,
+                                   bool prev_inuse) {
+  const std::uint32_t secret = U32(base_ + kOffSecret);
+  const std::uint32_t size_field = size | (prev_inuse ? kPrevInuse : 0u);
+  CONNLAB_RETURN_IF_ERROR(Put(chunk + 4, size_field));
+  CONNLAB_RETURN_IF_ERROR(Put(chunk + 8, size ^ secret));
+  // Boundary-tag footer + clear the next chunk's PREV_INUSE bit.
+  const mem::GuestAddr next = chunk + size;
+  CONNLAB_RETURN_IF_ERROR(Put(next + 0, size));
+  CONNLAB_RETURN_IF_ERROR(Put(next + 4, U32(next + 4) & ~kPrevInuse));
+  // Splice at the head of the size-class bin.
+  const mem::GuestAddr s = BinSentinel(BinIndex(size));
+  const std::uint32_t first = U32(s + 12);
+  CONNLAB_RETURN_IF_ERROR(Put(chunk + 12, first));  // fd
+  CONNLAB_RETURN_IF_ERROR(Put(chunk + 16, s));      // bk
+  CONNLAB_RETURN_IF_ERROR(Put(first + 16, chunk));
+  CONNLAB_RETURN_IF_ERROR(Put(s + 12, chunk));
+  return util::OkStatus();
+}
+
+util::Result<mem::GuestAddr> GuestHeap::Alloc(std::uint32_t payload_bytes) {
+  if (payload_bytes == 0) return util::InvalidArgument("zero-byte alloc");
+  if (!Attached()) return util::FailedPrecondition("heap arena not formatted");
+  std::uint32_t need = AlignUp(payload_bytes + kHeaderSize);
+  if (need < kMinChunk) need = kMinChunk;
+  const std::uint32_t secret = U32(base_ + kOffSecret);
+  const bool integrity = (U32(base_ + kOffFlags) & 1u) != 0;
+
+  // First fit over the size-class bins, smallest eligible class first.
+  for (std::uint32_t i = BinIndex(need); i < kBins; ++i) {
+    const mem::GuestAddr s = BinSentinel(i);
+    mem::GuestAddr cur = U32(s + 12);
+    for (std::uint32_t walked = 0; cur != s && cur != 0; ++walked) {
+      if (walked > kMaxListWalk) {
+        if (integrity) return Corruption(cur, "freelist cycle in bin");
+        break;
+      }
+      const std::uint32_t size = U32(cur + 4) & kSizeMask;
+      if (size < need) {
+        cur = U32(cur + 12);
+        continue;
+      }
+      CONNLAB_RETURN_IF_ERROR(Unlink(cur));
+      const std::uint32_t prev_bit = U32(cur + 4) & kPrevInuse;
+      if (size - need >= kMinChunk) {
+        // Split: head becomes the allocation, tail goes back to a bin.
+        ++stats_.splits;
+        CONNLAB_RETURN_IF_ERROR(Put(cur + 4, need | prev_bit));
+        CONNLAB_RETURN_IF_ERROR(Put(cur + 8, need ^ secret));
+        CONNLAB_RETURN_IF_ERROR(
+            InsertFree(cur + need, size - need, /*prev_inuse=*/true));
+      } else {
+        CONNLAB_RETURN_IF_ERROR(Put(cur + 4, size | prev_bit));
+        CONNLAB_RETURN_IF_ERROR(Put(cur + 8, size ^ secret));
+        // Whole chunk reused: the next chunk's PREV_INUSE comes back on.
+        const mem::GuestAddr next = cur + size;
+        if (next == U32(base_ + kOffTop)) {
+          CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffTopPrevInuse, 1u));
+        } else {
+          CONNLAB_RETURN_IF_ERROR(Put(next + 4, U32(next + 4) | kPrevInuse));
+        }
+      }
+      ++stats_.allocs;
+      return cur + kHeaderSize;
+    }
+  }
+
+  // Carve from the wilderness.
+  const mem::GuestAddr top = U32(base_ + kOffTop);
+  const mem::GuestAddr end = U32(base_ + kOffEnd);
+  if (top + need > end) {
+    return util::ResourceExhausted("heap exhausted: need " +
+                                   std::to_string(need) + " bytes above " +
+                                   Hex(top));
+  }
+  const std::uint32_t prev_bit =
+      (U32(base_ + kOffTopPrevInuse) & 1u) ? kPrevInuse : 0u;
+  CONNLAB_RETURN_IF_ERROR(Put(top + 4, need | prev_bit));
+  CONNLAB_RETURN_IF_ERROR(Put(top + 8, need ^ secret));
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffTop, top + need));
+  CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffTopPrevInuse, 1u));
+  ++stats_.allocs;
+  return top + kHeaderSize;
+}
+
+util::Status GuestHeap::Free(mem::GuestAddr payload) {
+  if (!Attached()) return util::FailedPrecondition("heap arena not formatted");
+  const mem::GuestAddr first = FirstChunk();
+  const mem::GuestAddr top = U32(base_ + kOffTop);
+  if (payload < first + kHeaderSize || payload >= top + kHeaderSize) {
+    return util::InvalidArgument("free of non-heap address " + Hex(payload));
+  }
+  mem::GuestAddr c = payload - kHeaderSize;
+  const std::uint32_t secret = U32(base_ + kOffSecret);
+  const bool integrity = (U32(base_ + kOffFlags) & 1u) != 0;
+
+  std::uint32_t size_field = U32(c + 4);
+  std::uint32_t size = size_field & kSizeMask;
+  bool prev_inuse = (size_field & kPrevInuse) != 0;
+
+  if (integrity) {
+    if (U32(c + 8) != (size ^ secret)) {
+      return Corruption(c, "chunk canary mismatch (size=" + Hex(size_field) +
+                               " guard=" + Hex(U32(c + 8)) + ")");
+    }
+    if (size < kMinChunk || (size & 7u) != 0 || c + size > top) {
+      return Corruption(c, "implausible chunk size " + Hex(size));
+    }
+  }
+
+  // Backward coalesce: boundary tag says the previous chunk is free.
+  if (!prev_inuse) {
+    const std::uint32_t psz = U32(c + 0);
+    const mem::GuestAddr prev = c - psz;
+    if (integrity) {
+      if (psz < kMinChunk || (psz & 7u) != 0 || prev < first ||
+          (U32(prev + 4) & kSizeMask) != psz) {
+        return Corruption(c, "prev_size/boundary-tag mismatch (prev_size=" +
+                                 Hex(psz) + ")");
+      }
+      if (U32(prev + 8) != (psz ^ secret)) {
+        return Corruption(prev, "chunk canary mismatch on coalesce target");
+      }
+    }
+    CONNLAB_RETURN_IF_ERROR(Unlink(prev));
+    ++stats_.coalesces;
+    size += psz;
+    c = prev;
+    prev_inuse = (U32(c + 4) & kPrevInuse) != 0;
+  }
+
+  // Forward coalesce: absorb a free right-neighbour (or the wilderness).
+  mem::GuestAddr next = c + size;
+  if (next < top) {
+    const std::uint32_t next_size = U32(next + 4) & kSizeMask;
+    const mem::GuestAddr nn = next + next_size;
+    const bool next_inuse =
+        (nn == top) ? (U32(base_ + kOffTopPrevInuse) & 1u) != 0
+                    : (nn < top && (U32(nn + 4) & kPrevInuse) != 0);
+    if (!next_inuse && next_size >= kMinChunk) {
+      if (integrity && U32(next + 8) != (next_size ^ secret)) {
+        return Corruption(next, "chunk canary mismatch on forward coalesce");
+      }
+      CONNLAB_RETURN_IF_ERROR(Unlink(next));
+      ++stats_.coalesces;
+      size += next_size;
+      next = c + size;
+    }
+  }
+
+  ++stats_.frees;
+  if (next >= top) {
+    // Chunk borders the wilderness: give it back to the top.
+    CONNLAB_RETURN_IF_ERROR(Put(base_ + kOffTop, c));
+    CONNLAB_RETURN_IF_ERROR(
+        Put(base_ + kOffTopPrevInuse, prev_inuse ? 1u : 0u));
+    return util::OkStatus();
+  }
+  return InsertFree(c, size, prev_inuse);
+}
+
+util::Result<std::uint32_t> GuestHeap::PayloadSize(
+    mem::GuestAddr payload) const {
+  if (payload < FirstChunk() + kHeaderSize) {
+    return util::InvalidArgument("not a heap payload address");
+  }
+  const std::uint32_t size = U32(payload - kHeaderSize + 4) & kSizeMask;
+  if (size < kMinChunk) return util::InvalidArgument("corrupt chunk size");
+  return size - kHeaderSize;
+}
+
+std::vector<GuestHeap::ChunkInfo> GuestHeap::Walk() const {
+  std::vector<ChunkInfo> out;
+  if (!Attached()) return out;
+  const mem::GuestAddr top = U32(base_ + kOffTop);
+  mem::GuestAddr c = FirstChunk();
+  while (c < top && out.size() < kMaxListWalk) {
+    const std::uint32_t size = U32(c + 4) & kSizeMask;
+    if (size < kMinChunk || c + size > top) break;  // corrupt tag: stop
+    const mem::GuestAddr next = c + size;
+    const bool in_use = (next == top)
+                            ? (U32(base_ + kOffTopPrevInuse) & 1u) != 0
+                            : (U32(next + 4) & kPrevInuse) != 0;
+    out.push_back({c, size, in_use});
+    c = next;
+  }
+  return out;
+}
+
+}  // namespace connlab::heap

@@ -1,0 +1,148 @@
+// A deterministic guest-side heap allocator (dlmalloc-style boundary tags).
+//
+// All allocator state — arena header, size-class freelists, per-chunk
+// boundary tags — lives inline in guest memory, so a guest-visible buffer
+// overflow corrupts *real* allocator metadata and a subsequent Free()
+// performs the classic unlink write through attacker-controlled fd/bk
+// pointers. That is the heap-metadata bug class the camstored target seeds
+// (cf. the dlmalloc unlink technique the embedded-mitigations survey in
+// PAPERS.md assumes heap-integrity checks exist to stop).
+//
+// Because the arena is guest memory, snapshot restores reset the heap for
+// free: a restored System presents the exact arena the snapshot captured,
+// and GuestHeap is a stateless view that re-attaches by checking the magic.
+//
+// Chunk layout (addresses are chunk base `c`; all fields little-endian u32):
+//   [c+0]  prev_size  size of the previous chunk (valid when PREV_INUSE==0)
+//   [c+4]  size       chunk size in bytes incl. header; bit0 = PREV_INUSE
+//   [c+8]  guard      (size & ~7) ^ secret — chunk-header canary, flag bits
+//                     excluded (checked on Free only when heap-integrity is
+//                     armed)
+//   [c+12] payload    (free chunks: fd at c+12, bk at c+16)
+// A free chunk also writes its size into the next chunk's prev_size slot
+// (the boundary-tag footer enabling O(1) backward coalescing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/address_space.hpp"
+#include "src/util/status.hpp"
+#include "src/vm/cpu.hpp"
+
+namespace connlab::heap {
+
+class GuestHeap {
+ public:
+  static constexpr std::uint32_t kMagic = 0x48454150;  // "HEAP"
+  static constexpr std::uint32_t kHeaderSize = 12;     // prev_size, size, guard
+  static constexpr std::uint32_t kMinChunk = 24;       // header + fd/bk, 8-aligned
+  static constexpr std::uint32_t kAlign = 8;
+  static constexpr std::uint32_t kBins = 7;
+  /// Offset of the first chunk from the arena base (arena header + bins,
+  /// rounded up so chunk payloads stay 8-aligned at +12).
+  static constexpr std::uint32_t kArenaSize = 96;
+
+  /// Views (does not touch) the arena at [base, base+size) in `space`.
+  GuestHeap(mem::AddressSpace& space, mem::GuestAddr base, std::uint32_t size);
+
+  /// Formats a fresh arena. `secret` is the per-boot chunk-canary value;
+  /// `integrity` arms the Free()-time canary + safe-unlink checks.
+  util::Status Init(std::uint32_t secret, bool integrity);
+
+  /// True if guest memory already holds a formatted arena (after a
+  /// snapshot restore the arena contents come back with the snapshot).
+  [[nodiscard]] bool Attached() const;
+
+  /// If set, a detected corruption pushes a kHeapCorruption event and
+  /// requests a kHeapCorruption stop on the CPU (the VM-visible trap).
+  void AttachCpu(vm::Cpu* cpu) { cpu_ = cpu; }
+
+  /// Allocates `payload_bytes` (>=1) of guest memory; returns the payload
+  /// address. Fails with kResourceExhausted when the wilderness is spent.
+  util::Result<mem::GuestAddr> Alloc(std::uint32_t payload_bytes);
+
+  /// Frees a payload address previously returned by Alloc. With integrity
+  /// armed, corrupted chunk metadata fails here with kAborted and raises
+  /// the HeapCorruption stop on the attached CPU.
+  util::Status Free(mem::GuestAddr payload);
+
+  /// Usable payload bytes of an allocated chunk.
+  util::Result<std::uint32_t> PayloadSize(mem::GuestAddr payload) const;
+
+  struct ChunkInfo {
+    mem::GuestAddr addr = 0;   // chunk base (payload - kHeaderSize)
+    std::uint32_t size = 0;    // chunk size incl. header
+    bool in_use = false;
+  };
+  /// Walks the boundary tags from the first chunk to the wilderness top.
+  /// Stops early (without error) if a tag is corrupt — callers diffing
+  /// walks before/after an overflow use that to see the damage.
+  [[nodiscard]] std::vector<ChunkInfo> Walk() const;
+
+  struct Stats {
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t coalesces = 0;
+    std::uint64_t corruptions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Guest-memory words the allocator has read or written (every metadata
+  /// access funnels through one read and one write helper). Deterministic,
+  /// so it doubles as a wall-clock-free cost metric: the integrity checks'
+  /// price is exactly the extra words they touch per operation.
+  [[nodiscard]] std::uint64_t mem_ops() const noexcept { return mem_ops_; }
+
+  [[nodiscard]] mem::GuestAddr base() const noexcept { return base_; }
+  /// Address of the first chunk a fresh arena carves (deterministic: the
+  /// heap base is fixed, so exploit builders compute payload addresses
+  /// from this without any leak).
+  [[nodiscard]] mem::GuestAddr FirstChunk() const noexcept {
+    return base_ + kArenaSize;
+  }
+
+ private:
+  // Arena header field offsets from base_.
+  static constexpr std::uint32_t kOffMagic = 0;
+  static constexpr std::uint32_t kOffTop = 4;
+  static constexpr std::uint32_t kOffEnd = 8;
+  static constexpr std::uint32_t kOffSecret = 12;
+  static constexpr std::uint32_t kOffFlags = 16;         // bit0 = integrity
+  static constexpr std::uint32_t kOffTopPrevInuse = 20;  // wilderness boundary
+  static constexpr std::uint32_t kOffBins = 24;          // kBins x {fd, bk}
+
+  [[nodiscard]] std::uint32_t U32(mem::GuestAddr a) const;  // 0 on error
+  util::Status Put(mem::GuestAddr a, std::uint32_t v);
+
+  /// Guest address of bin i's sentinel pseudo-chunk: its fd/bk slots alias
+  /// the two header words, so list splices treat bins and chunks uniformly
+  /// (exactly dlmalloc's bin trick).
+  [[nodiscard]] mem::GuestAddr BinSentinel(std::uint32_t i) const {
+    return base_ + kOffBins + 8 * i - kHeaderSize;
+  }
+  static std::uint32_t BinIndex(std::uint32_t chunk_size) noexcept;
+
+  util::Status Unlink(mem::GuestAddr chunk);
+  util::Status InsertFree(mem::GuestAddr chunk, std::uint32_t size,
+                          bool prev_inuse);
+  util::Status Corruption(mem::GuestAddr chunk, const std::string& what);
+
+  mem::AddressSpace* space_;
+  mem::GuestAddr base_;
+  std::uint32_t size_;
+  vm::Cpu* cpu_ = nullptr;
+  Stats stats_;
+  // Mutable: U32() is called from const walkers too, and a read counter is
+  // observability, not logical state.
+  mutable std::uint64_t mem_ops_ = 0;
+};
+
+/// The per-boot chunk-canary secret: a pure function of the boot seed so a
+/// snapshot-restored System re-derives the identical secret without
+/// consuming host RNG state.
+std::uint32_t ChunkSecret(std::uint64_t boot_seed) noexcept;
+
+}  // namespace connlab::heap

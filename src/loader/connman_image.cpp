@@ -367,7 +367,10 @@ util::Status LoadConnmanImage(System& sys) {
   CONNLAB_RETURN_IF_ERROR(space.Map(".bss", l.bss_base, l.bss_size, mem::kPermRW));
   CONNLAB_RETURN_IF_ERROR(
       space.Map(".scratch", l.scratch_base, l.scratch_size, mem::kPermRW));
-  CONNLAB_RETURN_IF_ERROR(space.Map("heap", l.heap_base, l.heap_size, mem::kPermRW));
+  // Heap: rw- under W^X, rwx otherwise — same policy as the stack (the
+  // "no protections" builds leave every data mapping executable).
+  const mem::Perm heap_perm = sys.prot.wx ? mem::kPermRW : mem::kPermRWX;
+  CONNLAB_RETURN_IF_ERROR(space.Map("heap", l.heap_base, l.heap_size, heap_perm));
 
   // .text
   Assembler text_asm(sys.arch, l.text_base);

@@ -10,7 +10,9 @@ std::string ProtectionConfig::ToString() const {
   out += cfi ? "+CFI" : "";
   out += diversity ? "+ASD" : "";
   out += stochastic_diversity ? "+SSD" : "";
-  if (!wx && !aslr && !canary && !cfi && !diversity && !stochastic_diversity) {
+  out += heap_integrity ? "+heapchk" : "";
+  if (!wx && !aslr && !canary && !cfi && !diversity && !stochastic_diversity &&
+      !heap_integrity) {
     out = "none";
   }
   return out;

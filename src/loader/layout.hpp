@@ -45,6 +45,10 @@ struct ProtectionConfig {
   /// seed, so every boot of the same build exposes different gadget/PLT/
   /// libc addresses and a hardcoded exploit succeeds only by luck.
   bool stochastic_diversity = false;
+  /// Heap-integrity checks (Abbasi-style embedded mitigation): the guest
+  /// allocator verifies chunk-header canaries and safe-unlink invariants on
+  /// every free and stops the VM with kHeapCorruption on a mismatch.
+  bool heap_integrity = false;
 
   [[nodiscard]] std::string ToString() const;
 

@@ -20,7 +20,7 @@ std::string Hex(std::uint32_t v) {
 
 #ifndef CONNLAB_OBS_DISABLED
 constexpr std::size_t kStopReasons =
-    static_cast<std::size_t>(StopReason::kCfiViolation) + 1;
+    static_cast<std::size_t>(StopReason::kHeapCorruption) + 1;
 
 /// Per-stop-reason counters, interned once (magic-static, so the table is
 /// built thread-safely): flushes happen often enough under fuzzing that the
@@ -54,6 +54,7 @@ std::string_view StopReasonName(StopReason reason) noexcept {
     case StopReason::kStepLimit: return "step-limit";
     case StopReason::kBreakpoint: return "breakpoint";
     case StopReason::kCfiViolation: return "cfi-violation";
+    case StopReason::kHeapCorruption: return "heap-corruption";
   }
   return "?";
 }

@@ -39,6 +39,7 @@ enum class StopReason : std::uint8_t {
   kStepLimit,     // ran out of instruction budget
   kBreakpoint,    // debugger breakpoint hit
   kCfiViolation,  // shadow-stack return check failed (CFI CaRE model)
+  kHeapCorruption,  // heap-integrity check failed (chunk canary / unlink)
 };
 
 std::string_view StopReasonName(StopReason reason) noexcept;

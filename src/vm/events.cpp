@@ -12,6 +12,7 @@ std::string EventKindName(EventKind kind) {
     case EventKind::kWrite: return "write";
     case EventKind::kCanaryAbort: return "canary-abort";
     case EventKind::kCfiViolation: return "cfi-violation";
+    case EventKind::kHeapCorruption: return "heap-corruption";
     case EventKind::kNote: return "note";
   }
   return "?";

@@ -21,7 +21,8 @@ enum class EventKind : std::uint8_t {
   kWrite,         // guest wrote to a descriptor
   kCanaryAbort,   // stack-protector check failed (__stack_chk_fail analogue)
   kCfiViolation,  // shadow-stack return check failed (CFI CaRE analogue)
-  kNote,          // free-form diagnostic from host-implemented functions
+  kHeapCorruption,  // heap-integrity check failed (chunk canary / unlink)
+  kNote,            // free-form diagnostic from host-implemented functions
 };
 
 std::string EventKindName(EventKind kind);

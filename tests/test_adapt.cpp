@@ -142,6 +142,58 @@ TEST(HttpCamd, BodyBytesAreVerbatimNoInterleaving) {
   EXPECT_EQ(outcome.stop.pc, 0x11223344u);
 }
 
+// ------------------------------------------------------ bug-class zoo ----
+
+TEST(Zoo, ResolvdPointerLoopDosOnBothArches) {
+  // Control-flow-free: the crash IS the payoff, under every protection.
+  for (const Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    for (const ProtectionConfig& prot :
+         {ProtectionConfig::None(), ProtectionConfig::WxAslr()}) {
+      auto result = AttackResolvd(arch, prot);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_FALSE(result.value().shell) << result.value().ToString();
+      EXPECT_EQ(result.value().kind, Kind::kCrash)
+          << result.value().ToString();
+      EXPECT_EQ(result.value().technique,
+                exploit::Technique::kPointerLoopDos);
+    }
+  }
+}
+
+TEST(Zoo, CamstoredUnlinkShellsWithoutHeapDefenses) {
+  for (const Arch arch : {Arch::kVX86, Arch::kVARM}) {
+    auto result = AttackCamstored(arch, ProtectionConfig::None());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().shell) << result.value().ToString();
+    EXPECT_EQ(result.value().technique,
+              exploit::Technique::kHeapUnlinkWrite);
+  }
+}
+
+TEST(Zoo, CamstoredDegradesToDosUnderWx) {
+  // W^X denies the heap-resident shellcode: the unlink write still lands,
+  // but the pivot fetches from non-executable memory.
+  auto result = AttackCamstored(Arch::kVX86, ProtectionConfig::WxAslr());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().shell) << result.value().ToString();
+  EXPECT_EQ(result.value().kind, Kind::kCrash);
+  EXPECT_EQ(DiagnoseZooFailure(exploit::Technique::kHeapUnlinkWrite,
+                               ProtectionConfig::WxAslr(), Kind::kCrash),
+            exploit::FailureCause::kNxHeap);
+}
+
+TEST(Zoo, CamstoredBlockedByHeapIntegrity) {
+  ProtectionConfig prot = ProtectionConfig::None();
+  prot.heap_integrity = true;
+  auto result = AttackCamstored(Arch::kVX86, prot);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().shell) << result.value().ToString();
+  EXPECT_EQ(result.value().kind, Kind::kAbort) << result.value().ToString();
+  EXPECT_EQ(DiagnoseZooFailure(exploit::Technique::kHeapUnlinkWrite, prot,
+                               Kind::kAbort),
+            exploit::FailureCause::kHeapIntegrityTrap);
+}
+
 TEST(Adapt, ResultRenderingMentionsServiceAndTechnique) {
   auto result = AttackMinimasq(Arch::kVARM, ProtectionConfig::WxAslr());
   ASSERT_TRUE(result.ok());

@@ -108,20 +108,37 @@ class DefenseGridTest : public ::testing::Test {
 
 const std::vector<attack::AttackResult>* DefenseGridTest::grid_ = nullptr;
 
-TEST_F(DefenseGridTest, ThirtyRowsSixAttacksFivePolicies) {
-  ASSERT_EQ(grid_->size(), 30u);
+TEST_F(DefenseGridTest, SixtyRowsAcrossServicesAndPolicies) {
+  // 2 arch x 3 prot x 6 policies dnsproxy rows, plus 2 arch x 2 zoo
+  // services x 6 policies.
+  ASSERT_EQ(grid_->size(), 60u);
+  std::size_t dnsproxy = 0, resolvd = 0, camstored = 0;
+  for (const attack::AttackResult& r : *grid_) {
+    if (r.service == "dnsproxy") ++dnsproxy;
+    if (r.service == "resolvd") ++resolvd;
+    if (r.service == "camstored") ++camstored;
+  }
+  EXPECT_EQ(dnsproxy, 36u);
+  EXPECT_EQ(resolvd, 12u);
+  EXPECT_EQ(camstored, 12u);
 }
 
-TEST_F(DefenseGridTest, UndefendedRowsAllShell) {
+TEST_F(DefenseGridTest, UndefendedRowsAllShellOrDos) {
   for (const attack::AttackResult& r : *grid_) {
     if (r.defense != "none") continue;
-    EXPECT_TRUE(r.shell) << r.RowLabel() << ": " << r.detail;
+    if (r.service == "resolvd") {
+      // The pointer loop has no shell stage — its DoS crash is the payoff.
+      EXPECT_TRUE(r.crash) << r.RowLabel() << ": " << r.detail;
+    } else {
+      EXPECT_TRUE(r.shell) << r.RowLabel() << ": " << r.detail;
+    }
     EXPECT_EQ(r.failure, FailureCause::kNone);
   }
 }
 
 TEST_F(DefenseGridTest, CanaryTrapsAllSixAttacks) {
   for (const attack::AttackResult& r : *grid_) {
+    if (r.service != "dnsproxy") continue;
     if (r.defense != "canary") continue;
     EXPECT_FALSE(r.shell) << r.RowLabel() << ": " << r.detail;
     // x86 payloads run through to the guard check and abort; the VARM
@@ -139,6 +156,7 @@ TEST_F(DefenseGridTest, CanaryTrapsAllSixAttacks) {
 
 TEST_F(DefenseGridTest, CfiRaisesCfiViolationOnAllSixAttacks) {
   for (const attack::AttackResult& r : *grid_) {
+    if (r.service != "dnsproxy") continue;
     if (r.defense != "CFI") continue;
     EXPECT_EQ(r.kind, Kind::kCfiViolation) << r.RowLabel() << ": " << r.detail;
     EXPECT_EQ(r.failure, FailureCause::kCfiTrap) << r.RowLabel();
@@ -147,6 +165,7 @@ TEST_F(DefenseGridTest, CfiRaisesCfiViolationOnAllSixAttacks) {
 
 TEST_F(DefenseGridTest, DiversityBlocksAddressReuseButNotInjection) {
   for (const attack::AttackResult& r : *grid_) {
+    if (r.service != "dnsproxy") continue;
     if (r.defense != "diversity") continue;
     if (r.technique == exploit::Technique::kCodeInjection) {
       // Attacks 1-2 target the (unmoved) stack: diversity honestly misses.
@@ -162,6 +181,7 @@ TEST_F(DefenseGridTest, DiversityBlocksAddressReuseButNotInjection) {
 
 TEST_F(DefenseGridTest, AllDefensesStackedBlockEverything) {
   for (const attack::AttackResult& r : *grid_) {
+    if (r.service != "dnsproxy") continue;
     if (r.defense != "all") continue;
     EXPECT_FALSE(r.shell) << r.RowLabel();
     // The canary is the first tripwire in the stacked epilogue: x86 rows
@@ -173,6 +193,32 @@ TEST_F(DefenseGridTest, AllDefensesStackedBlockEverything) {
       EXPECT_EQ(r.kind, Kind::kCrash) << r.RowLabel() << ": " << r.detail;
     }
     EXPECT_EQ(r.failure, FailureCause::kCanaryTrap) << r.RowLabel();
+  }
+}
+
+TEST_F(DefenseGridTest, HeapIntegrityIsClassOrthogonal) {
+  // Heap-integrity checks free()-time metadata: they see nothing of the
+  // stack smash, and the stack defenses see nothing of the heap class.
+  for (const attack::AttackResult& r : *grid_) {
+    if (r.service == "dnsproxy" && r.defense == "heap-integrity") {
+      EXPECT_TRUE(r.shell) << r.RowLabel() << ": " << r.detail;
+    }
+    if (r.service == "camstored") {
+      if (r.defense == "heap-integrity") {
+        EXPECT_EQ(r.kind, Kind::kAbort) << r.RowLabel() << ": " << r.detail;
+        EXPECT_EQ(r.failure, FailureCause::kHeapIntegrityTrap) << r.RowLabel();
+      } else {
+        // canary / CFI / diversity / all: every stack defense misses the
+        // forward-edge heap pivot (the zoo runs on executable-heap boots).
+        EXPECT_TRUE(r.shell) << r.RowLabel() << ": " << r.detail;
+      }
+    }
+    if (r.service == "resolvd") {
+      EXPECT_FALSE(r.shell) << r.RowLabel();
+      EXPECT_TRUE(r.crash) << r.RowLabel() << ": " << r.detail;
+      EXPECT_EQ(r.failure, FailureCause::kNone) << r.RowLabel();
+      EXPECT_EQ(r.technique, exploit::Technique::kPointerLoopDos);
+    }
   }
 }
 
@@ -188,14 +234,23 @@ TEST_F(DefenseGridTest, ReportsCarryDefenseAndDiagnosis) {
   EXPECT_NE(grid_table.find("SHELL"), std::string::npos);
   EXPECT_NE(grid_table.find("blocked:cfi-trap"), std::string::npos);
   EXPECT_NE(grid_table.find("diversity"), std::string::npos);
+  // The zoo rows carry their service prefix and the per-class outcomes.
+  EXPECT_NE(grid_table.find("resolvd: "), std::string::npos);
+  EXPECT_NE(grid_table.find("camstored: "), std::string::npos);
+  EXPECT_NE(grid_table.find("DoS"), std::string::npos);
+  EXPECT_NE(grid_table.find("blocked:heap-integrity-trap"),
+            std::string::npos);
 
   const std::string csv = attack::RenderCsv(*grid_);
+  EXPECT_NE(csv.find("service,"), std::string::npos);
   EXPECT_NE(csv.find(",defense,"), std::string::npos);
   EXPECT_NE(csv.find("bad-gadget-addr"), std::string::npos);
+  EXPECT_NE(csv.find("camstored"), std::string::npos);
 
   const std::string json = attack::RenderJson(*grid_);
   EXPECT_NE(json.find("\"defense\": \"CFI\""), std::string::npos);
   EXPECT_NE(json.find("\"failure\": \"cfi-trap\""), std::string::npos);
+  EXPECT_NE(json.find("\"service\": \"resolvd\""), std::string::npos);
 }
 
 // ----------------------------------------------------- canary brute force ----

@@ -245,6 +245,120 @@ TEST(Record, Makers) {
   EXPECT_EQ(TypeName(Type::kAAAA), "AAAA");
 }
 
+TEST(Record, TypeNameCoversEveryRrType) {
+  EXPECT_EQ(TypeName(Type::kA), "A");
+  EXPECT_EQ(TypeName(Type::kNS), "NS");
+  EXPECT_EQ(TypeName(Type::kCNAME), "CNAME");
+  EXPECT_EQ(TypeName(Type::kSOA), "SOA");
+  EXPECT_EQ(TypeName(Type::kPTR), "PTR");
+  EXPECT_EQ(TypeName(Type::kMX), "MX");
+  EXPECT_EQ(TypeName(Type::kTXT), "TXT");
+  EXPECT_EQ(TypeName(Type::kAny), "ANY");
+  EXPECT_EQ(TypeName(static_cast<Type>(99)), "TYPE99");
+}
+
+TEST(Record, NameRdataRoundTrip) {
+  for (Type type : {Type::kNS, Type::kCNAME, Type::kPTR}) {
+    ResourceRecord rr;
+    switch (type) {
+      case Type::kNS: rr = MakeNS("zone.example", "ns1.zone.example"); break;
+      case Type::kCNAME:
+        rr = MakeCNAME("www.example", "host.example");
+        break;
+      default: rr = MakePTR("9.0.0.10.in-addr.arpa", "printer.lan"); break;
+    }
+    EXPECT_EQ(rr.type, type);
+    auto target = DecodeNameRdata(rr);
+    ASSERT_TRUE(target.ok()) << TypeName(type);
+    EXPECT_EQ(target.value(),
+              type == Type::kNS     ? "ns1.zone.example"
+              : type == Type::kCNAME ? "host.example"
+                                     : "printer.lan");
+  }
+  // Wrong type and truncated rdata both refuse cleanly.
+  EXPECT_FALSE(DecodeNameRdata(MakeA("h.example", "1.2.3.4")).ok());
+  ResourceRecord cut = MakeCNAME("www.example", "host.example");
+  cut.rdata.pop_back();
+  EXPECT_FALSE(DecodeNameRdata(cut).ok());
+}
+
+TEST(Record, MxRoundTrip) {
+  ResourceRecord rr = MakeMX("example", 10, "mail.example");
+  EXPECT_EQ(rr.type, Type::kMX);
+  auto mx = DecodeMX(rr);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(mx.value().preference, 10);
+  EXPECT_EQ(mx.value().exchange, "mail.example");
+  EXPECT_FALSE(DecodeMX(MakeTXT("example", "x")).ok());
+  rr.rdata.push_back(0x41);  // trailing junk after the exchange name
+  EXPECT_FALSE(DecodeMX(rr).ok());
+}
+
+TEST(Record, SoaRoundTrip) {
+  SoaFields soa;
+  soa.mname = "ns1.example";
+  soa.rname = "hostmaster.example";
+  soa.serial = 2024120501;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 1209600;
+  soa.minimum = 120;
+  ResourceRecord rr = MakeSOA("example", soa);
+  EXPECT_EQ(rr.type, Type::kSOA);
+  auto decoded = DecodeSOA(rr);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().mname, "ns1.example");
+  EXPECT_EQ(decoded.value().rname, "hostmaster.example");
+  EXPECT_EQ(decoded.value().serial, 2024120501u);
+  EXPECT_EQ(decoded.value().refresh, 7200u);
+  EXPECT_EQ(decoded.value().retry, 900u);
+  EXPECT_EQ(decoded.value().expire, 1209600u);
+  EXPECT_EQ(decoded.value().minimum, 120u);
+  rr.rdata.resize(rr.rdata.size() - 2);  // truncate the minimum field
+  EXPECT_FALSE(DecodeSOA(rr).ok());
+}
+
+TEST(Record, TxtRoundTripIncludingMultiChunk) {
+  EXPECT_EQ(DecodeTXT(MakeTXT("h.example", "hello")).value(), "hello");
+  // Hand-built two-chunk TXT: decoders must concatenate chunks.
+  ResourceRecord rr = MakeTXT("h.example", "ab");
+  rr.rdata.push_back(2);
+  rr.rdata.push_back('c');
+  rr.rdata.push_back('d');
+  EXPECT_EQ(DecodeTXT(rr).value(), "abcd");
+  rr.rdata.back() = 'x';
+  rr.rdata[3] = 9;  // chunk length runs past the rdata
+  EXPECT_FALSE(DecodeTXT(rr).ok());
+}
+
+TEST(Record, TypedRecordsSurviveMessageEncodeDecode) {
+  Message query = Message::Query(0x5151, "zone.example", Type::kSOA);
+  Message response = Message::ResponseFor(query);
+  SoaFields soa;
+  soa.mname = "ns1.zone.example";
+  soa.rname = "admin.zone.example";
+  response.answers.push_back(MakeSOA("zone.example", soa));
+  response.answers.push_back(MakeMX("zone.example", 5, "mx.zone.example"));
+  response.answers.push_back(MakeCNAME("www.zone.example", "zone.example"));
+  response.authorities.push_back(MakeNS("zone.example", "ns2.zone.example"));
+  response.additionals.push_back(
+      MakePTR("8.0.0.10.in-addr.arpa", "cam.zone.example"));
+
+  auto wire = Encode(response);
+  ASSERT_TRUE(wire.ok());
+  auto decoded = Decode(wire.value());
+  ASSERT_TRUE(decoded.ok());
+  const Message& m = decoded.value();
+  ASSERT_EQ(m.answers.size(), 3u);
+  ASSERT_EQ(m.authorities.size(), 1u);
+  ASSERT_EQ(m.additionals.size(), 1u);
+  EXPECT_EQ(DecodeSOA(m.answers[0]).value().mname, "ns1.zone.example");
+  EXPECT_EQ(DecodeMX(m.answers[1]).value().exchange, "mx.zone.example");
+  EXPECT_EQ(DecodeNameRdata(m.answers[2]).value(), "zone.example");
+  EXPECT_EQ(DecodeNameRdata(m.authorities[0]).value(), "ns2.zone.example");
+  EXPECT_EQ(DecodeNameRdata(m.additionals[0]).value(), "cam.zone.example");
+}
+
 TEST(Message, QueryResponseRoundTrip) {
   Message query = Message::Query(0x1234, "device.local", Type::kA);
   Message response = Message::ResponseFor(query);

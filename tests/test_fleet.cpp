@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/adapt/camstored.hpp"
+#include "src/adapt/resolvd.hpp"
 #include "src/attack/battery.hpp"
 #include "src/defense/victim_pool.hpp"
 #include "src/fleet/campaign.hpp"
@@ -185,6 +187,38 @@ TEST(VictimPool, LanesAreSharedAcrossVictims) {
   EXPECT_EQ(pool.stats().restores, 10u);
 }
 
+TEST(VictimPool, ServiceVolleyMemoAgreesWithFreshEvaluation) {
+  FleetConfig config;
+  defense::VictimPool pool({config.arch, config.base, /*seed0=*/77});
+  const defense::PolicySpec none;
+  const std::vector<util::Bytes> loop = {adapt::Resolvd::SelfPointerQuery(7)};
+  auto first = pool.FireServiceVolley(
+      0, none, 1, defense::VictimPool::ServiceKind::kResolvd, loop);
+  auto memoed = pool.FireServiceVolley(
+      0, none, 1, defense::VictimPool::ServiceKind::kResolvd, loop);
+  auto fresh = pool.FireServiceVolley(
+      0, none, 1, defense::VictimPool::ServiceKind::kResolvd, loop,
+      /*bypass_memo=*/true);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(memoed.ok());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(memoed.value().kind, fresh.value().kind);
+  EXPECT_TRUE(fresh.value().crashed);  // the pointer loop always DoSes
+  EXPECT_FALSE(fresh.value().shell);
+  EXPECT_EQ(pool.stats().memo_hits, 1u);
+
+  // A benign camstored request parses OK and must not collide with the
+  // resolvd memo despite the same (lane, volley_id) coordinates.
+  const std::vector<util::Bytes> benign = {
+      adapt::Camstored::WrapInPut(util::Bytes(56, 'a'), "snap", 64)};
+  auto ok = pool.FireServiceVolley(
+      0, none, 1, defense::VictimPool::ServiceKind::kCamstored, benign);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().kind, connman::ProxyOutcome::Kind::kParsedOk);
+  EXPECT_FALSE(ok.value().shell);
+  EXPECT_FALSE(ok.value().crashed);
+}
+
 // ------------------------------------------------------------ campaign ----
 
 FleetConfig SmallCampaign() {
@@ -260,6 +294,70 @@ TEST(FleetCampaign, DhcpChurnRecyclesABoundedPool) {
   EXPECT_GT(r.lease_expiries, 0u);     // leaked leases were reclaimed
 }
 
+TEST(FleetCampaign, PointerLoopCampaignOnlyEverDoses) {
+  FleetConfig config = SmallCampaign();
+  config.bug_class = fleet::BugClass::kPointerLoop;
+  auto result = fleet::RunFleetCampaign(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FleetResult& r = result.value();
+  EXPECT_EQ(r.bug_class, fleet::BugClass::kPointerLoop);
+  EXPECT_EQ(r.compromised, 0u);  // control-flow-free: no shell exists
+  EXPECT_GT(r.crashed, 0u);
+  EXPECT_EQ(r.compromised + r.crashed + r.leaves, r.victims);
+  EXPECT_EQ(r.pool.restores, r.joins + r.pool.evaluations);
+  // Entropy-independent payoff: the loop volley carries no addresses, so
+  // the DoS *fraction* stays flat when the fleet diversifies. (The digest
+  // still moves — skipping the variant draw at 0 bits shifts every later
+  // per-victim RNG draw, so the timelines differ event by event.)
+  FleetConfig flat = config;
+  flat.population.diversity_bits = 0;
+  auto mono = fleet::RunFleetCampaign(flat);
+  ASSERT_TRUE(mono.ok());
+  const double diverse_fraction =
+      static_cast<double>(r.crashed) / static_cast<double>(r.victims);
+  const double mono_fraction = static_cast<double>(mono.value().crashed) /
+                               static_cast<double>(mono.value().victims);
+  EXPECT_NEAR(mono_fraction, diverse_fraction, 0.05);
+}
+
+TEST(FleetCampaign, HeapCampaignRespectsWxAndHeapIntegrity) {
+  FleetConfig config = SmallCampaign();
+  config.bug_class = fleet::BugClass::kHeapMetadata;
+  // Default base is WxAslr: the unlink write lands but the pivot fetches
+  // non-executable heap bytes — DoS everywhere, traps where integrity runs.
+  auto wx = fleet::RunFleetCampaign(config);
+  ASSERT_TRUE(wx.ok()) << wx.status().ToString();
+  EXPECT_EQ(wx.value().compromised, 0u);
+  EXPECT_GT(wx.value().crashed, 0u);
+  EXPECT_GT(wx.value().trapped, 0u);  // p_heap_integrity adopters
+  EXPECT_EQ(wx.value().compromised + wx.value().crashed + wx.value().leaves,
+            wx.value().victims);
+
+  // Strip W^X and the same fleet starts shelling.
+  FleetConfig soft = config;
+  soft.base = loader::ProtectionConfig::None();
+  auto open = fleet::RunFleetCampaign(soft);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_GT(open.value().compromised, 0u);
+}
+
+TEST(FleetCampaign, BugClassesUseDistinctMemoStreams) {
+  // Same seed, different class: replays stay deterministic per class and
+  // the two classes genuinely diverge.
+  FleetConfig loop = SmallCampaign();
+  loop.bug_class = fleet::BugClass::kPointerLoop;
+  FleetConfig heap = SmallCampaign();
+  heap.bug_class = fleet::BugClass::kHeapMetadata;
+  auto a = fleet::RunFleetCampaign(loop);
+  auto b = fleet::RunFleetCampaign(loop);
+  auto c = fleet::RunFleetCampaign(heap);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value().digest, b.value().digest);
+  EXPECT_NE(a.value().digest, c.value().digest);
+}
+
 TEST(FleetCampaign, RejectsBadConfigs) {
   FleetConfig config = SmallCampaign();
   config.population.diversity_bits = 9;
@@ -296,6 +394,35 @@ TEST(FleetReport, CurveDigestCoversEveryPoint) {
       fleet::SurvivalCurveJson(curve.value(), /*seed=*/21, /*victims=*/400);
   EXPECT_NE(json.find("\"curve_digest\""), std::string::npos);
   EXPECT_NE(json.find("\"diversity_bits\": 2"), std::string::npos);
+}
+
+TEST(FleetReport, SweepCarriesPerBugClassSurvival) {
+  auto curve = fleet::RunSurvivalSweep(SmallCampaign(), {0, 2});
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  const auto& points = curve.value();
+  ASSERT_EQ(points.size(), 2u);
+  for (const fleet::SurvivalPoint& p : points) {
+    EXPECT_GT(p.loop_crashed, 0u);
+    EXPECT_EQ(p.heap_compromised, 0u);  // WxAslr base: NX heap
+    EXPECT_GT(p.heap_crashed, 0u);
+    EXPECT_GT(p.heap_trapped, 0u);
+    EXPECT_NE(p.loop_digest, 0u);
+    EXPECT_NE(p.heap_digest, 0u);
+  }
+  // The zoo volleys carry no diversity-sensitive addresses: their survival
+  // fractions stay flat across entropy points while the stack class moves.
+  EXPECT_NEAR(points[0].loop_crashed_fraction, points[1].loop_crashed_fraction,
+              0.05);
+  EXPECT_NEAR(points[0].heap_compromised_fraction,
+              points[1].heap_compromised_fraction, 0.05);
+  EXPECT_GT(points[0].compromised_fraction, points[1].compromised_fraction)
+      << "the stack class must actually be starved by entropy";
+
+  const std::string json =
+      fleet::SurvivalCurveJson(curve.value(), /*seed=*/21, /*victims=*/400);
+  EXPECT_NE(json.find("\"loop_crashed\""), std::string::npos);
+  EXPECT_NE(json.find("\"heap_trapped\""), std::string::npos);
+  EXPECT_NE(json.find("\"heap_compromised_fraction\""), std::string::npos);
 }
 
 }  // namespace

@@ -263,8 +263,9 @@ TEST(Reproducer, SerializeParseRoundTrip) {
 // -------------------------------------------------------------- targets ----
 
 TEST(Target, KindNamesRoundTrip) {
-  for (const TargetKind kind : {TargetKind::kDnsproxy, TargetKind::kMinimasq,
-                                TargetKind::kHttpcamd}) {
+  for (const TargetKind kind :
+       {TargetKind::kDnsproxy, TargetKind::kMinimasq, TargetKind::kHttpcamd,
+        TargetKind::kResolvd, TargetKind::kCamstored}) {
     auto parsed = ParseTargetKind(TargetKindName(kind));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(parsed.value(), kind);
@@ -273,8 +274,9 @@ TEST(Target, KindNamesRoundTrip) {
 }
 
 TEST(Target, SeedCorporaAreBenign) {
-  for (const TargetKind kind : {TargetKind::kDnsproxy, TargetKind::kMinimasq,
-                                TargetKind::kHttpcamd}) {
+  for (const TargetKind kind :
+       {TargetKind::kDnsproxy, TargetKind::kMinimasq, TargetKind::kHttpcamd,
+        TargetKind::kResolvd, TargetKind::kCamstored}) {
     TargetConfig config;
     config.kind = kind;
     auto target = MakeTarget(config);
@@ -424,6 +426,56 @@ TEST(Fuzzer, FindsHttpcamdOverflow) {
   EXPECT_GE(report.value().triage.buckets().size(), 1u);
 }
 
+// Bounded-budget rediscovery for the pointer-loop bug class: from benign
+// resolvd queries only, a tiny fixed-seed campaign plants a self-referencing
+// compression pointer and drives the resolver into stack exhaustion.
+TEST(Fuzzer, RediscoversResolvdPointerLoop) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kResolvd;
+  config.seed = 42;
+  config.max_execs = 2000;
+  config.workers = 1;
+  config.stop_after_crashes = 1;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GE(report.value().triage.buckets().size(), 1u);
+  const CrashBucket& bucket = report.value().triage.buckets()[0];
+
+  auto target = MakeTarget(config.target);
+  ASSERT_TRUE(target.ok());
+  CoverageMap scratch;
+  const ExecResult replay = target.value()->Execute(bucket.minimized, scratch);
+  EXPECT_NE(replay.kind, ExecResult::Kind::kBenign);
+  EXPECT_TRUE(KeyFor(replay, *target.value()).CoreMatches(bucket.key));
+}
+
+// Bounded-budget rediscovery for the heap-metadata bug class: benign PUT
+// requests mutate into an oversized in-place update that faults inside the
+// allocator when the stomped chunk is freed. The daemon keeps heap state
+// across executions, so the crash is a *sequence* property — the witness
+// alone replays benign on a fresh boot (which is why no replay is asserted
+// here). Observed budget at this seed is ~6k execs; 20k gives headroom.
+TEST(Fuzzer, RediscoversCamstoredHeapCorruption) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kCamstored;
+  config.seed = 42;
+  config.max_execs = 20000;
+  config.workers = 1;
+  config.stop_after_crashes = 1;
+  config.minimize = false;  // minimization replays single inputs: stateful
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report.value().stats.crashing_execs, 1u);
+  EXPECT_LT(report.value().stats.execs, 20000u)
+      << "stop_after_crashes should have ended the campaign early";
+  ASSERT_GE(report.value().triage.buckets().size(), 1u);
+  const CrashBucket& bucket = report.value().triage.buckets()[0];
+  // The fault is the allocator tripping over stomped metadata, not a
+  // parser crash: the detail names the free path.
+  EXPECT_NE(bucket.first_result.detail.find("free"), std::string::npos)
+      << bucket.first_result.detail;
+}
+
 TEST(Fuzzer, RejectsDegenerateConfigs) {
   FuzzConfig config;
   config.workers = 0;
@@ -521,6 +573,82 @@ TEST(CorpusPersistence, CampaignSavesAndResumes) {
   std::remove(path.c_str());
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_GE(second.value().corpus.size(), first.value().corpus.size());
+}
+
+// ----------------------------------------------------- corpus distillation --
+
+TEST(Distillation, PreservesCoverageAndDropsRedundantEntries) {
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.seed = 11;
+  config.max_execs = 3000;
+  config.minimize = false;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const Corpus& full = report.value().corpus;
+  ASSERT_GT(full.size(), 1u);
+
+  auto distilled = DistillCorpus(full, config.target);
+  ASSERT_TRUE(distilled.ok()) << distilled.status().ToString();
+  EXPECT_GT(distilled.value().size(), 0u);
+  EXPECT_LE(distilled.value().size(), full.size());
+
+  // The kept set covers everything the full corpus covers.
+  auto target = MakeTarget(config.target);
+  ASSERT_TRUE(target.ok());
+  const auto cover = [&](const Corpus& c) {
+    CoverageMap merged;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      CoverageMap map;
+      target.value()->Execute(c.entry(i).data, map);
+      map.Classify();
+      merged.MergeClassified(map);
+    }
+    return merged.Digest();
+  };
+  EXPECT_EQ(cover(distilled.value()), cover(full));
+
+  // Deterministic: same corpus in, same kept set out.
+  auto again = DistillCorpus(full, config.target);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().size(), distilled.value().size());
+  for (std::size_t i = 0; i < again.value().size(); ++i) {
+    EXPECT_EQ(again.value().entry(i).data, distilled.value().entry(i).data);
+  }
+
+  // An entry contributing nothing new is dropped, not kept.
+  Corpus padded;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    padded.Add(full.entry(i).data, full.entry(i).news, full.entry(i).found_at);
+  }
+  Bytes dup = full.entry(0).data;
+  dup.push_back(dup.empty() ? 0 : dup.back());  // same edges, new bytes
+  padded.Add(dup, 1, 9999);
+  auto repadded = DistillCorpus(padded, config.target);
+  ASSERT_TRUE(repadded.ok());
+  EXPECT_LE(repadded.value().size(), distilled.value().size() + 1);
+}
+
+TEST(Distillation, CampaignDistillFlagShrinksPersistedCorpus) {
+  const std::string path = "test_corpus_distill.tmp";
+  std::remove(path.c_str());
+
+  FuzzConfig config;
+  config.target.kind = TargetKind::kDnsproxy;
+  config.seed = 11;
+  config.max_execs = 3000;
+  config.minimize = false;
+  config.corpus_path = path;
+  config.distill = true;
+  auto report = Fuzzer(config).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  auto persisted = LoadCorpus(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(persisted.ok()) << persisted.status().ToString();
+  EXPECT_GT(persisted.value().size(), 0u);
+  // The file holds the distilled set, never more than the merged corpus.
+  EXPECT_LE(persisted.value().size(), report.value().corpus.size());
 }
 
 // ----------------------------------------------------------- dictionary ----

@@ -1,0 +1,200 @@
+// Unit tests for the deterministic guest heap: boundary tags, size-class
+// freelists, coalescing, and the heap-integrity corruption traps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/heap/heap.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/mem/perms.hpp"
+
+namespace connlab::heap {
+namespace {
+
+using mem::GuestAddr;
+using util::StatusCode;
+
+constexpr GuestAddr kHeapBase = 0x20000;
+constexpr std::uint32_t kHeapSize = 0x2000;
+constexpr std::uint32_t kSecret = 0xC0FFEE42;
+
+struct Lab {
+  mem::AddressSpace space;
+  GuestHeap heap;
+
+  explicit Lab(bool integrity = false)
+      : heap((Map(space), space), kHeapBase, kHeapSize) {
+    EXPECT_TRUE(heap.Init(kSecret, integrity).ok());
+  }
+
+  static void Map(mem::AddressSpace& s) {
+    ASSERT_TRUE(s.Map("heap", kHeapBase, kHeapSize, mem::kPermRW).ok());
+  }
+};
+
+TEST(GuestHeap, InitFormatsAndAttaches) {
+  Lab lab;
+  EXPECT_TRUE(lab.heap.Attached());
+  EXPECT_EQ(lab.heap.FirstChunk(), kHeapBase + GuestHeap::kArenaSize);
+  // A second view over the same guest memory re-attaches without Init —
+  // exactly what happens after a snapshot restore.
+  GuestHeap view(lab.space, kHeapBase, kHeapSize);
+  EXPECT_TRUE(view.Attached());
+  // A view over unformatted memory does not.
+  mem::AddressSpace fresh;
+  Lab::Map(fresh);
+  GuestHeap cold(fresh, kHeapBase, kHeapSize);
+  EXPECT_FALSE(cold.Attached());
+}
+
+TEST(GuestHeap, AllocIsDeterministicAndAligned) {
+  Lab a;
+  Lab b;
+  for (std::uint32_t bytes : {1u, 13u, 24u, 64u, 200u}) {
+    auto pa = a.heap.Alloc(bytes);
+    auto pb = b.heap.Alloc(bytes);
+    ASSERT_TRUE(pa.ok());
+    ASSERT_TRUE(pb.ok());
+    EXPECT_EQ(pa.value(), pb.value()) << bytes;
+    EXPECT_EQ(pa.value() % GuestHeap::kAlign, 4u)
+        << "payload = chunk + 12, so payloads sit at 8k+4";
+    auto sz = a.heap.PayloadSize(pa.value());
+    ASSERT_TRUE(sz.ok());
+    EXPECT_GE(sz.value(), bytes);
+  }
+  // First allocation carves the first chunk's payload.
+  Lab c;
+  auto first = c.heap.Alloc(8);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), c.heap.FirstChunk() + GuestHeap::kHeaderSize);
+}
+
+TEST(GuestHeap, FreelistReusesExactFit) {
+  Lab lab;
+  auto a = lab.heap.Alloc(48);
+  auto keep = lab.heap.Alloc(48);  // pins the wilderness away from `a`
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(lab.heap.Free(a.value()).ok());
+  auto again = lab.heap.Alloc(48);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), a.value());
+  EXPECT_EQ(lab.heap.stats().allocs, 3u);
+  EXPECT_EQ(lab.heap.stats().frees, 1u);
+}
+
+TEST(GuestHeap, SplitAndCoalesce) {
+  Lab lab;
+  auto big = lab.heap.Alloc(256);
+  auto fence = lab.heap.Alloc(16);  // keeps `big` off the wilderness
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(fence.ok());
+  ASSERT_TRUE(lab.heap.Free(big.value()).ok());
+  // A small alloc splits the freed 256-byte chunk...
+  auto small = lab.heap.Alloc(16);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.value(), big.value());
+  EXPECT_GE(lab.heap.stats().splits, 1u);
+  // ...and freeing both halves coalesces them back into one chunk.
+  auto rest = lab.heap.Alloc(128);
+  ASSERT_TRUE(rest.ok());
+  const std::size_t before = lab.heap.Walk().size();
+  ASSERT_TRUE(lab.heap.Free(small.value()).ok());
+  ASSERT_TRUE(lab.heap.Free(rest.value()).ok());
+  EXPECT_GE(lab.heap.stats().coalesces, 1u);
+  EXPECT_LT(lab.heap.Walk().size(), before);
+  // The reunited chunk serves the original size again at the same spot.
+  auto round2 = lab.heap.Alloc(256);
+  ASSERT_TRUE(round2.ok());
+  EXPECT_EQ(round2.value(), big.value());
+}
+
+TEST(GuestHeap, WalkReportsLiveAndFreeChunks) {
+  Lab lab;
+  auto a = lab.heap.Alloc(32);
+  auto b = lab.heap.Alloc(32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(lab.heap.Free(a.value()).ok());
+  std::vector<GuestHeap::ChunkInfo> walk = lab.heap.Walk();
+  ASSERT_EQ(walk.size(), 2u);
+  EXPECT_EQ(walk[0].addr, lab.heap.FirstChunk());
+  EXPECT_FALSE(walk[0].in_use);
+  EXPECT_TRUE(walk[1].in_use);
+}
+
+TEST(GuestHeap, ExhaustionFailsCleanly) {
+  Lab lab;
+  util::Status last = util::OkStatus();
+  int served = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto p = lab.heap.Alloc(256);
+    if (!p.ok()) {
+      last = p.status();
+      break;
+    }
+    ++served;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(served, 10);
+  EXPECT_EQ(lab.heap.stats().corruptions, 0u);
+}
+
+TEST(GuestHeap, FreeRejectsBogusPointer) {
+  Lab lab;
+  EXPECT_FALSE(lab.heap.Free(kHeapBase + 2).ok());
+  EXPECT_FALSE(lab.heap.Free(0xDEAD0000).ok());
+}
+
+TEST(GuestHeap, IntegrityCatchesGuardSmash) {
+  Lab lab(/*integrity=*/true);
+  auto a = lab.heap.Alloc(32);
+  ASSERT_TRUE(a.ok());
+  // Overflow stomps the *next* chunk's guard word the way camstored's
+  // oversized PUT does; with integrity armed, Free refuses the neighbour.
+  auto b = lab.heap.Alloc(32);
+  ASSERT_TRUE(b.ok());
+  const GuestAddr b_chunk = b.value() - GuestHeap::kHeaderSize;
+  ASSERT_TRUE(lab.space.WriteU32(b_chunk + 8, 0x41414141).ok());
+  EXPECT_EQ(lab.heap.Free(b.value()).code(), StatusCode::kAborted);
+  EXPECT_EQ(lab.heap.stats().corruptions, 1u);
+}
+
+TEST(GuestHeap, IntegrityCatchesUnlinkPointerForgery) {
+  Lab lab(/*integrity=*/true);
+  // Freed chunk sits in a bin; corrupting its fd breaks fd->bk == chunk,
+  // which the safe-unlink check catches when the chunk is recycled.
+  auto a = lab.heap.Alloc(48);
+  auto fence = lab.heap.Alloc(16);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(fence.ok());
+  ASSERT_TRUE(lab.heap.Free(a.value()).ok());
+  ASSERT_TRUE(lab.space.WriteU32(a.value(), 0x31337000).ok());  // fd slot
+  auto again = lab.heap.Alloc(48);
+  EXPECT_FALSE(again.ok());
+  EXPECT_GE(lab.heap.stats().corruptions, 1u);
+}
+
+TEST(GuestHeap, NoIntegrityLetsCorruptionThrough) {
+  // The undefended allocator is the vulnerable baseline: the same guard
+  // smash that trips integrity is silently accepted (Free may scribble,
+  // but must not report a corruption trap).
+  Lab lab(/*integrity=*/false);
+  auto a = lab.heap.Alloc(32);
+  auto b = lab.heap.Alloc(32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const GuestAddr b_chunk = b.value() - GuestHeap::kHeaderSize;
+  ASSERT_TRUE(lab.space.WriteU32(b_chunk + 8, 0x41414141).ok());
+  EXPECT_NE(lab.heap.Free(b.value()).code(), StatusCode::kAborted);
+  EXPECT_EQ(lab.heap.stats().corruptions, 0u);
+}
+
+TEST(GuestHeap, ChunkSecretIsPureFunctionOfSeed) {
+  EXPECT_EQ(ChunkSecret(42), ChunkSecret(42));
+  EXPECT_NE(ChunkSecret(42), ChunkSecret(43));
+  EXPECT_NE(ChunkSecret(42), 0u);
+}
+
+}  // namespace
+}  // namespace connlab::heap
