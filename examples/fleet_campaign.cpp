@@ -8,7 +8,12 @@
 // the flag asks for (a million victims runs in well under two minutes).
 //
 //   ./examples/fleet_campaign [--victims=N] [--seed=S] [--entropy=0,2,4,8]
-//                             [--json=PATH] [--metrics=PATH] [--trace=PATH]
+//                             [--sweep-workers=N] [--json=PATH]
+//                             [--metrics=PATH] [--trace=PATH]
+//
+// --sweep-workers spreads the sweep's (entropy, bug class) campaigns across
+// N threads (0 = one per hardware core, 1 = serial) — the curve and its
+// digest are identical either way.
 //
 // Deterministic: the same seed reproduces the same curve digest, event for
 // event. The run exits non-zero if the curve misbehaves (monoculture not
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
   const std::string victims_flag = TakeFlag(args, "victims");
   const std::string seed_flag = TakeFlag(args, "seed");
   const std::string entropy_flag = TakeFlag(args, "entropy");
+  const std::string sweep_workers_flag = TakeFlag(args, "sweep-workers");
   const std::string json_path = TakeFlag(args, "json");
   const std::string metrics_path = TakeFlag(args, "metrics");
   const std::string trace_path = TakeFlag(args, "trace");
@@ -95,6 +101,11 @@ int main(int argc, char** argv) {
   std::vector<int> entropy =
       entropy_flag.empty() ? std::vector<int>{0, 2, 4, 6, 8}
                            : ParseIntList(entropy_flag);
+  const std::size_t sweep_workers =
+      sweep_workers_flag.empty()
+          ? 1
+          : static_cast<std::size_t>(
+                std::strtoull(sweep_workers_flag.c_str(), nullptr, 10));
 
   std::printf("connlab fleet campaign — one profiled exploit vs %llu victims\n",
               static_cast<unsigned long long>(config.victims));
@@ -107,7 +118,7 @@ int main(int argc, char** argv) {
       config.population.p_canary * 100.0, config.population.p_cfi * 100.0,
       config.attack_rate * 100.0, config.profiled_variant);
 
-  auto curve = fleet::RunSurvivalSweep(config, entropy);
+  auto curve = fleet::RunSurvivalSweep(config, entropy, sweep_workers);
   if (!curve.ok()) return Fail(curve.status());
 
   // The last (highest-entropy) point's full campaign reports — one per

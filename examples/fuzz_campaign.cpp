@@ -8,8 +8,14 @@
 //
 //   ./examples/fuzz_campaign [seed] [execs] [workers] [target] \
 //                            [corpus_file] [dict_file] \
+//                            [--sync-interval=N] \
 //                            [--trace=t.json] [--metrics=m.json] \
 //                            [--repro-dir=dir] [--distill]
+//
+// `--sync-interval=N` sets how many of its own execs each worker runs
+// between cross-worker corpus exchanges (multi-worker only; 0 disables
+// sharing so workers explore independently until the final merge). Either
+// setting is deterministic for a fixed (seed, workers).
 //
 // `corpus_file` persists the merged corpus across invocations (missing file
 // = first run, creates it). `dict_file` is an AFL-style token dictionary;
@@ -93,9 +99,13 @@ int main(int argc, char** argv) {
   const std::string trace_path = TakeFlag(args, "trace");
   const std::string metrics_path = TakeFlag(args, "metrics");
   const std::string repro_dir = TakeFlag(args, "repro-dir");
+  const std::string sync_flag = TakeFlag(args, "sync-interval");
   const bool distill = TakeBareFlag(args, "distill");
 
   fuzz::FuzzConfig config;
+  if (!sync_flag.empty()) {
+    config.sync_interval = std::strtoull(sync_flag.c_str(), nullptr, 0);
+  }
   config.seed = args.size() > 0 ? std::strtoull(args[0].c_str(), nullptr, 0) : 42;
   config.max_execs =
       args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 0) : 20000;
@@ -124,6 +134,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.seed),
               static_cast<unsigned long long>(config.max_execs),
               config.workers);
+  if (config.workers > 1) {
+    if (config.sync_interval == 0) {
+      std::printf("cross-worker sync: off (independent exploration)\n");
+    } else {
+      std::printf("cross-worker sync: every %llu execs per worker\n",
+                  static_cast<unsigned long long>(config.sync_interval));
+    }
+  }
   if (!config.corpus_path.empty()) {
     std::printf("persistent corpus: %s%s\n", config.corpus_path.c_str(),
                 config.distill ? " (distilled on save)" : "");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +15,7 @@
 #include "src/exploit/generator.hpp"
 #include "src/exploit/heap_smash.hpp"
 #include "src/obs/obs.hpp"
+#include "src/util/parallel.hpp"
 
 namespace connlab::fleet {
 namespace {
@@ -374,36 +377,57 @@ util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
 }
 
 util::Result<std::vector<SurvivalPoint>> RunSurvivalSweep(
-    FleetConfig config, const std::vector<int>& entropy_bits) {
+    FleetConfig config, const std::vector<int>& entropy_bits,
+    std::size_t sweep_workers) {
   if (entropy_bits.empty()) {
     return util::InvalidArgument("need at least one entropy point");
   }
+  // Same seed, same population, three attackers per point: every class sees
+  // the identical fleet, so the per-class columns are directly comparable.
+  // Each (point, class) campaign is a closed virtual-time simulation, so
+  // the task list fans out across threads; results land in per-task slots
+  // and the curve is assembled in point-then-class order below, making the
+  // output — including which error propagates first — independent of which
+  // thread finished when.
+  static constexpr BugClass kSweepClasses[] = {
+      BugClass::kStackSmash, BugClass::kPointerLoop, BugClass::kHeapMetadata};
+  constexpr std::size_t kClassCount = std::size(kSweepClasses);
+  const std::size_t tasks = entropy_bits.size() * kClassCount;
+  std::vector<std::optional<util::Result<FleetResult>>> results(tasks);
+  util::ParallelFor(tasks, util::ResolveWorkerCount(sweep_workers),
+                    [&](std::size_t t) {
+                      FleetConfig c = config;
+                      c.population.diversity_bits =
+                          entropy_bits[t / kClassCount];
+                      c.bug_class = kSweepClasses[t % kClassCount];
+                      results[t].emplace(RunFleetCampaign(c));
+                    });
+
   std::vector<SurvivalPoint> curve;
   curve.reserve(entropy_bits.size());
-  for (const int bits : entropy_bits) {
-    config.population.diversity_bits = bits;
+  for (std::size_t p = 0; p < entropy_bits.size(); ++p) {
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      if (!results[p * kClassCount + c]->ok()) {
+        return results[p * kClassCount + c]->status();
+      }
+    }
+    const FleetResult& stack = results[p * kClassCount + 0]->value();
+    const FleetResult& loop = results[p * kClassCount + 1]->value();
+    const FleetResult& heap = results[p * kClassCount + 2]->value();
     SurvivalPoint point;
-    point.diversity_bits = bits;
-    // Same seed, same population, three attackers: every class sees the
-    // identical fleet, so the per-class columns are directly comparable.
-    config.bug_class = BugClass::kStackSmash;
-    CONNLAB_ASSIGN_OR_RETURN(const FleetResult stack, RunFleetCampaign(config));
+    point.diversity_bits = entropy_bits[p];
     point.victims = stack.victims;
     point.compromised = stack.compromised;
     point.crashed = stack.crashed;
     point.compromised_fraction = stack.compromised_fraction();
     point.digest = stack.digest;
     point.victims_per_sec = stack.victims_per_sec;
-    config.bug_class = BugClass::kPointerLoop;
-    CONNLAB_ASSIGN_OR_RETURN(const FleetResult loop, RunFleetCampaign(config));
     point.loop_crashed = loop.crashed;
     point.loop_crashed_fraction =
         loop.victims == 0 ? 0.0
                           : static_cast<double>(loop.crashed) /
                                 static_cast<double>(loop.victims);
     point.loop_digest = loop.digest;
-    config.bug_class = BugClass::kHeapMetadata;
-    CONNLAB_ASSIGN_OR_RETURN(const FleetResult heap, RunFleetCampaign(config));
     point.heap_compromised = heap.compromised;
     point.heap_compromised_fraction = heap.compromised_fraction();
     point.heap_crashed = heap.crashed;

@@ -129,7 +129,15 @@ struct SurvivalPoint {
 /// experiment's deliverable: per-bug-class compromise/DoS fraction vs
 /// entropy bits — diversity starves the stack smash while leaving the
 /// pointer-loop and heap-metadata classes untouched.
+///
+/// The (point, bug class) campaigns are embarrassingly parallel — each is a
+/// self-contained virtual-time simulation off its own seed — and run across
+/// `sweep_workers` threads (0 = one per hardware core, 1 = serial). Results
+/// are assembled in point-then-class order regardless of completion order,
+/// so the curve, its digests, and which error wins when several campaigns
+/// fail are identical to the serial path.
 util::Result<std::vector<SurvivalPoint>> RunSurvivalSweep(
-    FleetConfig config, const std::vector<int>& entropy_bits);
+    FleetConfig config, const std::vector<int>& entropy_bits,
+    std::size_t sweep_workers = 0);
 
 }  // namespace connlab::fleet

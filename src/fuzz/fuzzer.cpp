@@ -1,31 +1,72 @@
 #include "src/fuzz/fuzzer.hpp"
 
 #include <chrono>
-#include <thread>
+#include <ctime>
 #include <vector>
 
 #include "src/fuzz/mutator.hpp"
+#include "src/fuzz/sync.hpp"
 #include "src/obs/obs.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
 namespace connlab::fuzz {
 
+namespace {
+
+/// CPU time this thread has actually burned — barrier blocking and
+/// scheduler wait don't accrue, which is exactly what makes the per-worker
+/// throughput a host-independent scalability number.
+double ThreadCpuSeconds() noexcept {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
 Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
                                        std::size_t worker_index,
-                                       std::uint64_t budget) {
+                                       std::uint64_t budget,
+                                       EpochExchange* exchange) {
   WorkerOutput out;
+  const double busy_start = ThreadCpuSeconds();
   OBS_TRACE_SPAN(worker_span, "fuzz", "RunWorker");
   worker_span.Arg("worker", static_cast<std::uint64_t>(worker_index));
   worker_span.Arg("budget", budget);
+
+  // Everything a worker publishes at a barrier accumulates here between
+  // epochs; delta_sink routes AbsorbInto's newly-lit virgin bits in.
+  std::size_t epoch = 0;
+  EpochDelta epoch_out;
+  std::vector<CoverageDelta>* delta_sink =
+      exchange != nullptr ? &epoch_out.coverage : nullptr;
+  const std::uint64_t interval =
+      exchange != nullptr ? config.sync_interval : 0;
+
   auto target_or = MakeTarget(config.target);
   if (!target_or.ok()) {
     out.status = target_or.status();
+    // The other workers' barriers must not starve because this worker never
+    // fuzzes: keep attending with an empty done-flagged delta until the
+    // whole fleet reports done.
+    if (exchange != nullptr) {
+      EpochDelta empty;
+      empty.done = true;
+      while (!EpochExchange::AllDone(
+          exchange->ExchangeAndWait(worker_index, epoch++, empty))) {
+      }
+    }
+    out.busy_seconds = ThreadCpuSeconds() - busy_start;
     return out;
   }
   std::unique_ptr<FuzzTarget> target = std::move(target_or).value();
 
   // Worker stream: depends only on (root seed, worker index), never on
-  // what other workers do.
+  // thread scheduling. With sync on it additionally depends on the other
+  // workers' published deltas — themselves deterministic, absorbed at
+  // deterministic points, in fixed worker-index order.
   Mutator mutator(util::Rng(config.seed).Split(worker_index));
   util::Rng& rng = mutator.rng();
 
@@ -61,10 +102,13 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
   const auto record = [&](const ExecResult& result, util::ByteSpan input) {
     if (result.kind == ExecResult::Kind::kBenign) {
       exec_map.Classify();
-      const int news = exec_map.AbsorbInto(out.virgin);
+      const int news = exec_map.AbsorbInto(out.virgin, delta_sink);
       if (news > 0) {
         OBS_COUNT("fuzz.corpus_adds");
         util::Bytes data(input.begin(), input.end());
+        if (exchange != nullptr) {
+          epoch_out.entries.push_back(CorpusEntry{data, news, out.execs, 0});
+        }
         if (defer_adds) {
           pending.push_back(CorpusEntry{std::move(data), news, out.execs, 0});
         } else {
@@ -77,6 +121,29 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
       OBS_TRACE_INSTANT("fuzz", "crash");
       out.triage.Record(result, input, out.execs, *target);
     }
+  };
+
+  // One barrier visit: publish the accumulated delta, wait for the row to
+  // complete, and — unless this worker is done, its state frozen for the
+  // merge — absorb the other workers' deltas in worker-index order. Never
+  // call mid-burst: absorbing adds corpus entries, and the burst holds
+  // references into the corpus.
+  const auto attend = [&](bool worker_done) -> bool {
+    epoch_out.done = worker_done;
+    const std::vector<EpochDelta>& row =
+        exchange->ExchangeAndWait(worker_index, epoch, std::move(epoch_out));
+    epoch_out = EpochDelta{};
+    ++epoch;
+    if (!worker_done) {
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        if (j == worker_index) continue;
+        out.virgin.ApplyDelta(row[j].coverage);
+        for (const CorpusEntry& e : row[j].entries) {
+          corpus.Add(e.data, e.news, e.found_at);
+        }
+      }
+    }
+    return EpochExchange::AllDone(row);
   };
 
   // Seed round: every seed runs once and is admitted regardless of
@@ -101,6 +168,7 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
            out.triage.buckets().size() >= config.stop_after_crashes;
   };
 
+  util::Bytes scratch;  // the mutant buffer, reused across every exec
   while (!done() && !corpus.empty()) {
     OBS_COUNT("fuzz.scheduler_picks");
     const std::size_t pick = corpus.PickIndex(rng);
@@ -116,15 +184,34 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
     }
     defer_adds = true;
     for (std::uint32_t e = 0; e < energy && !done(); ++e) {
-      const util::Bytes mutant = mutator.Mutate(parent, hint, donor);
-      const ExecResult result = run_one(mutant);
-      record(result, mutant);
+      mutator.MutateInto(parent, hint, donor, scratch);
+      const ExecResult result = run_one(scratch);
+      record(result, scratch);
     }
     defer_adds = false;
     for (CorpusEntry& e : pending) {
       corpus.Add(std::move(e.data), e.news, e.found_at);
     }
     pending.clear();
+    // Fixed epoch grid over this worker's own exec count: bursts overrun a
+    // boundary by up to their energy, so a single burst can cross several —
+    // attend each in turn (the later ones publish empty deltas). The grid
+    // depends on nothing but (budget position, interval), so attendance is
+    // scheduling-independent.
+    while (interval != 0 && !done() &&
+           out.execs >= (epoch + 1) * interval) {
+      attend(false);
+    }
+  }
+
+  // Budget spent: keep the barrier alive for workers still fuzzing. The
+  // final visit publishes whatever accumulated since the last boundary, and
+  // the loop exits only when every worker has flagged done — all workers
+  // agree on the final epoch. Runs before minimization so a slow shrink
+  // can't stall the rest of the fleet at a barrier.
+  if (exchange != nullptr) {
+    while (!attend(true)) {
+    }
   }
 
   // Minimization shrinks a witness by re-executing candidates and checking
@@ -139,7 +226,6 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
   }
 
   out.reboots = target->reboots();
-  out.corpus_size = corpus.size();
   out.corpus_entries = corpus.entries();
   OBS_COUNT_N("fuzz.reboots", out.reboots);
 #ifndef CONNLAB_OBS_DISABLED
@@ -152,6 +238,7 @@ Fuzzer::WorkerOutput Fuzzer::RunWorker(const FuzzConfig& config,
 #endif
   worker_span.Arg("execs", out.execs);
   worker_span.Arg("crashes", out.crashing_execs);
+  out.busy_seconds = ThreadCpuSeconds() - busy_start;
   return out;
 }
 
@@ -190,17 +277,15 @@ util::Result<FuzzReport> Fuzzer::Run() {
   const auto worker_budget = [base_budget, remainder](std::size_t i) {
     return base_budget + (i < remainder ? 1u : 0u);
   };
+  EpochExchange exchange(workers);
+  EpochExchange* sync =
+      workers > 1 && config.sync_interval != 0 ? &exchange : nullptr;
   if (workers == 1) {
-    outputs[0] = RunWorker(config, 0, worker_budget(0));
+    outputs[0] = RunWorker(config, 0, worker_budget(0), nullptr);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i) {
-      threads.emplace_back([&config, &outputs, i, &worker_budget] {
-        outputs[i] = RunWorker(config, i, worker_budget(i));
-      });
-    }
-    for (std::thread& t : threads) t.join();
+    util::ParallelInvoke(workers, [&](std::size_t i) {
+      outputs[i] = RunWorker(config, i, worker_budget(i), sync);
+    });
   }
   const auto end = std::chrono::steady_clock::now();
 
@@ -218,8 +303,13 @@ util::Result<FuzzReport> Fuzzer::Run() {
     report.stats.execs += w.execs;
     report.stats.crashing_execs += w.crashing_execs;
     report.stats.reboots += w.reboots;
-    report.stats.corpus_size += w.corpus_size;
+    report.stats.busy_seconds += w.busy_seconds;
+    if (w.busy_seconds > 0) {
+      report.stats.execs_per_sec_aggregate +=
+          static_cast<double>(w.execs) / w.busy_seconds;
+    }
   }
+  report.stats.corpus_size = report.corpus.size();
   report.stats.coverage_cells = report.coverage.CountNonZero();
   report.stats.coverage_digest = report.coverage.Digest();
   report.stats.seconds =
@@ -231,6 +321,7 @@ util::Result<FuzzReport> Fuzzer::Run() {
   if (config.distill) {
     CONNLAB_ASSIGN_OR_RETURN(report.corpus,
                              DistillCorpus(report.corpus, config.target));
+    report.stats.corpus_size = report.corpus.size();
   }
   if (!config.corpus_path.empty()) {
     CONNLAB_RETURN_IF_ERROR(SaveCorpus(report.corpus, config.corpus_path));

@@ -4,14 +4,18 @@
 // (energy-weighted), mutate it `energy` times, run each mutant, admit
 // coverage-increasing mutants to the corpus, bucket the crashers.
 //
-// Multi-worker mode shards the budget across N std::threads. Workers are
-// fully independent — each boots its own System/target, seeds its own
+// Multi-worker mode shards the budget across N threads. Each worker boots
+// its own System/target, keeps its own sharded virgin coverage map and
 // corpus, and draws from util::Rng::Split(worker_index), so worker i's
-// entire execution sequence is a pure function of (root seed, i),
-// independent of thread scheduling. After join, classified coverage maps
-// are OR-merged (commutative + associative) and crash buckets are merged
-// in worker-index order, so the campaign's report is bit-identical across
-// runs for a fixed (seed, workers) pair.
+// execution stream is a pure function of (root seed, i). With
+// `sync_interval` > 0 the workers additionally rendezvous at epoch
+// barriers (fuzz/sync.hpp) and exchange coverage-increasing finds in
+// worker-index order — cross-pollination without scheduling-dependence:
+// everything a worker absorbs at epoch e was itself deterministic, so the
+// merged campaign stays bit-identical across runs for a fixed
+// (seed, workers) pair, sync on or off. After join, classified coverage
+// maps are OR-merged (commutative + associative), crash buckets are merged
+// in worker-index order, and the corpora are merged deduplicated.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +28,8 @@
 
 namespace connlab::fuzz {
 
+class EpochExchange;
+
 struct FuzzConfig {
   TargetConfig target;
   /// Root RNG seed; worker i draws from Split(i) of Rng(seed).
@@ -33,6 +39,14 @@ struct FuzzConfig {
   std::uint64_t max_execs = 200000;
   std::size_t workers = 1;
   std::size_t max_input_size = 8192;
+  /// Epoch-batched cross-worker sync: each worker attends a barrier every
+  /// `sync_interval` of its own execs, publishing the coverage-increasing
+  /// entries and virgin-map bits it found since the last barrier and
+  /// absorbing the other workers' (in worker-index order). 0 disables the
+  /// exchange — workers run fully independent, the pre-sync behaviour.
+  /// Only meaningful when workers > 1; either setting is deterministic for
+  /// a fixed (seed, workers).
+  std::uint64_t sync_interval = 2000;
   /// When non-zero, a worker stops early once it has found this many
   /// distinct crash buckets (early-exit stays deterministic because each
   /// worker only consults its own buckets).
@@ -63,11 +77,22 @@ struct FuzzStats {
   std::uint64_t execs = 0;           // total inputs run (all workers)
   std::uint64_t crashing_execs = 0;  // non-benign results, pre-dedup
   std::uint64_t reboots = 0;
-  std::size_t corpus_size = 0;       // summed across workers
+  std::size_t corpus_size = 0;       // merged deduplicated corpus entries
   std::uint32_t coverage_cells = 0;  // non-zero cells in the merged map
   std::uint64_t coverage_digest = 0; // order-independent merged-map digest
-  double seconds = 0;
-  double execs_per_sec = 0;
+  double seconds = 0;                // wall clock, campaign start to join
+  double execs_per_sec = 0;          // execs / wall seconds
+  /// Summed per-worker thread-CPU time (CLOCK_THREAD_CPUTIME_ID): time the
+  /// workers actually computed, excluding scheduler wait and epoch-barrier
+  /// blocking. On an unloaded host with >= workers cores this approximates
+  /// workers * wall.
+  double busy_seconds = 0;
+  /// Sum over workers of (worker execs / worker busy seconds) — the
+  /// software-scalability throughput: what the same campaign sustains on a
+  /// host with enough cores to run every worker concurrently. Equals
+  /// execs_per_sec there; on an oversubscribed host wall-clock throughput
+  /// flattens while this stays honest about per-worker cost.
+  double execs_per_sec_aggregate = 0;
 };
 
 struct FuzzReport {
@@ -102,13 +127,16 @@ class Fuzzer {
     std::uint64_t execs = 0;
     std::uint64_t crashing_execs = 0;
     std::uint64_t reboots = 0;
-    std::size_t corpus_size = 0;
+    double busy_seconds = 0;  // this worker's thread-CPU time
   };
 
-  /// One worker's whole campaign slice; pure function of (config, index).
+  /// One worker's whole campaign slice; pure function of (config, index)
+  /// plus — when `exchange` is non-null — the other workers' published
+  /// epoch deltas, themselves deterministic.
   static WorkerOutput RunWorker(const FuzzConfig& config,
                                 std::size_t worker_index,
-                                std::uint64_t budget);
+                                std::uint64_t budget,
+                                EpochExchange* exchange);
 
   FuzzConfig config_;
 };

@@ -54,53 +54,69 @@ util::Bytes CopyOf(util::ByteSpan input) {
 
 }  // namespace
 
-util::Bytes Mutator::GrowLabel(util::ByteSpan input, std::size_t start,
+// Each structural operator computes its label walk against the pre-edit
+// bytes, draws from the Rng, then edits `data` directly — the same walk,
+// the same draws, and the same resulting bytes as the historical
+// copy-then-edit versions the public statics still expose.
+
+void Mutator::GrowLabelInPlace(util::Bytes& data, std::size_t start,
                                util::Rng& rng) {
-  const LabelWalk walk = WalkLabels(input, start);
-  util::Bytes out = CopyOf(input);
-  if (walk.labels.empty()) return out;
+  const LabelWalk walk = WalkLabels(data, start);
+  if (walk.labels.empty()) return;
   const auto& label = walk.labels[rng.NextBelow(walk.labels.size())];
-  if (label.len >= dns::kMaxLabelLen) return out;
+  if (label.len >= dns::kMaxLabelLen) return;
   // Biased toward the 0x3f boundary: half the draws go straight to 63.
   const std::uint8_t new_len =
       rng.NextBool(0.5)
           ? static_cast<std::uint8_t>(dns::kMaxLabelLen)
           : static_cast<std::uint8_t>(rng.NextInRange(
                 label.len + 1, dns::kMaxLabelLen));
-  out[label.pos] = new_len;
-  out.insert(out.begin() + static_cast<std::ptrdiff_t>(label.pos + 1 + label.len),
-             static_cast<std::size_t>(new_len - label.len), kFiller);
+  data[label.pos] = new_len;
+  data.insert(
+      data.begin() + static_cast<std::ptrdiff_t>(label.pos + 1 + label.len),
+      static_cast<std::size_t>(new_len - label.len), kFiller);
+}
+
+util::Bytes Mutator::GrowLabel(util::ByteSpan input, std::size_t start,
+                               util::Rng& rng) {
+  util::Bytes out = CopyOf(input);
+  GrowLabelInPlace(out, start, rng);
   return out;
 }
 
-util::Bytes Mutator::DuplicateLabelRun(util::ByteSpan input, std::size_t start,
-                                       util::Rng& rng) {
-  const LabelWalk walk = WalkLabels(input, start);
-  util::Bytes out = CopyOf(input);
-  if (walk.labels.empty()) return out;
+void Mutator::DuplicateLabelRunInPlace(util::Bytes& data, std::size_t start,
+                                       util::Rng& rng, util::Bytes& scratch) {
+  const LabelWalk walk = WalkLabels(data, start);
+  if (walk.labels.empty()) return;
   const std::size_t first = rng.NextBelow(walk.labels.size());
   const std::size_t last = std::min(
       walk.labels.size() - 1, first + rng.NextBelow(4));
   const std::size_t run_begin = walk.labels[first].pos;
   const std::size_t run_end =
       walk.labels[last].pos + 1 + walk.labels[last].len;
-  const util::Bytes run(input.begin() + static_cast<std::ptrdiff_t>(run_begin),
-                        input.begin() + static_cast<std::ptrdiff_t>(run_end));
+  scratch.assign(data.begin() + static_cast<std::ptrdiff_t>(run_begin),
+                 data.begin() + static_cast<std::ptrdiff_t>(run_end));
   const std::size_t repeats = 1 + rng.NextBelow(4);
   for (std::size_t r = 0; r < repeats; ++r) {
-    out.insert(out.begin() + static_cast<std::ptrdiff_t>(run_end), run.begin(),
-               run.end());
+    data.insert(data.begin() + static_cast<std::ptrdiff_t>(run_end),
+                scratch.begin(), scratch.end());
   }
+}
+
+util::Bytes Mutator::DuplicateLabelRun(util::ByteSpan input, std::size_t start,
+                                       util::Rng& rng) {
+  util::Bytes out = CopyOf(input);
+  util::Bytes scratch;
+  DuplicateLabelRunInPlace(out, start, rng, scratch);
   return out;
 }
 
-util::Bytes Mutator::PlantCompressionPointer(util::ByteSpan input,
+void Mutator::PlantCompressionPointerInPlace(util::Bytes& data,
                                              std::size_t start,
                                              util::Rng& rng) {
-  const LabelWalk walk = WalkLabels(input, start);
-  util::Bytes out = CopyOf(input);
-  if (walk.end_pos >= input.size() && walk.end != LabelWalk::End::kRanOff) {
-    return out;
+  const LabelWalk walk = WalkLabels(data, start);
+  if (walk.end_pos >= data.size() && walk.end != LabelWalk::End::kRanOff) {
+    return;
   }
   // Target: the name's own start (re-expansion bomb), the question name at
   // offset 12, or an arbitrary earlier offset.
@@ -115,50 +131,61 @@ util::Bytes Mutator::PlantCompressionPointer(util::ByteSpan input,
       dns::kCompressionFlags | ((target >> 8) & 0x3F));
   const std::uint8_t lo = static_cast<std::uint8_t>(target & 0xFF);
   const std::size_t at = walk.end_pos;
-  if (at >= out.size()) {
-    out.push_back(hi);
-    out.push_back(lo);
+  if (at >= data.size()) {
+    data.push_back(hi);
+    data.push_back(lo);
   } else {
     // Replace the terminator (or pointer) byte with the 2-byte pointer.
-    out[at] = hi;
-    out.insert(out.begin() + static_cast<std::ptrdiff_t>(at + 1), lo);
+    data[at] = hi;
+    data.insert(data.begin() + static_cast<std::ptrdiff_t>(at + 1), lo);
   }
+}
+
+util::Bytes Mutator::PlantCompressionPointer(util::ByteSpan input,
+                                             std::size_t start,
+                                             util::Rng& rng) {
+  util::Bytes out = CopyOf(input);
+  PlantCompressionPointerInPlace(out, start, rng);
   return out;
+}
+
+void Mutator::BumpAnswerCountInPlace(util::Bytes& data, util::Rng& rng) {
+  if (data.size() < 8) return;
+  const std::uint16_t current =
+      static_cast<std::uint16_t>((data[6] << 8) | data[7]);
+  const std::uint16_t next =
+      rng.NextBool(0.5) ? static_cast<std::uint16_t>(1 + rng.NextBelow(8))
+                        : static_cast<std::uint16_t>(current + 1);
+  data[6] = static_cast<std::uint8_t>(next >> 8);
+  data[7] = static_cast<std::uint8_t>(next & 0xFF);
 }
 
 util::Bytes Mutator::BumpAnswerCount(util::ByteSpan input, util::Rng& rng) {
   util::Bytes out = CopyOf(input);
-  if (out.size() < 8) return out;
-  const std::uint16_t current =
-      static_cast<std::uint16_t>((out[6] << 8) | out[7]);
-  const std::uint16_t next =
-      rng.NextBool(0.5) ? static_cast<std::uint16_t>(1 + rng.NextBelow(8))
-                        : static_cast<std::uint16_t>(current + 1);
-  out[6] = static_cast<std::uint8_t>(next >> 8);
-  out[7] = static_cast<std::uint8_t>(next & 0xFF);
+  BumpAnswerCountInPlace(out, rng);
   return out;
 }
 
-util::Bytes Mutator::DnsOnce(util::Bytes data, const MutationHint& hint) {
+void Mutator::DnsOnce(util::Bytes& data, const MutationHint& hint) {
   const std::size_t start = hint.fixed_prefix;
-  if (data.size() <= start) return data;
+  if (data.size() <= start) return;
   switch (rng_.NextBelow(5)) {
-    case 0: return GrowLabel(data, start, rng_);
+    case 0: GrowLabelInPlace(data, start, rng_); return;
     case 1:
-    case 2: return DuplicateLabelRun(data, start, rng_);  // double weight
-    case 3: return PlantCompressionPointer(data, start, rng_);
-    default: return BumpAnswerCount(data, rng_);
+    case 2: DuplicateLabelRunInPlace(data, start, rng_, chunk_); return;
+    case 3: PlantCompressionPointerInPlace(data, start, rng_); return;
+    default: BumpAnswerCountInPlace(data, rng_); return;
   }
 }
 
-util::Bytes Mutator::HavocOnce(util::Bytes data, const MutationHint& hint,
-                               util::ByteSpan splice_donor) {
+void Mutator::HavocOnce(util::Bytes& data, const MutationHint& hint,
+                        util::ByteSpan splice_donor) {
   static constexpr std::uint8_t kInteresting[] = {0x00, 0x01, 0x3F, 0x40,
                                                   0x7F, 0x80, 0xC0, 0xFF};
   const std::size_t lo = hint.fixed_prefix;
   if (data.size() <= lo) {
     data.push_back(kFiller);
-    return data;
+    return;
   }
   const std::size_t span = data.size() - lo;
   // The two dictionary operators only enter the op table when a dictionary
@@ -194,11 +221,10 @@ util::Bytes Mutator::HavocOnce(util::Bytes data, const MutationHint& hint,
       const std::size_t at = lo + rng_.NextBelow(span);
       const std::size_t len = std::min(data.size() - at,
                                        1 + rng_.NextBelow(64));
-      const util::Bytes chunk(
-          data.begin() + static_cast<std::ptrdiff_t>(at),
-          data.begin() + static_cast<std::ptrdiff_t>(at + len));
+      chunk_.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                    data.begin() + static_cast<std::ptrdiff_t>(at + len));
       data.insert(data.begin() + static_cast<std::ptrdiff_t>(at + len),
-                  chunk.begin(), chunk.end());
+                  chunk_.begin(), chunk_.end());
       break;
     }
     case 5: {  // append filler (pushes expansions longer)
@@ -243,23 +269,28 @@ util::Bytes Mutator::HavocOnce(util::Bytes data, const MutationHint& hint,
       break;
     }
   }
-  return data;
+}
+
+void Mutator::MutateInto(util::ByteSpan input, const MutationHint& hint,
+                         util::ByteSpan splice_donor, util::Bytes& out) {
+  out.assign(input.begin(), input.end());
+  if (out.size() < hint.fixed_prefix) return;  // malformed seed
+  const std::size_t rounds = 1 + rng_.NextBelow(4);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (hint.dns && rng_.NextBool(0.6)) {
+      DnsOnce(out, hint);
+    } else {
+      HavocOnce(out, hint, splice_donor);
+    }
+    if (out.size() > hint.max_size) out.resize(hint.max_size);
+  }
 }
 
 util::Bytes Mutator::Mutate(util::ByteSpan input, const MutationHint& hint,
                             util::ByteSpan splice_donor) {
-  util::Bytes data = CopyOf(input);
-  if (data.size() < hint.fixed_prefix) return data;  // malformed seed
-  const std::size_t rounds = 1 + rng_.NextBelow(4);
-  for (std::size_t r = 0; r < rounds; ++r) {
-    if (hint.dns && rng_.NextBool(0.6)) {
-      data = DnsOnce(std::move(data), hint);
-    } else {
-      data = HavocOnce(std::move(data), hint, splice_donor);
-    }
-    if (data.size() > hint.max_size) data.resize(hint.max_size);
-  }
-  return data;
+  util::Bytes out;
+  MutateInto(input, hint, splice_donor, out);
+  return out;
 }
 
 }  // namespace connlab::fuzz

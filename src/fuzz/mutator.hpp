@@ -13,6 +13,13 @@
 //
 // Every draw comes from the caller's Rng, so a campaign is replayable from
 // its root seed.
+//
+// The hot-loop entry point is MutateInto: it writes the mutant into a
+// caller-owned scratch buffer and routes every intermediate copy through
+// member scratch space, so a steady-state fuzz loop allocates nothing per
+// execution. Mutate (returning a fresh buffer) wraps it for callers that
+// don't care; both draw the identical RNG sequence and produce identical
+// bytes.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +58,13 @@ class Mutator {
   util::Bytes Mutate(util::ByteSpan input, const MutationHint& hint,
                      util::ByteSpan splice_donor = {});
 
+  /// Mutates `input` into `out`, reusing out's capacity: the zero-alloc
+  /// (after warmup) hot-loop variant of Mutate, with the identical RNG
+  /// draw sequence and output bytes. `input` and `splice_donor` must not
+  /// alias `out`.
+  void MutateInto(util::ByteSpan input, const MutationHint& hint,
+                  util::ByteSpan splice_donor, util::Bytes& out);
+
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
 
   // Individual structural operators, exposed for tests. Each returns the
@@ -65,11 +79,23 @@ class Mutator {
   static util::Bytes BumpAnswerCount(util::ByteSpan input, util::Rng& rng);
 
  private:
-  util::Bytes HavocOnce(util::Bytes data, const MutationHint& hint,
-                        util::ByteSpan splice_donor);
-  util::Bytes DnsOnce(util::Bytes data, const MutationHint& hint);
+  // In-place cores of the structural operators; the public statics wrap
+  // them around a fresh copy. `scratch` buffers a self-insertion (vector
+  // ranges must not alias their own insert).
+  static void GrowLabelInPlace(util::Bytes& data, std::size_t start,
+                               util::Rng& rng);
+  static void DuplicateLabelRunInPlace(util::Bytes& data, std::size_t start,
+                                       util::Rng& rng, util::Bytes& scratch);
+  static void PlantCompressionPointerInPlace(util::Bytes& data,
+                                             std::size_t start, util::Rng& rng);
+  static void BumpAnswerCountInPlace(util::Bytes& data, util::Rng& rng);
+
+  void DnsOnce(util::Bytes& data, const MutationHint& hint);
+  void HavocOnce(util::Bytes& data, const MutationHint& hint,
+                 util::ByteSpan splice_donor);
 
   util::Rng rng_;
+  util::Bytes chunk_;  // chunk-duplication / label-run scratch
 };
 
 }  // namespace connlab::fuzz

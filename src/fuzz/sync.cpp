@@ -1,0 +1,24 @@
+#include "src/fuzz/sync.hpp"
+
+namespace connlab::fuzz {
+
+const std::vector<EpochDelta>& EpochExchange::ExchangeAndWait(
+    std::size_t worker, std::size_t epoch, EpochDelta delta) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (rows_.size() <= epoch) {
+    rows_.emplace_back();
+    rows_.back().deltas.resize(workers_);
+  }
+  Row& row = rows_[epoch];
+  row.deltas[worker] = std::move(delta);
+  ++row.published;
+  if (row.published == workers_) {
+    cv_.notify_all();
+  } else {
+    // Waiters for *other* epochs share the condvar; re-check our own row.
+    cv_.wait(lock, [&row, this] { return row.published == workers_; });
+  }
+  return row.deltas;
+}
+
+}  // namespace connlab::fuzz

@@ -1,0 +1,86 @@
+// Epoch-batched cross-worker exchange: the mechanism that lets N fuzz
+// workers share coverage-increasing finds without giving up determinism.
+//
+// Workers run fully independently between barriers. Every `sync_interval`
+// execs a worker reaches an epoch barrier, publishes what it found since
+// the previous one (its new corpus entries plus the sparse coverage bits it
+// newly lit in its own virgin map), waits for every other worker to publish
+// the same epoch, and then absorbs the others' deltas in worker-index
+// order. Because the barrier is bulk-synchronous — nobody reads epoch e
+// until all of epoch e is published, and the absorb order is fixed — the
+// state a worker carries into epoch e+1 is a pure function of (root seed,
+// worker index, e), never of thread scheduling. That is the whole
+// determinism argument, and the digest tests hold it to account.
+//
+// Termination: workers finish their budgets at different epochs, so a
+// finished worker keeps attending barriers with an empty, done-flagged
+// delta until every worker reports done. All workers therefore observe the
+// same final epoch and exit together; no barrier is ever left short.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/fuzz/corpus.hpp"
+#include "src/fuzz/coverage.hpp"
+
+namespace connlab::fuzz {
+
+/// One worker's publication for one epoch.
+struct EpochDelta {
+  /// Coverage-increasing inputs admitted to the worker's corpus since the
+  /// previous barrier (news/found_at as recorded at discovery time).
+  std::vector<CorpusEntry> entries;
+  /// Sparse classified bits newly set in the worker's virgin map since the
+  /// previous barrier.
+  std::vector<CoverageDelta> coverage;
+  /// Worker has exhausted its budget (or stopped early); it will publish
+  /// nothing further but keeps attending barriers until everyone is done.
+  bool done = false;
+};
+
+/// The barrier + mailbox shared by one campaign's workers. Thread-safe;
+/// workers must each publish every epoch exactly once, in order.
+class EpochExchange {
+ public:
+  explicit EpochExchange(std::size_t workers) : workers_(workers) {}
+
+  EpochExchange(const EpochExchange&) = delete;
+  EpochExchange& operator=(const EpochExchange&) = delete;
+
+  /// Publishes `delta` as (worker, epoch) and blocks until all workers have
+  /// published that epoch. Returns the complete row, indexed by worker. The
+  /// reference stays valid for the exchange's lifetime (rows are kept in a
+  /// deque and never erased), and reading it after return is race-free: all
+  /// writes to the row happened before the last publisher flipped it
+  /// complete under the mutex.
+  const std::vector<EpochDelta>& ExchangeAndWait(std::size_t worker,
+                                                 std::size_t epoch,
+                                                 EpochDelta delta);
+
+  [[nodiscard]] static bool AllDone(
+      const std::vector<EpochDelta>& row) noexcept {
+    for (const EpochDelta& d : row) {
+      if (!d.done) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+ private:
+  struct Row {
+    std::vector<EpochDelta> deltas;
+    std::size_t published = 0;
+  };
+
+  std::size_t workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Row> rows_;  // deque: row references survive later epochs
+};
+
+}  // namespace connlab::fuzz

@@ -1,0 +1,55 @@
+#include "src/util/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace connlab::util {
+
+std::size_t ResolveWorkerCount(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(std::size_t count, std::size_t workers,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count <= 1 || workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // More threads than tasks just park on an exhausted counter; don't spawn
+  // them in the first place.
+  const std::size_t threads = workers < count ? workers : count;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&next, count, &body] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+void ParallelInvoke(std::size_t count,
+                    const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.emplace_back([i, &body] { body(i); });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace connlab::util

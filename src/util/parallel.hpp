@@ -1,0 +1,42 @@
+// Shared threading helpers for the parallel subsystems (fuzz worker fleets,
+// fleet survival sweeps).
+//
+// Two shapes, deliberately distinct:
+//
+//  - ParallelFor: a work *queue*. `workers` threads pull indices off an
+//    atomic counter until `count` tasks are done. Right for independent
+//    tasks (fleet sweep points) where any thread may run any task and
+//    nothing blocks on anything else.
+//
+//  - ParallelInvoke: exactly one thread per index, all alive at once.
+//    Required when the bodies rendezvous with each other (fuzz workers at
+//    an epoch barrier): running two bodies on one queue thread would
+//    deadlock the barrier, so a queue is the wrong tool there.
+//
+// Neither helper imposes any ordering on results — callers that need
+// deterministic output write into pre-sized slots by index and assemble in
+// index order afterwards.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace connlab::util {
+
+/// Maps a worker-count request onto this host: 0 = hardware concurrency,
+/// anything else passes through. Never returns 0.
+[[nodiscard]] std::size_t ResolveWorkerCount(std::size_t requested) noexcept;
+
+/// Runs body(0) ... body(count-1) across up to `workers` threads pulling
+/// from a shared atomic counter. Runs inline (no threads) when either the
+/// task or worker count is <= 1. `body` must not throw.
+void ParallelFor(std::size_t count, std::size_t workers,
+                 const std::function<void(std::size_t)>& body);
+
+/// Runs body(0) ... body(count-1) on exactly one dedicated thread each,
+/// all concurrent, and joins them. Inline when count <= 1. Use when the
+/// bodies synchronise with one another. `body` must not throw.
+void ParallelInvoke(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+}  // namespace connlab::util

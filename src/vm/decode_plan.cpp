@@ -1,5 +1,7 @@
 #include "src/vm/decode_plan.hpp"
 
+#include <mutex>
+
 #include "src/isa/disasm.hpp"
 
 namespace connlab::vm {
@@ -41,33 +43,45 @@ std::shared_ptr<const DecodePlan> DecodePlanRegistry::GetOrBuild(
     isa::Arch arch, const mem::Segment& seg) {
   Key key{static_cast<std::uint8_t>(arch), seg.base(), seg.size(),
           DecodePlan::HashContent(seg.data()), seg.name()};
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = plans_.find(key);
-  if (it != plans_.end()) {
-    ++shares_;
+  {
+    // The hot path — every post-crash reboot of every worker lands here —
+    // takes only a reader lock, so concurrent lookups never serialise.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      shares_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Build outside any lock: cold boots of *different* images proceed in
+  // parallel instead of queueing behind one mutex. Two workers racing to
+  // build the same image both decode it, but only one insert wins and the
+  // loser adopts the winner's plan — a rare duplicate decode, paid once per
+  // image, beats serialising every boot in the fleet.
+  std::shared_ptr<const DecodePlan> plan = DecodePlan::Build(arch, seg);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = plans_.try_emplace(key, plan);
+  if (!inserted) {
+    shares_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  // Building under the lock serialises concurrent cold boots of the same
-  // image; that is the point — the second booter waits instead of decoding
-  // the same text a second time.
-  std::shared_ptr<const DecodePlan> plan = DecodePlan::Build(arch, seg);
-  ++builds_;
-  if (plans_.size() >= kMaxPlans && !insertion_order_.empty()) {
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  if (plans_.size() > kMaxPlans && !insertion_order_.empty()) {
     plans_.erase(insertion_order_.front());
     insertion_order_.pop_front();
   }
-  insertion_order_.push_back(key);
-  plans_.emplace(std::move(key), plan);
+  insertion_order_.push_back(std::move(key));
   return plan;
 }
 
 DecodePlanRegistry::Stats DecodePlanRegistry::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return Stats{builds_, shares_, plans_.size()};
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return Stats{builds_.load(std::memory_order_relaxed),
+               shares_.load(std::memory_order_relaxed), plans_.size()};
 }
 
 void DecodePlanRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   plans_.clear();
   insertion_order_.clear();
 }

@@ -25,11 +25,12 @@
 // fetch/decode path so fault details stay byte-identical.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "src/isa/isa.hpp"
@@ -88,7 +89,11 @@ class DecodePlan {
 /// so two Systems booted from the same seed share one plan, while a
 /// diversity-reshuffled boot — different bytes, different hash — gets its
 /// own and can never be served a stale decode. Thread-safe: multi-worker
-/// campaigns boot concurrently.
+/// campaigns boot concurrently, and the hot lookup path takes only a shared
+/// (reader) lock — N workers re-booting after crashes never serialise on
+/// each other. Cold builds happen outside any lock; when two workers race
+/// to build the same image, one build wins the insert and the loser shares
+/// it (a rare duplicate decode is cheaper than serialising every boot).
 class DecodePlanRegistry {
  public:
   static DecodePlanRegistry& Instance();
@@ -124,11 +129,11 @@ class DecodePlanRegistry {
   /// safe: live bindings hold their own shared_ptr.
   static constexpr std::size_t kMaxPlans = 128;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::map<Key, std::shared_ptr<const DecodePlan>> plans_;
   std::deque<Key> insertion_order_;
-  std::uint64_t builds_ = 0;
-  std::uint64_t shares_ = 0;
+  std::atomic<std::uint64_t> builds_{0};
+  std::atomic<std::uint64_t> shares_{0};
 };
 
 }  // namespace connlab::vm

@@ -221,5 +221,49 @@ TEST(Differential, MultiWorkerSharedPlanCampaignIsDeterministic) {
             second.value().triage.buckets().size());
 }
 
+// --- PR 8: epoch-batched cross-worker sync ---------------------------------
+
+ReplayOutcome RunMultiWorkerReplay(bool predecode, std::uint64_t sync) {
+  PredecodeDefault mode(predecode);
+  fuzz::FuzzConfig config = ReplayConfig(/*fast_reset=*/predecode);
+  config.workers = 3;
+  config.sync_interval = sync;
+  auto report = fuzz::Fuzzer(config).Run();
+  EXPECT_TRUE(report.ok());
+  ReplayOutcome out;
+  if (!report.ok()) return out;
+  out.digest = report.value().stats.coverage_digest;
+  out.coverage_cells = report.value().stats.coverage_cells;
+  out.buckets = report.value().triage.buckets().size();
+  out.crashing_execs = report.value().stats.crashing_execs;
+  out.corpus_size = report.value().stats.corpus_size;
+  return out;
+}
+
+/// The differential gate must keep holding once workers exchange corpus
+/// deltas mid-campaign: for a FIXED sync setting, fast and legacy VM modes
+/// land on the same merged outcome. Sync on and sync off are different
+/// (equally deterministic) campaigns — workers that absorb each other's
+/// finds mutate different parents — so the comparison is within each sync
+/// setting across VM modes, never across sync settings.
+TEST(Differential, EpochSyncedReplayIdenticalAcrossVmModes) {
+  // Three workers x 1000 execs, an exchange every 400: epochs fire mid-run.
+  const ReplayOutcome fast_synced = RunMultiWorkerReplay(true, 400);
+  const ReplayOutcome legacy_synced = RunMultiWorkerReplay(false, 400);
+  EXPECT_EQ(fast_synced.digest, legacy_synced.digest);
+  EXPECT_EQ(fast_synced.coverage_cells, legacy_synced.coverage_cells);
+  EXPECT_EQ(fast_synced.buckets, legacy_synced.buckets);
+  EXPECT_EQ(fast_synced.crashing_execs, legacy_synced.crashing_execs);
+  EXPECT_EQ(fast_synced.corpus_size, legacy_synced.corpus_size);
+
+  const ReplayOutcome fast_solo = RunMultiWorkerReplay(true, 0);
+  const ReplayOutcome legacy_solo = RunMultiWorkerReplay(false, 0);
+  EXPECT_EQ(fast_solo.digest, legacy_solo.digest);
+  EXPECT_EQ(fast_solo.coverage_cells, legacy_solo.coverage_cells);
+  EXPECT_EQ(fast_solo.buckets, legacy_solo.buckets);
+  EXPECT_EQ(fast_solo.crashing_execs, legacy_solo.crashing_execs);
+  EXPECT_EQ(fast_solo.corpus_size, legacy_solo.corpus_size);
+}
+
 }  // namespace
 }  // namespace connlab

@@ -425,5 +425,37 @@ TEST(FleetReport, SweepCarriesPerBugClassSurvival) {
   EXPECT_NE(json.find("\"heap_compromised_fraction\""), std::string::npos);
 }
 
+// ----------------------------------------------------- parallel sweep ----
+
+/// The sweep's (entropy point, bug class) campaigns run across worker
+/// threads, but each campaign is a self-contained virtual-time simulation:
+/// the assembled curve must be bit-identical to the serial sweep, digests
+/// and all, for any worker count.
+TEST(FleetParallel, SweepIsDigestIdenticalToSerial) {
+  auto serial = fleet::RunSurvivalSweep(SmallCampaign(), {0, 2}, 1);
+  auto parallel = fleet::RunSurvivalSweep(SmallCampaign(), {0, 2}, 4);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(parallel.value().size(), serial.value().size());
+  EXPECT_EQ(fleet::CurveDigest(parallel.value()),
+            fleet::CurveDigest(serial.value()));
+  for (std::size_t i = 0; i < serial.value().size(); ++i) {
+    const fleet::SurvivalPoint& s = serial.value()[i];
+    const fleet::SurvivalPoint& p = parallel.value()[i];
+    SCOPED_TRACE("point " + std::to_string(i));
+    EXPECT_EQ(p.diversity_bits, s.diversity_bits);
+    EXPECT_EQ(p.victims, s.victims);
+    EXPECT_EQ(p.compromised, s.compromised);
+    EXPECT_EQ(p.crashed, s.crashed);
+    EXPECT_EQ(p.digest, s.digest);
+    EXPECT_EQ(p.loop_crashed, s.loop_crashed);
+    EXPECT_EQ(p.loop_digest, s.loop_digest);
+    EXPECT_EQ(p.heap_compromised, s.heap_compromised);
+    EXPECT_EQ(p.heap_crashed, s.heap_crashed);
+    EXPECT_EQ(p.heap_trapped, s.heap_trapped);
+    EXPECT_EQ(p.heap_digest, s.heap_digest);
+  }
+}
+
 }  // namespace
 }  // namespace connlab

@@ -1,8 +1,14 @@
-// Unit tests for src/util: Status/Result, byte cursors, RNG, hexdump.
+// Unit tests for src/util: Status/Result, byte cursors, RNG, hexdump, and
+// the parallel execution helpers.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "src/util/bytes.hpp"
 #include "src/util/hexdump.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/status.hpp"
 
@@ -232,6 +238,50 @@ TEST(Rng, SplitDiffersFromParentDraws) {
   int same = 0;
   for (int i = 0; i < 64; ++i) same += child.NextU64() == parent.NextU64() ? 1 : 0;
   EXPECT_LT(same, 4);
+}
+
+TEST(Parallel, ResolveWorkerCountNeverReturnsZero) {
+  EXPECT_GE(ResolveWorkerCount(0), 1u);  // 0 = "one per hardware core"
+  EXPECT_EQ(ResolveWorkerCount(1), 1u);
+  EXPECT_EQ(ResolveWorkerCount(7), 7u);
+}
+
+TEST(Parallel, ForVisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 257;  // deliberately not a worker multiple
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelFor(kCount, 4, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ForWithOneWorkerRunsInlineAndInOrder) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  ParallelFor(16, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, InvokeRunsAllBodiesConcurrently) {
+  // Each body blocks until every body has started: only true all-at-once
+  // execution (one thread per index, the property barrier-coupled fuzz
+  // workers rely on) can finish — a work queue narrower than the count
+  // would deadlock here instead.
+  constexpr std::size_t kCount = 4;
+  std::atomic<std::size_t> arrived{0};
+  ParallelInvoke(kCount, [&](std::size_t) {
+    arrived.fetch_add(1, std::memory_order_acq_rel);
+    while (arrived.load(std::memory_order_acquire) < kCount) {
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_EQ(arrived.load(), kCount);
 }
 
 TEST(HexDump, FormatsRows) {
