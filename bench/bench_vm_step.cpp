@@ -39,6 +39,16 @@ struct PredecodeMode {
   ~PredecodeMode() { vm::Cpu::set_predecode_default(true); }
 };
 
+/// Same scope-exit restore for the superblock tier. The legacy/fast columns
+/// below measure the plain interpreter (tier off) so the superblock columns
+/// have an honest baseline; fresh boots outside this bench keep the tier on.
+struct SuperblockMode {
+  explicit SuperblockMode(bool enabled) {
+    vm::Cpu::set_superblocks_default(enabled);
+  }
+  ~SuperblockMode() { vm::Cpu::set_superblocks_default(true); }
+};
+
 struct Throughput {
   double steps_per_sec = 0;
   double items_per_sec = 0;  // deliveries (ROP) or loop runs
@@ -60,9 +70,10 @@ dns::LabelSeq RopLabels() {
 
 /// Repeated end-to-end ROP deliveries against one victim (the proxy resumes
 /// cleanly after each hijack, so deliveries chain on a single boot).
-Throughput MeasureRopReplay(bool predecode, const dns::LabelSeq& labels,
-                            double budget_secs) {
+Throughput MeasureRopReplay(bool predecode, bool superblocks,
+                            const dns::LabelSeq& labels, double budget_secs) {
   PredecodeMode mode(predecode);
+  SuperblockMode sb_mode(superblocks);
   auto sys =
       loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::WxAslr(), 4242)
           .value();
@@ -89,8 +100,10 @@ Throughput MeasureRopReplay(bool predecode, const dns::LabelSeq& labels,
 
 /// A straight-line countdown loop in .scratch: the densest all-interpreter
 /// workload (no host functions, no DNS framing).
-Throughput MeasureTightLoop(bool predecode, double budget_secs) {
+Throughput MeasureTightLoop(bool predecode, bool superblocks,
+                            double budget_secs) {
   PredecodeMode mode(predecode);
+  SuperblockMode sb_mode(superblocks);
   auto sys =
       loader::Boot(isa::Arch::kVX86, loader::ProtectionConfig::None(), 7)
           .value();
@@ -245,23 +258,31 @@ int main(int argc, char** argv) {
   std::printf("== E13: VM hot path — predecode cache on vs off ==\n\n");
   g_labels = RopLabels();
 
-  const Throughput rop_legacy = MeasureRopReplay(false, g_labels, budget);
-  const Throughput rop_fast = MeasureRopReplay(true, g_labels, budget);
-  const Throughput loop_legacy = MeasureTightLoop(false, budget);
-  const Throughput loop_fast = MeasureTightLoop(true, budget);
+  const Throughput rop_legacy = MeasureRopReplay(false, false, g_labels, budget);
+  const Throughput rop_fast = MeasureRopReplay(true, false, g_labels, budget);
+  const Throughput rop_sb = MeasureRopReplay(true, true, g_labels, budget);
+  const Throughput loop_legacy = MeasureTightLoop(false, false, budget);
+  const Throughput loop_fast = MeasureTightLoop(true, false, budget);
+  const Throughput loop_sb = MeasureTightLoop(true, true, budget);
   const RebootCost reboot = MeasureRebootCost();
 
   const double rop_speedup = rop_fast.steps_per_sec / rop_legacy.steps_per_sec;
   const double loop_speedup =
       loop_fast.steps_per_sec / loop_legacy.steps_per_sec;
+  const double sb_speedup = loop_sb.steps_per_sec / loop_fast.steps_per_sec;
 
-  std::printf("%-22s %14s %14s %9s\n", "workload", "legacy st/s", "fast st/s",
-              "speedup");
-  std::printf("%s\n", std::string(64, '-').c_str());
-  std::printf("%-22s %14.0f %14.0f %8.2fx\n", "rop replay (x86)",
-              rop_legacy.steps_per_sec, rop_fast.steps_per_sec, rop_speedup);
-  std::printf("%-22s %14.0f %14.0f %8.2fx\n", "tight loop (x86)",
-              loop_legacy.steps_per_sec, loop_fast.steps_per_sec, loop_speedup);
+  std::printf("%-22s %14s %14s %14s %9s\n", "workload", "legacy st/s",
+              "fast st/s", "superblk st/s", "sb spd");
+  std::printf("%s\n", std::string(79, '-').c_str());
+  std::printf("%-22s %14.0f %14.0f %14.0f %8.2fx\n", "rop replay (x86)",
+              rop_legacy.steps_per_sec, rop_fast.steps_per_sec,
+              rop_sb.steps_per_sec,
+              rop_sb.steps_per_sec / rop_fast.steps_per_sec);
+  std::printf("%-22s %14.0f %14.0f %14.0f %8.2fx\n", "tight loop (x86)",
+              loop_legacy.steps_per_sec, loop_fast.steps_per_sec,
+              loop_sb.steps_per_sec, sb_speedup);
+  std::printf("  (legacy→fast speedups: rop %.2fx, loop %.2fx)\n", rop_speedup,
+              loop_speedup);
   std::printf("\nreboot: full Boot %.1f us, full restore %.1f us, "
               "dirty-only restore %.1f us\n"
               "        (restore %.1fx cheaper than Boot; dirty-only %.1fx "
@@ -275,11 +296,14 @@ int main(int argc, char** argv) {
     json.String("bench", "vm_step");
     json.Number("rop_steps_per_sec_legacy", rop_legacy.steps_per_sec);
     json.Number("rop_steps_per_sec", rop_fast.steps_per_sec);
+    json.Number("rop_steps_per_sec_superblock", rop_sb.steps_per_sec);
     json.Number("rop_speedup", rop_speedup);
     json.Number("rop_deliveries_per_sec", rop_fast.items_per_sec);
     json.Number("loop_steps_per_sec_legacy", loop_legacy.steps_per_sec);
     json.Number("loop_steps_per_sec", loop_fast.steps_per_sec);
+    json.Number("loop_steps_per_sec_superblock", loop_sb.steps_per_sec);
     json.Number("loop_speedup", loop_speedup);
+    json.Number("superblock_speedup", sb_speedup);
     json.Number("boot_us", reboot.boot_us);
     // restore_us stays the headline key (the mode campaigns actually run,
     // now dirty-only); restore_full_us keeps the old wholesale copy visible.

@@ -10,6 +10,11 @@
 //   ./examples/fleet_campaign [--victims=N] [--seed=S] [--entropy=0,2,4,8]
 //                             [--sweep-workers=N] [--json=PATH]
 //                             [--metrics=PATH] [--trace=PATH]
+//                             [--no-superblocks]
+//
+// --no-superblocks pins victim-lane CPUs to the plain interpreter (the
+// superblock tier is on by default). The curve and its digests are
+// identical either way — it is an A/B-measurement knob.
 //
 // --sweep-workers spreads the sweep's (entropy, bug class) campaigns across
 // N threads (0 = one per hardware core, 1 = serial) — the curve and its
@@ -47,6 +52,17 @@ std::string TakeFlag(std::vector<std::string>& args, const std::string& name) {
     }
   }
   return {};
+}
+
+bool TakeBareFlag(std::vector<std::string>& args, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<int> ParseIntList(const std::string& csv) {
@@ -89,9 +105,11 @@ int main(int argc, char** argv) {
   const std::string json_path = TakeFlag(args, "json");
   const std::string metrics_path = TakeFlag(args, "metrics");
   const std::string trace_path = TakeFlag(args, "trace");
+  const bool no_superblocks = TakeBareFlag(args, "no-superblocks");
   obs::Scope scope(obs::ScopeOptions{.trace = !trace_path.empty()});
 
   fleet::FleetConfig config;
+  config.superblocks = !no_superblocks;
   config.victims = victims_flag.empty()
                        ? 20000
                        : std::strtoull(victims_flag.c_str(), nullptr, 10);

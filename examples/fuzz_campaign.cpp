@@ -10,7 +10,13 @@
 //                            [corpus_file] [dict_file] \
 //                            [--sync-interval=N] \
 //                            [--trace=t.json] [--metrics=m.json] \
-//                            [--repro-dir=dir] [--distill]
+//                            [--repro-dir=dir] [--distill] \
+//                            [--no-superblocks]
+//
+// `--no-superblocks` pins the victim CPUs to the plain interpreter (the
+// superblock threaded-code tier is on by default); the differential suite
+// proves both tiers produce identical campaigns, so this is a debugging and
+// A/B-measurement knob, not a behaviour switch.
 //
 // `--sync-interval=N` sets how many of its own execs each worker runs
 // between cross-worker corpus exchanges (multi-worker only; 0 disables
@@ -101,8 +107,10 @@ int main(int argc, char** argv) {
   const std::string repro_dir = TakeFlag(args, "repro-dir");
   const std::string sync_flag = TakeFlag(args, "sync-interval");
   const bool distill = TakeBareFlag(args, "distill");
+  const bool no_superblocks = TakeBareFlag(args, "no-superblocks");
 
   fuzz::FuzzConfig config;
+  config.target.superblocks = !no_superblocks;
   if (!sync_flag.empty()) {
     config.sync_interval = std::strtoull(sync_flag.c_str(), nullptr, 0);
   }

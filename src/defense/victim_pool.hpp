@@ -34,6 +34,9 @@ class VictimPool {
     loader::ProtectionConfig base;       // population-wide baseline
     std::uint64_t seed0 = 1;             // variant v boots at seed0 + v
     connman::Version version = connman::Version::k134;
+    /// Superblock tier on lane CPUs; disable-only knob (the process-wide
+    /// default still governs), threaded through fleet::FleetConfig.
+    bool superblocks = true;
   };
 
   struct VolleyOutcome {

@@ -136,7 +136,10 @@ util::Result<FleetResult> RunFleetCampaign(const FleetConfig& config) {
     }
   }
 
-  defense::VictimPool pool({config.arch, config.base, victim_seed0});
+  defense::VictimPool::Config pool_config{config.arch, config.base,
+                                          victim_seed0};
+  pool_config.superblocks = config.superblocks;
+  defense::VictimPool pool(pool_config);
   // Per-victim boots restore the victim's own variant lane (its diversity
   // draw is the whole point); mitigation hardening only matters when a
   // volley is actually evaluated, so it stays off the restore path and the

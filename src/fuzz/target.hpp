@@ -49,6 +49,11 @@ struct TargetConfig {
   /// (fork-server style) instead of re-running the loader. Off = full
   /// re-Boot per corruption, the legacy baseline for the differential gate.
   bool fast_reset = true;
+  /// Superblock threaded-code tier (vm/superblock.hpp) on the target's CPU.
+  /// Only ever applied as a disable so the process-wide default the
+  /// differential suite flips (Cpu::set_superblocks_default) still governs
+  /// freshly booted targets.
+  bool superblocks = true;
 };
 
 /// What one execution did, reduced to what the fuzz loop and the triage

@@ -7,6 +7,7 @@
 #include "src/isa/vx86.hpp"
 #include "src/obs/obs.hpp"
 #include "src/util/log.hpp"
+#include "src/vm/superblock.hpp"
 #include "src/vm/syscalls.hpp"
 
 namespace connlab::vm {
@@ -75,7 +76,8 @@ Cpu::Cpu(isa::Arch arch, mem::AddressSpace& space)
       predecode_(kPredecodeSlots),
       predecode_shift_(arch == isa::Arch::kVARM ? 2 : 0),
       predecode_enabled_(predecode_default_),
-      shared_plans_enabled_(shared_plans_default_) {}
+      shared_plans_enabled_(shared_plans_default_),
+      superblocks_enabled_(superblocks_default_) {}
 
 Cpu::~Cpu() {
 #ifndef CONNLAB_OBS_DISABLED
@@ -93,6 +95,26 @@ void Cpu::FlushObsBatch() noexcept {
     if (obs_batch_.stops[i] != 0) stop_counters[i]->Add(obs_batch_.stops[i]);
   }
   obs_batch_ = ObsBatch{};
+  // Superblock-tier counters ride the same batch cadence: they only move
+  // inside Run(), and every Run ends by flushing-or-counting the batch.
+  if (sb_ != nullptr) {
+    if (sb_->compiles != 0) {
+      OBS_COUNT_N("vm.superblock.compiles", sb_->compiles);
+      sb_->compiles = 0;
+    }
+    if (sb_->hits != 0) {
+      OBS_COUNT_N("vm.superblock.hits", sb_->hits);
+      sb_->hits = 0;
+    }
+    if (sb_->fallbacks != 0) {
+      OBS_COUNT_N("vm.superblock.fallbacks", sb_->fallbacks);
+      sb_->fallbacks = 0;
+    }
+    if (sb_->invalidations != 0) {
+      OBS_COUNT_N("vm.superblock.invalidations", sb_->invalidations);
+      sb_->invalidations = 0;
+    }
+  }
 }
 #endif
 
@@ -177,8 +199,10 @@ util::Status Cpu::RegisterHostFn(mem::GuestAddr addr, std::string name, HostFn f
   }
   host_fns_[addr] = {std::move(name), std::move(fn)};
   // A new trampoline may shadow an address whose decode (or absence) is
-  // cached; start clean rather than tracking individual slots.
+  // cached; start clean rather than tracking individual slots. Compiled
+  // superblocks may likewise run straight through the new trampoline's pc.
   FlushPredecodeCache();
+  FlushSuperblocks();
   return util::OkStatus();
 }
 
@@ -230,6 +254,10 @@ StopInfo Cpu::Run(std::uint64_t max_steps) {
       break;
     }
     skip_breakpoint_once_ = false;
+    if (superblocks_enabled_ &&
+        TrySuperblocks(max_steps - (steps_ - start_steps))) {
+      continue;  // re-evaluate stop/budget/breakpoints at the block boundary
+    }
     Step();
   }
   stop_.steps = steps_ - start_steps;

@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -27,6 +28,9 @@
 #include "src/vm/events.hpp"
 
 namespace connlab::vm {
+
+struct Superblock;
+class SuperblockCache;
 
 enum class StopReason : std::uint8_t {
   kRunning,       // not stopped (internal)
@@ -164,6 +168,31 @@ class Cpu {
     return shared_plans_default_;
   }
 
+  // --- Superblock tier ------------------------------------------------------
+  // Straight-line regions compiled into computed-goto threaded code (see
+  // vm/superblock.hpp): the Run() loop dispatches whole blocks when it can
+  // and falls back to Step() everywhere else. Blocks are keyed to (segment,
+  // write generation) exactly like predecode slots, so SMC / W^X flips /
+  // snapshot restores invalidate them; store-class ops re-check the code
+  // segment's generation mid-block. Disabling the tier drops every block.
+  void set_superblocks_enabled(bool enabled) noexcept {
+    superblocks_enabled_ = enabled;
+    FlushSuperblocks();
+  }
+  [[nodiscard]] bool superblocks_enabled() const noexcept {
+    return superblocks_enabled_;
+  }
+  /// Process-wide default applied to newly constructed CPUs, mirroring
+  /// set_predecode_default (the differential suite toggles it around whole
+  /// scenarios; TargetConfig/FleetConfig knobs disable it per campaign).
+  static void set_superblocks_default(bool enabled) noexcept {
+    superblocks_default_ = enabled;
+  }
+  [[nodiscard]] static bool superblocks_default() noexcept {
+    return superblocks_default_;
+  }
+  void FlushSuperblocks() noexcept;
+
   // --- Snapshot state (loader::Snapshot) ------------------------------------
   /// Architectural state a snapshot must capture to make a later
   /// RestoreState indistinguishable from a fresh boot: registers, pc,
@@ -196,8 +225,16 @@ class Cpu {
   void SetExitCode(std::uint32_t code) noexcept { stop_.exit_code = code; }
 
   // --- Breakpoints -------------------------------------------------------------
-  void AddBreakpoint(mem::GuestAddr addr) { breakpoints_.insert(addr); }
-  void RemoveBreakpoint(mem::GuestAddr addr) { breakpoints_.erase(addr); }
+  // Compiled superblocks stop at breakpoint'd pcs, so any change to the set
+  // drops them (rare, debugger-only operations).
+  void AddBreakpoint(mem::GuestAddr addr) {
+    breakpoints_.insert(addr);
+    FlushSuperblocks();
+  }
+  void RemoveBreakpoint(mem::GuestAddr addr) {
+    breakpoints_.erase(addr);
+    FlushSuperblocks();
+  }
   [[nodiscard]] bool HasBreakpoint(mem::GuestAddr addr) const noexcept {
     return breakpoints_.contains(addr);
   }
@@ -296,6 +333,21 @@ class Cpu {
   /// binding or an offset the plan could not decode.
   [[nodiscard]] const isa::Instr* PlannedInstr(const mem::Segment* seg) const noexcept;
 
+  /// Superblock tier internals (vm/superblock.cpp). TrySuperblocks chains
+  /// block executions from the current pc while blocks are available and
+  /// the budget allows, returning true when at least one block ran (the
+  /// Run() loop then re-evaluates its stop conditions). SuperblockFor
+  /// compiles-or-fetches the block at `entry`; ExecSuperblock is the
+  /// computed-goto executor (called with block == nullptr it returns the
+  /// handler label table for the builder).
+  bool TrySuperblocks(std::uint64_t remaining);
+  const Superblock* SuperblockFor(const mem::Segment* seg,
+                                  mem::GuestAddr entry);
+  const void* const* ExecSuperblock(const Superblock* block,
+                                    const mem::Segment* seg,
+                                    std::uint64_t entry_gen,
+                                    std::uint64_t steps_cap);
+
   void Fault(std::string detail);
   void RecordCoverageEdge() noexcept {
     const std::uint32_t cur = CoverageLocation(pc_);
@@ -332,6 +384,9 @@ class Cpu {
   std::vector<PlanBinding> plan_bindings_;  // one or two entries (.text, libc)
   bool shared_plans_enabled_ = true;
   inline static bool shared_plans_default_ = true;
+  std::unique_ptr<SuperblockCache> sb_;  // lazily created on first Run
+  bool superblocks_enabled_ = true;
+  inline static bool superblocks_default_ = true;
 
 #ifndef CONNLAB_OBS_DISABLED
   /// Per-CPU staging for the obs counters: fuzz targets issue tens of tiny

@@ -1,0 +1,139 @@
+// Superblock execution tier: lazily compiled straight-line guest regions
+// executed as computed-goto threaded code.
+//
+// The interpreter (vm/cpu.cpp) pays a per-instruction tax even with warm
+// predecode caches: the Run() loop's budget/breakpoint probes, the
+// switch-dispatch in ExecVX86/ExecVARM, and a generation check per cached
+// decode. A superblock hoists all of that to once per *block*: starting from
+// a hot pc, the builder walks the instruction stream until the first control
+// transfer (branch, call, ret, syscall, hlt), host-function trampoline,
+// breakpoint'd pc, undecodable byte, segment end or the block-length cap,
+// and records one threaded-code op per instruction — a direct handler
+// address (GCC/Clang `&&label`), the decoded instruction, its pc /
+// fall-through pc and its precomputed AFL coverage location. Execution then
+// jumps handler-to-handler with no switch and no per-step cache probes.
+//
+// Correctness contract (the differential suite enforces all of it, tier on
+// vs off):
+//   - Blocks are keyed to (segment, write generation). Any byte or
+//     permission mutation — SMC, a W^X flip, a debugger poke, a snapshot
+//     restore that copied pages back — moves the generation and the block
+//     is dropped and lazily rebuilt from the new bytes.
+//   - Store-class ops re-check the code segment's generation *mid-block*
+//     and exit to the interpreter when the guest just overwrote its own
+//     instruction stream (shellcode patching the sled it is running on).
+//   - Handlers mirror the interpreter byte-for-byte: same fault wording,
+//     same pc at fault time (the fall-through pc, as ExecVX86/ExecVARM set
+//     before executing), same shadow-stack CFI events and stop details,
+//     same steps_ accounting, same AFL edge-coverage updates per retired
+//     instruction.
+//   - Anything the block cannot reproduce exactly — tracing, a VARM
+//     instruction reading or writing r15 outside the synced cases, an
+//     instruction budget smaller than the block — falls back to the
+//     interpreter, which remains the single source of truth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/isa/isa.hpp"
+#include "src/mem/segment.hpp"
+
+namespace connlab::vm {
+
+/// One threaded-code operation: everything its handler needs, precomputed.
+struct SbOp {
+  const void* handler = nullptr;  // &&label inside Cpu::ExecSuperblock
+  isa::Instr instr{};
+  mem::GuestAddr pc = 0;       // guest address of this instruction
+  mem::GuestAddr pc_next = 0;  // fall-through address (pc + length)
+  std::uint32_t cov_loc = 0;   // CoverageLocation(pc), hoisted out of the loop
+};
+
+/// A compiled straight-line region. `ops[0..count)` are real instructions;
+/// when the last one falls through (cap / boundary ended the block, not a
+/// control transfer) one extra exit sentinel op follows that re-syncs pc and
+/// leaves the executor. `count < kMinOps` marks a negative-cache entry: this
+/// entry pc is not worth block dispatch (host fn, lone instruction before a
+/// branch, undecodable) — the interpreter path handles it.
+struct Superblock {
+  static constexpr std::uint32_t kMaxOps = 64;
+  static constexpr std::uint32_t kMinOps = 2;
+
+  mem::GuestAddr entry = 0;
+  std::uint32_t count = 0;  // real instructions, excluding the exit sentinel
+  std::vector<SbOp> ops;
+
+  [[nodiscard]] bool usable() const noexcept { return count >= kMinOps; }
+};
+
+/// Per-CPU block store: a per-segment map of compiled blocks keyed to the
+/// segment's write generation, fronted by a direct-mapped slot array for the
+/// hot path. Never shared across threads (each worker owns its Cpu), so no
+/// locking anywhere.
+class SuperblockCache {
+ public:
+  /// Direct-mapped hot-path slot. Valid while `seg->generation() == gen`;
+  /// a stale slot is overwritten without ever dereferencing `block`.
+  struct Slot {
+    mem::GuestAddr pc = 0;
+    std::uint64_t gen = 0;
+    const mem::Segment* seg = nullptr;
+    const Superblock* block = nullptr;  // nullptr = empty slot
+  };
+  static constexpr std::uint32_t kSlots = 2048;  // power of two
+
+  [[nodiscard]] Slot& SlotFor(mem::GuestAddr pc, std::uint32_t shift) noexcept {
+    return slots_[(pc >> shift) & (kSlots - 1)];
+  }
+
+  /// Blocks compiled from one segment at one write generation. The map's
+  /// nodes are pointer-stable, so Slot::block stays valid until the whole
+  /// SegBlocks is invalidated.
+  struct SegBlocks {
+    const mem::Segment* seg = nullptr;
+    std::uint64_t gen = 0;
+    std::map<mem::GuestAddr, Superblock> blocks;
+  };
+
+  /// The block store for `seg` at its *current* generation: re-keys (and
+  /// drops every stale block) when the segment was written or re-protected
+  /// since the blocks were compiled.
+  SegBlocks& For(const mem::Segment* seg) {
+    for (SegBlocks& entry : segs_) {
+      if (entry.seg != seg) continue;
+      if (entry.gen != seg->generation()) {
+        if (!entry.blocks.empty()) {
+          ++invalidations;
+          entry.blocks.clear();
+        }
+        entry.gen = seg->generation();
+      }
+      return entry;
+    }
+    segs_.push_back(SegBlocks{seg, seg->generation(), {}});
+    return segs_.back();
+  }
+
+  /// Drops everything (host-fn registration, breakpoint changes, tier
+  /// toggles — events that can invalidate blocks without a generation bump).
+  void Flush() noexcept {
+    segs_.clear();
+    slots_.fill(Slot{});
+  }
+
+  // Tier counters, batched per-CPU like ObsBatch and flushed to the obs
+  // registry as vm.superblock.{compiles,hits,fallbacks,invalidations}.
+  std::uint64_t compiles = 0;       // usable blocks built
+  std::uint64_t hits = 0;           // blocks dispatched
+  std::uint64_t fallbacks = 0;      // entries that deferred to the interpreter
+  std::uint64_t invalidations = 0;  // generation bumps that dropped blocks
+
+ private:
+  std::vector<SegBlocks> segs_;  // a handful of segments per address space
+  std::array<Slot, kSlots> slots_{};
+};
+
+}  // namespace connlab::vm

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/attack/matrix.hpp"
+#include "src/fuzz/corpus.hpp"
 #include "src/fuzz/fuzzer.hpp"
 #include "src/loader/snapshot.hpp"
 #include "src/vm/cpu.hpp"
@@ -51,6 +52,16 @@ class DirtyRestoreGuard {
     loader::SetDirtyRestoreDefault(enabled);
   }
   ~DirtyRestoreGuard() { loader::SetDirtyRestoreDefault(true); }
+};
+
+/// And for the superblock threaded-code tier (fresh CPUs read the default
+/// at construction, so whole boots flip with it).
+class SuperblockDefault {
+ public:
+  explicit SuperblockDefault(bool enabled) {
+    vm::Cpu::set_superblocks_default(enabled);
+  }
+  ~SuperblockDefault() { vm::Cpu::set_superblocks_default(true); }
 };
 
 TEST(Differential, SixAttackMatrixIdenticalAcrossModes) {
@@ -263,6 +274,118 @@ TEST(Differential, EpochSyncedReplayIdenticalAcrossVmModes) {
   EXPECT_EQ(fast_solo.buckets, legacy_solo.buckets);
   EXPECT_EQ(fast_solo.crashing_execs, legacy_solo.crashing_execs);
   EXPECT_EQ(fast_solo.corpus_size, legacy_solo.corpus_size);
+}
+
+// --- PR 9: superblock threaded-code tier -----------------------------------
+
+struct TierCombo {
+  bool superblocks;
+  bool shared_plans;
+  bool dirty_restore;
+  std::string Label() const {
+    return std::string("superblocks=") + (superblocks ? "on" : "off") +
+           " plans=" + (shared_plans ? "on" : "off") +
+           " dirty_restore=" + (dirty_restore ? "on" : "off");
+  }
+};
+
+constexpr TierCombo kTierCombos[] = {
+    {true, true, true},   {true, true, false},  {true, false, true},
+    {true, false, false}, {false, true, true},  {false, true, false},
+    {false, false, true}, {false, false, false}};
+
+/// The full attack matrix must be bit-for-bit identical with the superblock
+/// tier on vs off, crossed with the decode-plan and dirty-restore axes — a
+/// compiled block serving one stale op anywhere in the exploit chains (SMC
+/// shellcode, W^X flips, canary/CFI traps, diversity reshuffles) moves a
+/// row and fails this.
+TEST(Differential, SixAttackMatrixIdenticalAcrossSuperblockCombos) {
+  std::vector<attack::AttackResult> baseline;
+  std::string baseline_label;
+  for (const TierCombo& combo : kTierCombos) {
+    SuperblockDefault tier(combo.superblocks);
+    SharedPlansDefault plans(combo.shared_plans);
+    DirtyRestoreGuard dirty(combo.dirty_restore);
+    std::vector<attack::AttackResult> rows =
+        attack::RunSixAttackMatrix(4242).value();
+    if (baseline.empty()) {
+      baseline = std::move(rows);
+      baseline_label = combo.Label();
+      ASSERT_FALSE(baseline.empty());
+      continue;
+    }
+    ASSERT_EQ(rows.size(), baseline.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      SCOPED_TRACE(combo.Label() + " vs " + baseline_label + ", row " +
+                   std::to_string(i) + ": " + rows[i].RowLabel());
+      EXPECT_EQ(rows[i].kind, baseline[i].kind);
+      EXPECT_EQ(rows[i].shell, baseline[i].shell);
+      EXPECT_EQ(rows[i].crash, baseline[i].crash);
+      EXPECT_EQ(rows[i].exploit_available, baseline[i].exploit_available);
+      EXPECT_EQ(rows[i].failure, baseline[i].failure);
+      EXPECT_EQ(rows[i].detail, baseline[i].detail);
+      EXPECT_EQ(rows[i].guest_steps, baseline[i].guest_steps);
+      EXPECT_EQ(rows[i].payload_bytes, baseline[i].payload_bytes);
+      EXPECT_EQ(rows[i].response_bytes, baseline[i].response_bytes);
+    }
+  }
+}
+
+/// Fixed-seed fuzz replay across the same eight combos: coverage digest,
+/// buckets, crash counts and corpus are invariants of the campaign, not of
+/// the execution tier. Coverage is recorded per retired instruction inside
+/// compiled blocks, so even the AFL edge stream must not move.
+TEST(Differential, FuzzReplayIdenticalAcrossSuperblockCombos) {
+  ReplayOutcome baseline{};
+  bool have_baseline = false;
+  for (const TierCombo& combo : kTierCombos) {
+    SuperblockDefault tier(combo.superblocks);
+    SharedPlansDefault plans(combo.shared_plans);
+    DirtyRestoreGuard dirty(combo.dirty_restore);
+    const ReplayOutcome out = RunReplay(true, true);
+    if (!have_baseline) {
+      baseline = out;
+      have_baseline = true;
+      continue;
+    }
+    SCOPED_TRACE(combo.Label());
+    EXPECT_EQ(out.digest, baseline.digest);
+    EXPECT_EQ(out.coverage_cells, baseline.coverage_cells);
+    EXPECT_EQ(out.buckets, baseline.buckets);
+    EXPECT_EQ(out.crashing_execs, baseline.crashing_execs);
+    EXPECT_EQ(out.corpus_size, baseline.corpus_size);
+  }
+}
+
+/// The PR 8 pinned eight-worker epoch-synced campaign, replayed with the
+/// tier on and off: both must land on the very digests committed before the
+/// superblock tier existed (tests/test_fuzz.cpp pins the same constants).
+/// This is the cross-PR anchor — the tier changed nothing observable, even
+/// under worker-parallel execution with mid-campaign corpus exchanges.
+TEST(Differential, EightWorkerSyncedDigestUnmovedBySuperblocks) {
+  constexpr std::uint64_t kCoverageDigest = 0xd8788bc796ab373cULL;
+  constexpr std::uint64_t kCorpusDigest = 0x9c372e9e5056301aULL;
+  for (const bool superblocks : {true, false}) {
+    SCOPED_TRACE(superblocks ? "tier on" : "tier off");
+    SuperblockDefault tier(superblocks);
+    fuzz::FuzzConfig config;
+    config.target.kind = fuzz::TargetKind::kDnsproxy;
+    config.seed = 42;
+    config.max_execs = 8000;
+    config.workers = 8;
+    config.sync_interval = 250;
+    config.minimize = false;
+    auto report = fuzz::Fuzzer(config).Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report.value().stats.coverage_digest, kCoverageDigest)
+        << std::hex << report.value().stats.coverage_digest;
+    std::uint64_t corpus_digest = 0xcbf29ce484222325ULL;  // FNV-1a 64
+    for (const char c : fuzz::SerializeCorpus(report.value().corpus)) {
+      corpus_digest ^= static_cast<std::uint8_t>(c);
+      corpus_digest *= 0x100000001b3ULL;
+    }
+    EXPECT_EQ(corpus_digest, kCorpusDigest) << std::hex << corpus_digest;
+  }
 }
 
 }  // namespace

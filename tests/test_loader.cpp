@@ -4,7 +4,9 @@
 
 #include <vector>
 
+#include "src/isa/assembler.hpp"
 #include "src/isa/disasm.hpp"
+#include "src/isa/vx86.hpp"
 #include "src/loader/boot.hpp"
 #include "src/loader/layout.hpp"
 #include "src/loader/libc_image.hpp"
@@ -467,6 +469,54 @@ TEST(Snapshot, WxFlipRolledBackByRestoreInBothModes) {
     EXPECT_EQ(stack->perms(), mem::kPermRW)
         << "mode " << static_cast<int>(mode);
     EXPECT_EQ(text->perms(), mem::kPermRX) << "mode " << static_cast<int>(mode);
+  }
+}
+
+/// Superblock tier across W^X flips and snapshot restores: a hot loop in
+/// .scratch compiles into blocks, a Protect flip bumps the segment's write
+/// generation (dropping them), and a RestoreSnapshot in either mode rewinds
+/// bytes + permissions. Re-running and then rewriting the loop afterwards
+/// must always execute the current bytes — never a stale compiled block.
+TEST(Snapshot, SuperblockTierSurvivesWxFlipAndRestoreInBothModes) {
+  for (const RestoreMode mode : {RestoreMode::kFull, RestoreMode::kDirtyOnly}) {
+    auto sys = Boot(Arch::kVX86, ProtectionConfig::None(), 7).value();
+    ASSERT_TRUE(sys->cpu->superblocks_enabled());
+    const mem::GuestAddr scratch = sys->Sym("scratch.start").value();
+    const Snapshot snap = TakeSnapshot(*sys);
+
+    auto assemble_loop = [&](std::uint32_t iters) {
+      isa::Assembler a(Arch::kVX86, scratch);
+      isa::vx86::EncMovImm(a.w(), isa::kEAX, iters);
+      a.Label("loop");
+      isa::vx86::EncSubImm(a.w(), isa::kEAX, 1);
+      isa::vx86::EncCmpImm(a.w(), isa::kEAX, 0);
+      a.JnzLabel("loop");
+      isa::vx86::EncHlt(a.w());
+      return a.Finish().value();
+    };
+
+    // Round 1: compile + run the loop hot (blocks built and chained).
+    ASSERT_TRUE(sys->space.DebugWrite(scratch, assemble_loop(500)).ok());
+    ASSERT_TRUE(sys->space.Protect(".scratch", mem::kPermRX).ok());
+    sys->cpu->set_pc(scratch);
+    auto first = sys->cpu->Run(100000);
+    EXPECT_EQ(first.reason, vm::StopReason::kHalted);
+    EXPECT_EQ(first.steps, 1502u) << "mode " << static_cast<int>(mode);
+
+    // W^X flip mid-life bumps the generation, then restore rewinds all of
+    // it (bytes AND permissions) to the snapshot image.
+    ASSERT_TRUE(sys->space.Protect(".scratch", mem::kPermRW).ok());
+    ASSERT_TRUE(RestoreSnapshot(*sys, snap, mode).ok());
+
+    // Round 2 on the restored image: a different loop at the same pc. A
+    // stale block from round 1 would retire 1502 steps; the rewritten
+    // 200-iteration loop retires 602.
+    ASSERT_TRUE(sys->space.DebugWrite(scratch, assemble_loop(200)).ok());
+    ASSERT_TRUE(sys->space.Protect(".scratch", mem::kPermRX).ok());
+    sys->cpu->set_pc(scratch);
+    auto second = sys->cpu->Run(100000);
+    EXPECT_EQ(second.reason, vm::StopReason::kHalted);
+    EXPECT_EQ(second.steps, 602u) << "mode " << static_cast<int>(mode);
   }
 }
 

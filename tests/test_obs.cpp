@@ -281,6 +281,42 @@ TEST(ObsCampaign, MetricsAreDeterministicAcrossRuns) {
             b.histograms.at("fuzz.input_bytes").sum);
 }
 
+// The superblock tier's counters ride the CPU's batched obs flush: a
+// campaign with the tier on (the default) exports compiles/hits/fallbacks
+// under vm.superblock.*, and every compiled block is executed at least
+// once. With the tier disabled on the target, the counters never appear —
+// the campaign's counter deltas all stay at zero.
+TEST(ObsCampaign, SuperblockCountersExported) {
+  const auto value_or_zero = [](const MetricsSnapshot& m, const char* name) {
+    auto it = m.counters.find(name);
+    return it == m.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  {
+    Scope scope;
+    auto report = fuzz::Fuzzer(SmallCampaign(42, 1)).Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const MetricsSnapshot m = scope.Metrics();
+    EXPECT_GT(m.counters.at("vm.superblock.compiles"), 0u);
+    EXPECT_GT(m.counters.at("vm.superblock.hits"), 0u);
+    EXPECT_GE(m.counters.at("vm.superblock.hits"),
+              m.counters.at("vm.superblock.compiles"));
+    // Host-function pcs and interpreter-only regions fall back by design.
+    EXPECT_GT(m.counters.at("vm.superblock.fallbacks"), 0u);
+  }
+  {
+    Scope scope;
+    fuzz::FuzzConfig config = SmallCampaign(42, 1);
+    config.target.superblocks = false;
+    auto report = fuzz::Fuzzer(config).Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const MetricsSnapshot m = scope.Metrics();
+    EXPECT_EQ(value_or_zero(m, "vm.superblock.compiles"), 0u);
+    EXPECT_EQ(value_or_zero(m, "vm.superblock.hits"), 0u);
+    EXPECT_EQ(value_or_zero(m, "vm.superblock.fallbacks"), 0u);
+    EXPECT_EQ(value_or_zero(m, "vm.superblock.invalidations"), 0u);
+  }
+}
+
 // The differential behind the "zero-cost when off" claim: installing a
 // trace sink must not change what the campaign computes — same coverage
 // digest, same exec count, same retired guest steps.

@@ -652,6 +652,240 @@ TEST(CpuPredecode, LegacyModeExecutesIdentically) {
   }
 }
 
+// --- Superblock tier: threaded-code blocks must mirror the interpreter ----
+
+/// The tier is on by default, and a hot loop retires the same stop reason,
+/// step count, and architectural state as the plain interpreter.
+TEST(CpuSuperblock, TightLoopMatchesInterpreter) {
+  auto run = [](bool superblocks) {
+    isa::Assembler a(Arch::kVX86, 0x1000);
+    x::EncMovImm(a.w(), isa::kEAX, 1000);
+    a.Label("loop");
+    x::EncSubImm(a.w(), isa::kEAX, 1);
+    x::EncCmpImm(a.w(), isa::kEAX, 0);
+    a.JnzLabel("loop");
+    x::EncHlt(a.w());
+    auto m = MakeMachine(Arch::kVX86, a.Finish().value());
+    EXPECT_TRUE(m.cpu->superblocks_enabled());  // default on
+    m.cpu->set_superblocks_enabled(superblocks);
+    auto stop = m.cpu->Run(100000);
+    EXPECT_EQ(stop.reason, StopReason::kHalted);
+    return std::make_pair(stop.steps, m.cpu->reg(isa::kEAX));
+  };
+  const auto tier = run(true);
+  EXPECT_EQ(tier, run(false));
+  EXPECT_EQ(tier.first, 3002u);  // mov + 1000 * (sub, cmp, jnz) + hlt
+}
+
+/// Same identity on VARM: the byte-copy loop exercises ARM loads, stores,
+/// flags, and backward branches through compiled blocks.
+TEST(CpuSuperblock, VarmCopyLoopMatchesInterpreter) {
+  auto run = [](bool superblocks) {
+    isa::Assembler a(Arch::kVARM, 0x1000);
+    a.Label("loop");
+    v::EncCmpImm(a.w(), isa::kR2, 0);
+    a.BeqLabel("done");
+    v::EncLdrb(a.w(), isa::kR3, isa::kR1, 0);
+    v::EncStrb(a.w(), isa::kR3, isa::kR0, 0);
+    v::EncAddImm(a.w(), isa::kR0, isa::kR0, 1);
+    v::EncAddImm(a.w(), isa::kR1, isa::kR1, 1);
+    v::EncSubImm(a.w(), isa::kR2, isa::kR2, 1);
+    a.BLabel("loop");
+    a.Label("done");
+    v::EncHlt(a.w());
+    auto m = MakeMachine(Arch::kVARM, a.Finish().value());
+    m.cpu->set_superblocks_enabled(superblocks);
+    EXPECT_TRUE(m.space.WriteBytes(0x4000, util::BytesOf("HELLO")).ok());
+    m.cpu->set_reg(isa::kR0, 0x4100);
+    m.cpu->set_reg(isa::kR1, 0x4000);
+    m.cpu->set_reg(isa::kR2, 5);
+    auto stop = m.cpu->Run(1000);
+    EXPECT_EQ(stop.reason, StopReason::kHalted);
+    EXPECT_EQ(m.space.ReadBytes(0x4100, 5).value(), util::BytesOf("HELLO"));
+    return std::make_tuple(stop.steps, m.cpu->reg(isa::kR0), m.cpu->pc());
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+/// A step budget that lands mid-block must stop at exactly that step — the
+/// tier falls back to an interpreter tail rather than overrunning.
+TEST(CpuSuperblock, StepLimitExactMidLoop) {
+  std::uint32_t pc[2], eax[2];
+  int i = 0;
+  for (const bool superblocks : {true, false}) {
+    isa::Assembler a(Arch::kVX86, 0x1000);
+    x::EncMovImm(a.w(), isa::kEAX, 1000);
+    a.Label("loop");
+    x::EncSubImm(a.w(), isa::kEAX, 1);
+    x::EncCmpImm(a.w(), isa::kEAX, 0);
+    a.JnzLabel("loop");
+    x::EncHlt(a.w());
+    auto m = MakeMachine(Arch::kVX86, a.Finish().value());
+    m.cpu->set_superblocks_enabled(superblocks);
+    auto stop = m.cpu->Run(500);  // not a multiple of the 3-op body
+    EXPECT_EQ(stop.reason, StopReason::kStepLimit);
+    EXPECT_EQ(stop.steps, 500u);
+    pc[i] = m.cpu->pc();
+    eax[i] = m.cpu->reg(isa::kEAX);
+    ++i;
+  }
+  EXPECT_EQ(pc[0], pc[1]);
+  EXPECT_EQ(eax[0], eax[1]);
+}
+
+/// Shellcode that patches an instruction LATER IN ITS OWN superblock: the
+/// store bumps the code segment's write generation mid-block, so the
+/// remaining compiled ops are stale and execution must fall back to the
+/// interpreter, which decodes — and runs — the new bytes.
+TEST(CpuSuperblock, MidBlockStoreFallsBackToFreshBytes) {
+  // Replacement tail (mov ecx,2 ; hlt), padded to a word multiple so word
+  // stores overwrite it exactly.
+  util::ByteWriter nw;
+  x::EncMovImm(nw, isa::kECX, 2);
+  x::EncHlt(nw);
+  util::Bytes new_tail = nw.bytes();
+  while (new_tail.size() % 4 != 0) new_tail.push_back(0);
+
+  // Measure encoding lengths so the tail offset is known up front.
+  util::ByteWriter probe;
+  x::EncMovImm(probe, isa::kEAX, 0);
+  const std::size_t mov_len = probe.bytes().size();
+  x::EncStore(probe, isa::kEAX, isa::kEBX, 0);
+  const std::size_t store_len = probe.bytes().size() - mov_len;
+  std::size_t tail_off = mov_len + (new_tail.size() / 4) * (mov_len + store_len);
+  while (tail_off % 4 != 0) ++tail_off;  // nop padding below keeps this true
+
+  // One straight-line region in RWX stack memory — a single superblock —
+  // whose stores overwrite its own mov ecx,1 tail before reaching it.
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEBX, 0x8000);
+  for (std::size_t i = 0; i < new_tail.size(); i += 4) {
+    const std::uint32_t word =
+        static_cast<std::uint32_t>(new_tail[i]) |
+        (static_cast<std::uint32_t>(new_tail[i + 1]) << 8) |
+        (static_cast<std::uint32_t>(new_tail[i + 2]) << 16) |
+        (static_cast<std::uint32_t>(new_tail[i + 3]) << 24);
+    x::EncMovImm(w, isa::kEAX, word);
+    x::EncStore(w, isa::kEAX, isa::kEBX,
+                static_cast<std::uint32_t>(tail_off + i));
+  }
+  while (w.bytes().size() < tail_off) x::EncNop(w);
+  ASSERT_EQ(w.bytes().size(), tail_off);
+  x::EncMovImm(w, isa::kECX, 1);
+  x::EncHlt(w);
+
+  auto m = MakeMachine(Arch::kVX86, util::Bytes{}, mem::kPermRWX);
+  ASSERT_TRUE(m.cpu->superblocks_enabled());
+  ASSERT_TRUE(m.space.DebugWrite(0x8000, w.bytes()).ok());
+  m.cpu->set_pc(0x8000);
+  auto stop = m.cpu->Run(100);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kECX), 2u);  // a stale block would leave 1
+
+  // Re-entry after the rewrite recompiles from the patched bytes.
+  m.cpu->set_pc(0x8000);
+  EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kECX), 2u);
+}
+
+/// An mprotect revoking X drops compiled blocks; granting it back after a
+/// patch recompiles from the new bytes (the full W^X flip round trip).
+TEST(CpuSuperblock, WxFlipInvalidatesCompiledBlocks) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 5);
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+  EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);  // block compiled
+
+  ASSERT_TRUE(m.space.Protect(".text", mem::kPermRW).ok());
+  m.cpu->set_pc(0x1000);
+  auto fault = m.cpu->Run(100);
+  EXPECT_EQ(fault.reason, StopReason::kFault);
+  EXPECT_EQ(fault.detail, "instruction fetch failed");
+
+  util::ByteWriter patched;
+  x::EncMovImm(patched, isa::kEAX, 77);
+  x::EncHlt(patched);
+  ASSERT_TRUE(m.space.DebugWrite(0x1000, patched.bytes()).ok());
+  ASSERT_TRUE(m.space.Protect(".text", mem::kPermRX).ok());
+  m.cpu->set_pc(0x1000);
+  EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kEAX), 77u);
+}
+
+/// Breakpoints flush compiled blocks and are honoured exactly: the stop
+/// lands on the breakpoint pc after the same number of retired steps with
+/// the tier on as off, and resuming skips it once, as the debugger expects.
+TEST(CpuSuperblock, BreakpointInsideHotLoopStillHit) {
+  std::vector<std::uint64_t> steps_seen;
+  for (const bool superblocks : {true, false}) {
+    isa::Assembler a(Arch::kVX86, 0x1000);
+    x::EncMovImm(a.w(), isa::kEAX, 100);
+    a.Label("loop");
+    x::EncSubImm(a.w(), isa::kEAX, 1);
+    x::EncCmpImm(a.w(), isa::kEAX, 0);
+    a.JnzLabel("loop");
+    x::EncHlt(a.w());
+    auto m = MakeMachine(Arch::kVX86, a.Finish().value());
+    m.cpu->set_superblocks_enabled(superblocks);
+
+    // Warm the block cache, then set a breakpoint on the cmp inside the
+    // loop body and re-run from scratch.
+    EXPECT_EQ(m.cpu->Run(1000).reason, StopReason::kHalted);
+    util::ByteWriter probe;
+    x::EncMovImm(probe, isa::kEAX, 0);
+    x::EncSubImm(probe, isa::kEAX, 0);
+    const std::uint32_t cmp_pc = static_cast<std::uint32_t>(
+        0x1000 + probe.bytes().size());  // mov, sub, then cmp
+    m.cpu->AddBreakpoint(cmp_pc);
+    m.cpu->set_reg(isa::kEAX, 0);
+    m.cpu->set_pc(0x1000);
+    auto stop = m.cpu->Run(1000);
+    EXPECT_EQ(stop.reason, StopReason::kBreakpoint);
+    EXPECT_EQ(m.cpu->pc(), cmp_pc);
+    steps_seen.push_back(stop.steps);
+
+    // Resume: the skip-once contract steps over the breakpoint and comes
+    // back around the loop to it.
+    auto again = m.cpu->Run(1000);
+    EXPECT_EQ(again.reason, StopReason::kBreakpoint);
+    EXPECT_EQ(m.cpu->pc(), cmp_pc);
+    steps_seen.push_back(again.steps);
+
+    m.cpu->RemoveBreakpoint(cmp_pc);
+    EXPECT_EQ(m.cpu->Run(1000).reason, StopReason::kHalted);
+  }
+  ASSERT_EQ(steps_seen.size(), 4u);
+  EXPECT_EQ(steps_seen[0], steps_seen[2]);  // tier on == tier off
+  EXPECT_EQ(steps_seen[1], steps_seen[3]);
+}
+
+/// Toggling the tier off mid-life flushes blocks and lands back on the
+/// interpreter with identical results; toggling back on recompiles.
+TEST(CpuSuperblock, ToggleMidLifeStaysConsistent) {
+  isa::Assembler a(Arch::kVX86, 0x1000);
+  x::EncMovImm(a.w(), isa::kEAX, 50);
+  a.Label("loop");
+  x::EncSubImm(a.w(), isa::kEAX, 1);
+  x::EncCmpImm(a.w(), isa::kEAX, 0);
+  a.JnzLabel("loop");
+  x::EncHlt(a.w());
+  const util::Bytes text = a.Finish().value();
+  auto m = MakeMachine(Arch::kVX86, text);
+
+  auto first = m.cpu->Run(1000);
+  EXPECT_EQ(first.reason, StopReason::kHalted);
+  m.cpu->set_superblocks_enabled(false);
+  m.cpu->set_pc(0x1000);
+  auto second = m.cpu->Run(1000);
+  m.cpu->set_superblocks_enabled(true);
+  m.cpu->set_pc(0x1000);
+  auto third = m.cpu->Run(1000);
+  EXPECT_EQ(second.steps, first.steps);
+  EXPECT_EQ(third.steps, first.steps);
+  EXPECT_EQ(third.reason, StopReason::kHalted);
+}
+
 // --- Shared decode plans: one predecoded table per image content ----------
 
 /// A CPU with a plan bound executes byte-identically to one without:
