@@ -6,13 +6,17 @@ baseline and fails (exit 1) when a headline number regressed by more than
 the threshold (default 30%). Throughput-style keys regress by dropping;
 latency-style keys (microsecond costs) regress by rising.
 
-Keys that exist only in the fresh artifact are ignored, so adding a new
-metric never breaks the gate, and CI runners that legitimately differ from
-the machine that produced the baseline have 30% of headroom before the
-alarm sounds. The reverse is NOT ignored: a gated baseline key that is
-missing from the fresh artifact fails the run — a renamed or deleted bench
-silently dropping its measurement is exactly how a regression would sneak
-past the tripwire.
+Gated keys must exist on BOTH sides. A gated baseline key missing from the
+fresh artifact fails the run — a renamed or deleted bench silently dropping
+its measurement is exactly how a regression would sneak past the tripwire.
+A gated key present in the fresh artifact but absent from the baseline also
+fails: it means a new headline metric was added without refreshing the
+committed baseline, so the gate would never actually watch it. Ungated keys
+(and INFO_ONLY ones) may come and go freely.
+
+When $GITHUB_STEP_SUMMARY is set (GitHub Actions), the per-key delta table
+(baseline, fresh, % of baseline, gate verdict) is also appended there as
+markdown so the job summary shows the comparison without digging in logs.
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.30]
@@ -20,6 +24,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
 # Bigger is better: steps/sec, execs/sec, speedup ratios (including the
@@ -32,6 +37,7 @@ HIGHER_BETTER = {
     "rop_steps_per_sec",
     "rop_steps_per_sec_legacy",
     "rop_steps_per_sec_superblock",
+    "rop_steps_per_sec_linked",
     "rop_deliveries_per_sec",
     "loop_steps_per_sec",
     "loop_steps_per_sec_legacy",
@@ -39,6 +45,7 @@ HIGHER_BETTER = {
     "rop_speedup",
     "loop_speedup",
     "superblock_speedup",
+    "link_speedup",
     "reboot_speedup",
     "dirty_restore_speedup",
     "execs_per_sec",
@@ -54,9 +61,19 @@ LOWER_BETTER = {"boot_us", "restore_us", "restore_full_us"}
 
 # Printed for the log but never gated: boot_us is allocator-bound and swings
 # ~40% run-to-run on loaded runners, restore_us is sub-microsecond (timer
-# noise dominates), and the ratios derived from them inherit the swing. The
-# stable anchors — restore_full_us and every throughput key — carry the gate.
-INFO_ONLY = {"boot_us", "restore_us", "dirty_restore_speedup", "reboot_speedup"}
+# noise dominates), and the ratios derived from them inherit the swing.
+# link_speedup divides two throughputs whose jitter is uncorrelated (the
+# predecode-tier denominator swings ~50% with box load while the linked
+# numerator barely moves), so the ratio spans ~1.5–2.5x across healthy runs;
+# the absolute rop_steps_per_sec_linked key carries that gate instead. The
+# stable anchors — restore_full_us and every throughput key — do the gating.
+INFO_ONLY = {
+    "boot_us",
+    "restore_us",
+    "dirty_restore_speedup",
+    "reboot_speedup",
+    "link_speedup",
+}
 
 
 def direction(key):
@@ -65,6 +82,44 @@ def direction(key):
     if key in LOWER_BETTER:
         return "lower"
     return None
+
+
+def write_step_summary(rows, missing, stale, checked, failures, threshold):
+    """Appends the delta table as markdown to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["### Bench regression check", ""]
+    lines.append("| key | baseline | fresh | % of baseline | verdict |")
+    lines.append("| --- | ---: | ---: | ---: | :---: |")
+    for key, base_value, new_value, ratio, marker in rows:
+        lines.append(
+            f"| `{key}` | {base_value:.4g} | {new_value:.4g} "
+            f"| {ratio:.1%} | {marker.strip()} |"
+        )
+    for key in missing:
+        lines.append(f"| `{key}` | — | *missing* | — | MISS |")
+    for key in stale:
+        lines.append(f"| `{key}` | *missing* | — | — | STALE |")
+    lines.append("")
+    if missing or stale:
+        lines.append(
+            f"**FAIL** — gated keys out of sync between baseline and fresh "
+            f"artifact (missing: {len(missing)}, not in baseline: {len(stale)})."
+        )
+    elif failures:
+        lines.append(
+            f"**FAIL** — {len(failures)} metric(s) moved more than "
+            f"{threshold:.0%} the wrong way: {', '.join(failures)}."
+        )
+    else:
+        lines.append(
+            f"**OK** — all {checked} gated metrics within {threshold:.0%} "
+            f"of baseline."
+        )
+    lines.append("")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main():
@@ -81,6 +136,7 @@ def main():
         fresh = json.load(f)
 
     checked = 0
+    rows = []
     failures = []
     missing = []
     for key, base_value in sorted(baseline.items()):
@@ -117,11 +173,29 @@ def main():
             marker = "ok  " if ok else "FAIL"
             if not ok:
                 failures.append(key)
+        rows.append((key, base_value, new_value, ratio, marker))
         print(f"  [{marker}] {key:32s} {base_value:14.4g} -> {new_value:14.4g}  {verdict}")
+
+    # The reverse direction: a gated key the fresh artifact measures but the
+    # committed baseline never recorded. The gate would silently skip it
+    # forever, so force the baseline refresh instead.
+    stale = []
+    for key in sorted(fresh):
+        if key in baseline or direction(key) is None or key in INFO_ONLY:
+            continue
+        print(f"  [MISS] {key:32s} gated but absent from committed baseline")
+        stale.append(key)
+
+    write_step_summary(rows, missing, stale, checked, failures, args.threshold)
 
     if missing:
         print(f"\nbench regression: {len(missing)} gated baseline metric(s) "
               f"missing from the fresh artifact: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    if stale:
+        print(f"\nbench regression: {len(stale)} gated fresh metric(s) not in "
+              f"the committed baseline (refresh it): {', '.join(stale)}",
               file=sys.stderr)
         return 1
     if checked == 0:

@@ -6,17 +6,23 @@
 // reproducer, replays it, then runs the same campaign against the patched
 // 1.35 build to show the fix holds.
 //
-//   ./examples/fuzz_campaign [seed] [execs] [workers] [target] \
-//                            [corpus_file] [dict_file] \
-//                            [--sync-interval=N] \
-//                            [--trace=t.json] [--metrics=m.json] \
-//                            [--repro-dir=dir] [--distill] \
-//                            [--no-superblocks]
+//   ./examples/fuzz_campaign [seed] [execs] [workers] [target]
+//                            [corpus_file] [dict_file]
+//                            [--sync-interval=N]
+//                            [--trace=t.json] [--metrics=m.json]
+//                            [--repro-dir=dir] [--distill]
+//                            [--no-superblocks] [--no-block-links]
+//                            [--no-shared-blocks] [--help]
 //
-// `--no-superblocks` pins the victim CPUs to the plain interpreter (the
-// superblock threaded-code tier is on by default); the differential suite
-// proves both tiers produce identical campaigns, so this is a debugging and
-// A/B-measurement knob, not a behaviour switch.
+// Execution-tier knobs (all tiers are on by default; the differential suite
+// proves every combination produces identical campaigns, so these are
+// debugging and A/B-measurement knobs, not behaviour switches):
+//   --no-superblocks   pin the victim CPUs to the plain interpreter
+//   --no-block-links   keep superblocks but disable block-to-block linking
+//                      and host-fn/syscall continuation (the bare tier)
+//   --no-shared-blocks compile every block privately instead of sharing
+//                      compiled blocks across workers via the per-image
+//                      block registry
 //
 // `--sync-interval=N` sets how many of its own execs each worker runs
 // between cross-worker corpus exchanges (multi-worker only; 0 disables
@@ -98,19 +104,58 @@ bool TakeBareFlag(std::vector<std::string>& args, const std::string& name) {
   return false;
 }
 
+void PrintUsage() {
+  std::printf(
+      "usage: fuzz_campaign [seed] [execs] [workers] [target]\n"
+      "                     [corpus_file] [dict_file]\n"
+      "                     [--sync-interval=N] [--trace=t.json]\n"
+      "                     [--metrics=m.json] [--repro-dir=dir] [--distill]\n"
+      "                     [--no-superblocks] [--no-block-links]\n"
+      "                     [--no-shared-blocks] [--help]\n"
+      "\n"
+      "positional (defaults): seed 42, execs 20000, workers 1,\n"
+      "  target dnsproxy (dnsproxy|minimasq|httpcamd|resolvd|camstored),\n"
+      "  corpus_file persists the merged corpus, dict_file is an AFL-style\n"
+      "  dictionary ('builtin' = built-in DNS tokens).\n"
+      "\n"
+      "execution-tier knobs (all on by default; campaign results are\n"
+      "byte-identical either way — A/B measurement knobs only):\n"
+      "  --no-superblocks    plain interpreter, no threaded-code tier\n"
+      "  --no-block-links    bare superblocks: no block-to-block linking,\n"
+      "                      no host-fn/syscall continuation\n"
+      "  --no-shared-blocks  per-CPU block compilation only; skip the\n"
+      "                      process-wide per-image block registry\n"
+      "\n"
+      "other flags:\n"
+      "  --sync-interval=N   execs each worker runs between cross-worker\n"
+      "                      corpus exchanges (0 = independent until merge)\n"
+      "  --distill           coverage-ranked corpus distillation on save\n"
+      "  --trace=PATH        chrome://tracing JSON of the run\n"
+      "  --metrics=PATH      flat JSON dump of the metrics registry\n"
+      "  --repro-dir=DIR     one reproducer file per crash bucket\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (TakeBareFlag(args, "help")) {
+    PrintUsage();
+    return 0;
+  }
   const std::string trace_path = TakeFlag(args, "trace");
   const std::string metrics_path = TakeFlag(args, "metrics");
   const std::string repro_dir = TakeFlag(args, "repro-dir");
   const std::string sync_flag = TakeFlag(args, "sync-interval");
   const bool distill = TakeBareFlag(args, "distill");
   const bool no_superblocks = TakeBareFlag(args, "no-superblocks");
+  const bool no_block_links = TakeBareFlag(args, "no-block-links");
+  const bool no_shared_blocks = TakeBareFlag(args, "no-shared-blocks");
 
   fuzz::FuzzConfig config;
   config.target.superblocks = !no_superblocks;
+  config.target.block_links = !no_block_links;
+  config.target.shared_blocks = !no_shared_blocks;
   if (!sync_flag.empty()) {
     config.sync_interval = std::strtoull(sync_flag.c_str(), nullptr, 0);
   }

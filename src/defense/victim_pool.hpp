@@ -37,6 +37,10 @@ class VictimPool {
     /// Superblock tier on lane CPUs; disable-only knob (the process-wide
     /// default still governs), threaded through fleet::FleetConfig.
     bool superblocks = true;
+    /// Block linking / continuation within the tier; same contract.
+    bool block_links = true;
+    /// SharedSuperblockRegistry publication/import; same contract.
+    bool shared_blocks = true;
   };
 
   struct VolleyOutcome {

@@ -55,6 +55,10 @@ struct FleetConfig {
   /// Superblock tier on victim-lane CPUs (disable-only knob; the
   /// fleet_campaign example exposes it as --no-superblocks).
   bool superblocks = true;
+  /// Block linking / continuation within the tier (--no-block-links).
+  bool block_links = true;
+  /// SharedSuperblockRegistry publication/import (--no-shared-blocks).
+  bool shared_blocks = true;
 };
 
 struct FleetResult {

@@ -197,6 +197,10 @@ class BootedTarget : public FuzzTarget {
         sys_, loader::Boot(config_.arch, loader::ProtectionConfig::None(),
                            config_.boot_seed));
     if (!config_.superblocks) sys_->cpu->set_superblocks_enabled(false);
+    if (!config_.block_links) sys_->cpu->set_block_links_enabled(false);
+    if (!config_.shared_blocks) {
+      sys_->cpu->set_shared_superblocks_enabled(false);
+    }
     CONNLAB_ASSIGN_OR_RETURN(get_name_, sys_->Sym("connman.get_name"));
     CONNLAB_ASSIGN_OR_RETURN(copy_entry_, sys_->Sym("connman.copy_label"));
     CONNLAB_ASSIGN_OR_RETURN(copy_done_, sys_->Sym("connman.copy_done"));

@@ -54,6 +54,13 @@ struct TargetConfig {
   /// differential suite flips (Cpu::set_superblocks_default) still governs
   /// freshly booted targets.
   bool superblocks = true;
+  /// Block linking + host-fn/syscall continuation within the superblock
+  /// tier; same disable-only contract. Off reproduces the bare self-loop
+  /// tier for A/B smokes.
+  bool block_links = true;
+  /// Publication to / import from the process-wide SharedSuperblockRegistry;
+  /// same disable-only contract. Off compiles every block privately.
+  bool shared_blocks = true;
 };
 
 /// What one execution did, reduced to what the fuzz loop and the triage

@@ -77,7 +77,9 @@ Cpu::Cpu(isa::Arch arch, mem::AddressSpace& space)
       predecode_shift_(arch == isa::Arch::kVARM ? 2 : 0),
       predecode_enabled_(predecode_default_),
       shared_plans_enabled_(shared_plans_default_),
-      superblocks_enabled_(superblocks_default_) {}
+      superblocks_enabled_(superblocks_default_),
+      block_links_enabled_(block_links_default_),
+      shared_superblocks_enabled_(shared_superblocks_default_) {}
 
 Cpu::~Cpu() {
 #ifndef CONNLAB_OBS_DISABLED
@@ -113,6 +115,18 @@ void Cpu::FlushObsBatch() noexcept {
     if (sb_->invalidations != 0) {
       OBS_COUNT_N("vm.superblock.invalidations", sb_->invalidations);
       sb_->invalidations = 0;
+    }
+    if (sb_->links != 0) {
+      OBS_COUNT_N("vm.superblock.links", sb_->links);
+      sb_->links = 0;
+    }
+    if (sb_->resumes != 0) {
+      OBS_COUNT_N("vm.superblock.resumes", sb_->resumes);
+      sb_->resumes = 0;
+    }
+    if (sb_->imports != 0) {
+      OBS_COUNT_N("vm.superblock.imports", sb_->imports);
+      sb_->imports = 0;
     }
   }
 }

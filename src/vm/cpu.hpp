@@ -29,6 +29,7 @@
 
 namespace connlab::vm {
 
+struct SbOp;
 struct Superblock;
 class SuperblockCache;
 
@@ -193,6 +194,44 @@ class Cpu {
   }
   void FlushSuperblocks() noexcept;
 
+  // --- Block links ----------------------------------------------------------
+  // Direct-branch terminators (jmp/jz/jnz, call/bl with static targets)
+  // chain straight into the compiled successor block instead of returning to
+  // the dispatch loop, after re-making every check a fresh entry makes.
+  // Disabling unlinks everything (links live inside the flushed blocks).
+  void set_block_links_enabled(bool enabled) noexcept {
+    block_links_enabled_ = enabled;
+    FlushSuperblocks();
+  }
+  [[nodiscard]] bool block_links_enabled() const noexcept {
+    return block_links_enabled_;
+  }
+  static void set_block_links_default(bool enabled) noexcept {
+    block_links_default_ = enabled;
+  }
+  [[nodiscard]] static bool block_links_default() noexcept {
+    return block_links_default_;
+  }
+
+  // --- Shared superblocks ---------------------------------------------------
+  // Compiled blocks published to / imported from the process-wide
+  // SharedSuperblockRegistry, keyed by the bound DecodePlan's content
+  // identity (see vm/superblock.hpp). Only plan-backed segments share —
+  // scratch and writable segments always compile privately.
+  void set_shared_superblocks_enabled(bool enabled) noexcept {
+    shared_superblocks_enabled_ = enabled;
+    FlushSuperblocks();
+  }
+  [[nodiscard]] bool shared_superblocks_enabled() const noexcept {
+    return shared_superblocks_enabled_;
+  }
+  static void set_shared_superblocks_default(bool enabled) noexcept {
+    shared_superblocks_default_ = enabled;
+  }
+  [[nodiscard]] static bool shared_superblocks_default() noexcept {
+    return shared_superblocks_default_;
+  }
+
   // --- Snapshot state (loader::Snapshot) ------------------------------------
   /// Architectural state a snapshot must capture to make a later
   /// RestoreState indistinguishable from a fresh boot: registers, pc,
@@ -347,6 +386,13 @@ class Cpu {
                                     const mem::Segment* seg,
                                     std::uint64_t entry_gen,
                                     std::uint64_t steps_cap);
+  /// Block-link resolution for a direct-branch op whose target is `target`:
+  /// returns the compiled successor in the same segment (compiling it on
+  /// first use, caching the edge in the op's link slots), or nullptr when
+  /// the target is outside the segment, a host-function trampoline, or not
+  /// worth block dispatch. Caller has already verified the generation.
+  const Superblock* LinkedSuccessor(const SbOp& op, const mem::Segment* seg,
+                                    mem::GuestAddr target);
 
   void Fault(std::string detail);
   void RecordCoverageEdge() noexcept {
@@ -387,6 +433,10 @@ class Cpu {
   std::unique_ptr<SuperblockCache> sb_;  // lazily created on first Run
   bool superblocks_enabled_ = true;
   inline static bool superblocks_default_ = true;
+  bool block_links_enabled_ = true;
+  inline static bool block_links_default_ = true;
+  bool shared_superblocks_enabled_ = true;
+  inline static bool shared_superblocks_default_ = true;
 
 #ifndef CONNLAB_OBS_DISABLED
   /// Per-CPU staging for the obs counters: fuzz targets issue tens of tiny

@@ -13,6 +13,26 @@
 // fall-through pc and its precomputed AFL coverage location. Execution then
 // jumps handler-to-handler with no switch and no per-step cache probes.
 //
+// Three mechanisms keep execution inside threaded code across block
+// boundaries:
+//   - Block links: a direct branch terminator (jmp/jz/jnz, call/bl with a
+//     static target) re-enters either its own block (the self-loop shape) or
+//     a cached successor block in the same segment, after re-making every
+//     check a fresh TrySuperblocks entry makes (generation, stop state,
+//     budget, breakpoints). Links are per-CPU `mutable` fields on the branch
+//     op; they only ever point into the same SegBlocks map, so generation
+//     invalidation drops predecessor, successor and the edge together.
+//   - Continuation after host functions and syscalls: a direct call whose
+//     static target is a registered host-function trampoline compiles into a
+//     call-host op that performs the call, dispatches the host function and
+//     — when the host function returned to the fall-through pc and budget
+//     still allows — resumes the block's remaining ops without leaving the
+//     executor. Syscalls likewise continue in-block.
+//   - A shared per-image block store (SharedSuperblockRegistry below): CPUs
+//     with a valid DecodePlan binding publish their compiled blocks keyed by
+//     the plan's content identity, and other CPUs booted from the same image
+//     import a private copy instead of re-walking the instruction stream.
+//
 // Correctness contract (the differential suite enforces all of it, tier on
 // vs off):
 //   - Blocks are keyed to (segment, write generation). Any byte or
@@ -22,11 +42,13 @@
 //   - Store-class ops re-check the code segment's generation *mid-block*
 //     and exit to the interpreter when the guest just overwrote its own
 //     instruction stream (shellcode patching the sled it is running on).
+//     Host functions and syscalls can write guest memory too, so the
+//     continuation path re-checks the generation before resuming.
 //   - Handlers mirror the interpreter byte-for-byte: same fault wording,
 //     same pc at fault time (the fall-through pc, as ExecVX86/ExecVARM set
 //     before executing), same shadow-stack CFI events and stop details,
 //     same steps_ accounting, same AFL edge-coverage updates per retired
-//     instruction.
+//     instruction (host-function transits included).
 //   - Anything the block cannot reproduce exactly — tracing, a VARM
 //     instruction reading or writing r15 outside the synced cases, an
 //     instruction budget smaller than the block — falls back to the
@@ -34,14 +56,20 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/isa/isa.hpp"
 #include "src/mem/segment.hpp"
 
 namespace connlab::vm {
+
+struct Superblock;
 
 /// One threaded-code operation: everything its handler needs, precomputed.
 struct SbOp {
@@ -50,6 +78,18 @@ struct SbOp {
   mem::GuestAddr pc = 0;       // guest address of this instruction
   mem::GuestAddr pc_next = 0;  // fall-through address (pc + length)
   std::uint32_t cov_loc = 0;   // CoverageLocation(pc), hoisted out of the loop
+  std::uint32_t cov_host = 0;  // CoverageLocation(host-fn pc) for call-host ops
+  // Call-host ops: the host-function map node this call dispatches
+  // (pointer-stable; really a const std::pair<std::string, Cpu::HostFn>*,
+  // typed void* to keep this header free of cpu.hpp). Always nullptr in
+  // SharedSuperblockRegistry canonicals — importers re-resolve locally.
+  const void* host = nullptr;
+  // Block-link slots on direct-branch terminators: the compiled successor
+  // for the taken / fall-through target. Per-CPU scratch (hence mutable on a
+  // const op): links point only into the same SegBlocks map, so the edge can
+  // never outlive either endpoint. Never populated on registry canonicals.
+  mutable const Superblock* link_taken = nullptr;
+  mutable const Superblock* link_fall = nullptr;
 };
 
 /// A compiled straight-line region. `ops[0..count)` are real instructions;
@@ -125,15 +165,89 @@ class SuperblockCache {
   }
 
   // Tier counters, batched per-CPU like ObsBatch and flushed to the obs
-  // registry as vm.superblock.{compiles,hits,fallbacks,invalidations}.
+  // registry as vm.superblock.{compiles,hits,fallbacks,invalidations,
+  // links,resumes,imports}.
   std::uint64_t compiles = 0;       // usable blocks built
   std::uint64_t hits = 0;           // blocks dispatched
   std::uint64_t fallbacks = 0;      // entries that deferred to the interpreter
   std::uint64_t invalidations = 0;  // generation bumps that dropped blocks
+  std::uint64_t links = 0;          // block-to-block link transitions taken
+  std::uint64_t resumes = 0;        // in-block continuations after host fn/syscall
+  std::uint64_t imports = 0;        // blocks copied from the shared registry
 
  private:
   std::vector<SegBlocks> segs_;  // a handful of segments per address space
   std::array<Slot, kSlots> slots_{};
+};
+
+/// Process-wide compiled-block store, mirroring DecodePlanRegistry: one
+/// canonical copy of each compiled block per executable-segment *content*,
+/// so N fuzz workers / fleet victim lanes booted from the same image walk
+/// and pick-handler each hot region exactly once. Keyed by the bound
+/// DecodePlan's identity (arch, base, size, content hash) plus the block's
+/// entry pc — a diversity-reshuffled boot has different bytes (and usually a
+/// different base), so it can never be served another layout's block.
+///
+/// Canonicals are scrubbed before publication: link slots and host-function
+/// pointers are per-CPU state and are nulled; handler addresses are
+/// function-local statics inside Cpu::ExecSuperblock, identical across every
+/// CPU in the process, and coverage locations are a pure function of pc — so
+/// the remaining payload is content-deterministic. Importers copy the
+/// canonical into their private SegBlocks map (links re-grow locally) after
+/// re-validating it against local state: no interior pc may be shadowed by a
+/// local host function or breakpoint, and call-host ops must re-resolve
+/// their trampoline from the local host-fn table.
+///
+/// Thread-safe like DecodePlanRegistry: lookups take a shared (reader) lock,
+/// builds happen outside any lock, and when two workers race to publish the
+/// same block the first insert wins and the loser's copy is dropped.
+class SharedSuperblockRegistry {
+ public:
+  static SharedSuperblockRegistry& Instance();
+
+  /// Canonical block for (image identity, entry), or nullptr when none has
+  /// been published yet.
+  [[nodiscard]] std::shared_ptr<const Superblock> Lookup(
+      isa::Arch arch, mem::GuestAddr base, std::uint32_t size,
+      std::uint64_t content_hash, mem::GuestAddr entry) const;
+
+  /// Publishes a scrubbed canonical (first insert wins; later publishes of
+  /// the same key are dropped — identical content compiles identically).
+  void Publish(isa::Arch arch, mem::GuestAddr base, std::uint32_t size,
+               std::uint64_t content_hash, mem::GuestAddr entry,
+               std::shared_ptr<const Superblock> block);
+
+  struct Stats {
+    std::uint64_t publishes = 0;  // canonicals inserted (cold compiles)
+    std::uint64_t imports = 0;    // lookups served from a canonical
+    std::size_t live_blocks = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  /// Drops every canonical (tests; importers own private copies).
+  void Clear();
+
+ private:
+  struct Key {
+    std::uint8_t arch = 0;
+    mem::GuestAddr base = 0;
+    std::uint32_t size = 0;
+    std::uint64_t hash = 0;
+    mem::GuestAddr entry = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  /// The diversity lab boots hundreds of unique layouts, each with many hot
+  /// blocks; cap the registry and evict oldest-inserted so it cannot grow
+  /// without bound (importers hold private copies, so eviction only costs a
+  /// recompile).
+  static constexpr std::size_t kMaxBlocks = 4096;
+
+  mutable std::shared_mutex mu_;
+  std::map<Key, std::shared_ptr<const Superblock>> blocks_;
+  std::deque<Key> insertion_order_;
+  std::atomic<std::uint64_t> publishes_{0};
+  mutable std::atomic<std::uint64_t> imports_{0};  // counted in const Lookup
 };
 
 }  // namespace connlab::vm

@@ -18,6 +18,7 @@
 #include "src/fuzz/fuzzer.hpp"
 #include "src/loader/snapshot.hpp"
 #include "src/vm/cpu.hpp"
+#include "src/vm/superblock.hpp"
 
 namespace connlab {
 namespace {
@@ -62,6 +63,31 @@ class SuperblockDefault {
     vm::Cpu::set_superblocks_default(enabled);
   }
   ~SuperblockDefault() { vm::Cpu::set_superblocks_default(true); }
+};
+
+/// And for block linking / continuation within the tier.
+class BlockLinksDefault {
+ public:
+  explicit BlockLinksDefault(bool enabled) {
+    vm::Cpu::set_block_links_default(enabled);
+  }
+  ~BlockLinksDefault() { vm::Cpu::set_block_links_default(true); }
+};
+
+/// And for the shared per-image block registry. The registry itself is
+/// cleared on entry and exit so every combo starts cold — imports must be
+/// earned under the combo being tested, never inherited from the previous
+/// one.
+class SharedSuperblocksDefault {
+ public:
+  explicit SharedSuperblocksDefault(bool enabled) {
+    vm::Cpu::set_shared_superblocks_default(enabled);
+    vm::SharedSuperblockRegistry::Instance().Clear();
+  }
+  ~SharedSuperblocksDefault() {
+    vm::Cpu::set_shared_superblocks_default(true);
+    vm::SharedSuperblockRegistry::Instance().Clear();
+  }
 };
 
 TEST(Differential, SixAttackMatrixIdenticalAcrossModes) {
@@ -280,19 +306,41 @@ TEST(Differential, EpochSyncedReplayIdenticalAcrossVmModes) {
 
 struct TierCombo {
   bool superblocks;
+  bool block_links;
+  bool shared_blocks;
   bool shared_plans;
   bool dirty_restore;
   std::string Label() const {
     return std::string("superblocks=") + (superblocks ? "on" : "off") +
+           " links=" + (block_links ? "on" : "off") +
+           " shared_blocks=" + (shared_blocks ? "on" : "off") +
            " plans=" + (shared_plans ? "on" : "off") +
            " dirty_restore=" + (dirty_restore ? "on" : "off");
   }
 };
 
+// The tier ladder crossed with the block-link and shared-block-cache axes
+// (PR 10), then with the plan/restore axes. With superblocks off the link
+// and sharing knobs are inert, so those rows only vary plans/restore —
+// twelve combos cover every meaningful interaction without running the
+// full 2^5.
 constexpr TierCombo kTierCombos[] = {
-    {true, true, true},   {true, true, false},  {true, false, true},
-    {true, false, false}, {false, true, true},  {false, true, false},
-    {false, false, true}, {false, false, false}};
+    // Linked tier (everything on) across plans × restore.
+    {true, true, true, true, true},
+    {true, true, true, true, false},
+    {true, true, true, false, true},
+    {true, true, true, false, false},
+    // Links on, private block compilation.
+    {true, true, false, true, true},
+    // Bare superblock tier (links off — sharing is inert without them).
+    {true, false, true, true, true},
+    {true, false, false, true, true},
+    {true, false, false, false, false},
+    // Interpreter baseline rows.
+    {false, true, true, true, true},
+    {false, true, true, true, false},
+    {false, true, true, false, true},
+    {false, true, true, false, false}};
 
 /// The full attack matrix must be bit-for-bit identical with the superblock
 /// tier on vs off, crossed with the decode-plan and dirty-restore axes — a
@@ -304,6 +352,8 @@ TEST(Differential, SixAttackMatrixIdenticalAcrossSuperblockCombos) {
   std::string baseline_label;
   for (const TierCombo& combo : kTierCombos) {
     SuperblockDefault tier(combo.superblocks);
+    BlockLinksDefault links(combo.block_links);
+    SharedSuperblocksDefault shared_blocks(combo.shared_blocks);
     SharedPlansDefault plans(combo.shared_plans);
     DirtyRestoreGuard dirty(combo.dirty_restore);
     std::vector<attack::AttackResult> rows =
@@ -340,6 +390,8 @@ TEST(Differential, FuzzReplayIdenticalAcrossSuperblockCombos) {
   bool have_baseline = false;
   for (const TierCombo& combo : kTierCombos) {
     SuperblockDefault tier(combo.superblocks);
+    BlockLinksDefault links(combo.block_links);
+    SharedSuperblocksDefault shared_blocks(combo.shared_blocks);
     SharedPlansDefault plans(combo.shared_plans);
     DirtyRestoreGuard dirty(combo.dirty_restore);
     const ReplayOutcome out = RunReplay(true, true);
@@ -357,17 +409,31 @@ TEST(Differential, FuzzReplayIdenticalAcrossSuperblockCombos) {
   }
 }
 
-/// The PR 8 pinned eight-worker epoch-synced campaign, replayed with the
-/// tier on and off: both must land on the very digests committed before the
+/// The PR 8 pinned eight-worker epoch-synced campaign, replayed up the tier
+/// ladder — interpreter, bare superblocks, linked, linked + shared block
+/// cache: every mode must land on the very digests committed before the
 /// superblock tier existed (tests/test_fuzz.cpp pins the same constants).
-/// This is the cross-PR anchor — the tier changed nothing observable, even
-/// under worker-parallel execution with mid-campaign corpus exchanges.
-TEST(Differential, EightWorkerSyncedDigestUnmovedBySuperblocks) {
+/// This is the cross-PR anchor — the tiers changed nothing observable, even
+/// under worker-parallel execution with mid-campaign corpus exchanges and,
+/// in the shared-cache mode, workers racing to publish/import compiled
+/// blocks through the process-global registry.
+TEST(Differential, EightWorkerSyncedDigestUnmovedByTierModes) {
   constexpr std::uint64_t kCoverageDigest = 0xd8788bc796ab373cULL;
   constexpr std::uint64_t kCorpusDigest = 0x9c372e9e5056301aULL;
-  for (const bool superblocks : {true, false}) {
-    SCOPED_TRACE(superblocks ? "tier on" : "tier off");
-    SuperblockDefault tier(superblocks);
+  struct TierMode {
+    bool superblocks, links, shared;
+    const char* label;
+  };
+  constexpr TierMode kModes[] = {
+      {false, false, false, "interpreter"},
+      {true, false, false, "bare superblocks"},
+      {true, true, false, "linked"},
+      {true, true, true, "linked + shared cache"}};
+  for (const TierMode& tier_mode : kModes) {
+    SCOPED_TRACE(tier_mode.label);
+    SuperblockDefault tier(tier_mode.superblocks);
+    BlockLinksDefault links(tier_mode.links);
+    SharedSuperblocksDefault shared_blocks(tier_mode.shared);
     fuzz::FuzzConfig config;
     config.target.kind = fuzz::TargetKind::kDnsproxy;
     config.seed = 42;

@@ -520,6 +520,49 @@ TEST(Snapshot, SuperblockTierSurvivesWxFlipAndRestoreInBothModes) {
   }
 }
 
+/// Snapshot restore drops stale block links: a two-block chain compiles and
+/// links in round 1, the restore rewinds .scratch, and round 2 rewrites
+/// only the *successor* at the same addresses. The unchanged predecessor
+/// must not ride its stale edge into the old successor.
+TEST(Snapshot, RestoreDropsStaleBlockLinksInBothModes) {
+  for (const RestoreMode mode : {RestoreMode::kFull, RestoreMode::kDirtyOnly}) {
+    auto sys = Boot(Arch::kVX86, ProtectionConfig::None(), 7).value();
+    ASSERT_TRUE(sys->cpu->block_links_enabled());
+    const mem::GuestAddr scratch = sys->Sym("scratch.start").value();
+    const Snapshot snap = TakeSnapshot(*sys);
+
+    // Predecessor bytes are identical in both rounds; only the successor's
+    // immediate differs, so a surviving A→B link is exactly the hazard.
+    util::ByteWriter probe;
+    isa::vx86::EncMovImm(probe, isa::kECX, 5);
+    isa::vx86::EncJmp(probe, 0);
+    const std::uint32_t b_addr = static_cast<std::uint32_t>(
+        scratch + probe.bytes().size());
+    auto assemble_chain = [&](std::uint32_t esi_val) {
+      util::ByteWriter w;
+      isa::vx86::EncMovImm(w, isa::kECX, 5);  // A
+      isa::vx86::EncJmp(w, b_addr);
+      isa::vx86::EncMovImm(w, isa::kESI, esi_val);  // B
+      isa::vx86::EncHlt(w);
+      return w.bytes();
+    };
+
+    ASSERT_TRUE(sys->space.DebugWrite(scratch, assemble_chain(7)).ok());
+    ASSERT_TRUE(sys->space.Protect(".scratch", mem::kPermRX).ok());
+    sys->cpu->set_pc(scratch);
+    EXPECT_EQ(sys->cpu->Run(100).reason, vm::StopReason::kHalted);
+    EXPECT_EQ(sys->cpu->reg(isa::kESI), 7u);
+
+    ASSERT_TRUE(RestoreSnapshot(*sys, snap, mode).ok());
+    ASSERT_TRUE(sys->space.DebugWrite(scratch, assemble_chain(9)).ok());
+    ASSERT_TRUE(sys->space.Protect(".scratch", mem::kPermRX).ok());
+    sys->cpu->set_pc(scratch);
+    EXPECT_EQ(sys->cpu->Run(100).reason, vm::StopReason::kHalted);
+    EXPECT_EQ(sys->cpu->reg(isa::kESI), 9u)
+        << "stale link survived restore, mode " << static_cast<int>(mode);
+  }
+}
+
 // --- Shared decode plans at boot -------------------------------------------
 
 TEST(Boot, BindsSharedPlansForImmutableTextOnly) {

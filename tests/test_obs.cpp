@@ -12,6 +12,7 @@
 
 #include "src/fuzz/fuzzer.hpp"
 #include "src/obs/obs.hpp"
+#include "src/vm/superblock.hpp"
 
 namespace connlab::obs {
 namespace {
@@ -264,6 +265,12 @@ TEST(ObsCampaign, FixedSeedCampaignMetricsAreExact) {
 // Two identically-seeded campaigns scrape identical counter deltas.
 TEST(ObsCampaign, MetricsAreDeterministicAcrossRuns) {
   const auto run_once = [] {
+    // Start each run with a cold shared-superblock registry: with a warm one
+    // the second run imports blocks the first run compiled, shifting counts
+    // between vm.superblock.compiles and vm.superblock.imports (total work
+    // is identical — that split is the one counter that reflects process
+    // history rather than the seed).
+    connlab::vm::SharedSuperblockRegistry::Instance().Clear();
     Scope scope;
     auto report = fuzz::Fuzzer(SmallCampaign(7, 2)).Run();
     EXPECT_TRUE(report.ok());
@@ -292,6 +299,9 @@ TEST(ObsCampaign, SuperblockCountersExported) {
     return it == m.counters.end() ? std::uint64_t{0} : it->second;
   };
   {
+    // Cold shared registry so compiled blocks count as compiles here, not
+    // as imports of some earlier test's canonicals.
+    connlab::vm::SharedSuperblockRegistry::Instance().Clear();
     Scope scope;
     auto report = fuzz::Fuzzer(SmallCampaign(42, 1)).Run();
     ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -302,6 +312,11 @@ TEST(ObsCampaign, SuperblockCountersExported) {
               m.counters.at("vm.superblock.compiles"));
     // Host-function pcs and interpreter-only regions fall back by design.
     EXPECT_GT(m.counters.at("vm.superblock.fallbacks"), 0u);
+    // The guest's hot copy loop spans two blocks (test + body), so the
+    // block-link path must have fired. (No resumes assertion: the fuzz
+    // harness enters copy_label via set_pc, never through a guest call to a
+    // trampoline — continuation coverage lives in test_vm.)
+    EXPECT_GT(m.counters.at("vm.superblock.links"), 0u);
   }
   {
     Scope scope;
@@ -314,6 +329,9 @@ TEST(ObsCampaign, SuperblockCountersExported) {
     EXPECT_EQ(value_or_zero(m, "vm.superblock.hits"), 0u);
     EXPECT_EQ(value_or_zero(m, "vm.superblock.fallbacks"), 0u);
     EXPECT_EQ(value_or_zero(m, "vm.superblock.invalidations"), 0u);
+    EXPECT_EQ(value_or_zero(m, "vm.superblock.links"), 0u);
+    EXPECT_EQ(value_or_zero(m, "vm.superblock.resumes"), 0u);
+    EXPECT_EQ(value_or_zero(m, "vm.superblock.imports"), 0u);
   }
 }
 

@@ -6,6 +6,7 @@
 #include "src/isa/varm.hpp"
 #include "src/isa/vx86.hpp"
 #include "src/vm/cpu.hpp"
+#include "src/vm/superblock.hpp"
 #include "src/vm/syscalls.hpp"
 
 namespace connlab::vm {
@@ -884,6 +885,239 @@ TEST(CpuSuperblock, ToggleMidLifeStaysConsistent) {
   EXPECT_EQ(second.steps, first.steps);
   EXPECT_EQ(third.steps, first.steps);
   EXPECT_EQ(third.reason, StopReason::kHalted);
+}
+
+// --- Block links: chained blocks must invalidate exactly like lone ones ---
+
+/// A loop whose body and header are separate blocks (a conditional exit at
+/// the top, a backward jmp at the bottom) stays linked block-to-block and
+/// retires identically across every tier combination.
+TEST(CpuBlockLink, TwoBlockLoopMatchesInterpreter) {
+  auto run = [](bool superblocks, bool links) {
+    isa::Assembler a(Arch::kVX86, 0x1000);
+    x::EncMovImm(a.w(), isa::kEAX, 300);
+    a.Label("loop");
+    x::EncCmpImm(a.w(), isa::kEAX, 0);
+    a.JzLabel("done");
+    x::EncSubImm(a.w(), isa::kEAX, 1);
+    x::EncAddImm(a.w(), isa::kEBX, 1);
+    a.JmpLabel("loop");
+    a.Label("done");
+    x::EncHlt(a.w());
+    auto m = MakeMachine(Arch::kVX86, a.Finish().value());
+    EXPECT_TRUE(m.cpu->block_links_enabled());  // default on
+    m.cpu->set_superblocks_enabled(superblocks);
+    m.cpu->set_block_links_enabled(links);
+    auto stop = m.cpu->Run(100000);
+    EXPECT_EQ(stop.reason, StopReason::kHalted);
+    return std::make_tuple(stop.steps, m.cpu->reg(isa::kEBX), m.cpu->pc());
+  };
+  const auto linked = run(true, true);
+  EXPECT_EQ(linked, run(true, false));
+  EXPECT_EQ(linked, run(false, false));
+  EXPECT_EQ(std::get<0>(linked), 1504u);  // mov + 300*5 + cmp,jz + hlt
+  EXPECT_EQ(std::get<1>(linked), 300u);
+}
+
+/// SMC in a *successor* block while its linked predecessor chain is
+/// mid-execution: a patcher block (reached through a fresh link) overwrites
+/// the final block the chain was about to enter. The store bumps the
+/// generation mid-block, so every link into the stale successor is dead and
+/// the patched bytes — not the compiled ones — must run.
+TEST(CpuBlockLink, SuccessorSmcMidChainRunsPatchedBytes) {
+  // Replacement for block B (`mov esi,9 ; hlt`), padded to two words.
+  util::ByteWriter nb;
+  x::EncMovImm(nb, isa::kESI, 9);
+  x::EncHlt(nb);
+  util::Bytes new_b = nb.bytes();
+  while (new_b.size() % 4 != 0) new_b.push_back(0);
+  ASSERT_LE(new_b.size(), 8u);
+  while (new_b.size() < 8) new_b.push_back(0);
+  auto word_at = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(new_b[i]) |
+           (static_cast<std::uint32_t>(new_b[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(new_b[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(new_b[i + 3]) << 24);
+  };
+
+  // Two-pass emission: targets are absolute, encodings fixed-length, so the
+  // dummy pass measures the label offsets the real pass encodes.
+  auto emit = [&](std::uint32_t base, std::uint32_t patcher, std::uint32_t b,
+                  std::uint32_t* patcher_off, std::uint32_t* b_off) {
+    util::ByteWriter w;
+    x::EncCmpImm(w, isa::kEAX, 1);  // A: eax==1 selects the patch pass
+    x::EncJz(w, patcher);
+    x::EncMovImm(w, isa::kECX, 1);  // F: benign fall-through, links to B
+    x::EncJmp(w, b);
+    *patcher_off = static_cast<std::uint32_t>(w.bytes().size());
+    x::EncMovImm(w, isa::kEBX, b);  // patcher: rewrite B, then enter it
+    x::EncMovImm(w, isa::kEDX, word_at(0));
+    x::EncStore(w, isa::kEDX, isa::kEBX, 0);
+    x::EncMovImm(w, isa::kEDX, word_at(4));
+    x::EncStore(w, isa::kEDX, isa::kEBX, 4);
+    x::EncJmp(w, b);
+    *b_off = static_cast<std::uint32_t>(w.bytes().size());
+    x::EncMovImm(w, isa::kESI, 7);  // B: the block the patcher rewrites
+    x::EncHlt(w);
+    while (w.bytes().size() < *b_off + 8) x::EncNop(w);
+    (void)base;
+    return w.bytes();
+  };
+
+  std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>> seen;
+  for (const bool superblocks : {true, false}) {
+    std::uint32_t patcher_off = 0, b_off = 0;
+    (void)emit(0x8000, 0, 0, &patcher_off, &b_off);
+    std::uint32_t po2 = 0, bo2 = 0;
+    const util::Bytes code =
+        emit(0x8000, 0x8000 + patcher_off, 0x8000 + b_off, &po2, &bo2);
+    ASSERT_EQ(po2, patcher_off);
+    ASSERT_EQ(bo2, b_off);
+
+    auto m = MakeMachine(Arch::kVX86, util::Bytes{}, mem::kPermRWX);
+    m.cpu->set_superblocks_enabled(superblocks);
+    ASSERT_TRUE(m.space.DebugWrite(0x8000, code).ok());
+
+    // Pass 1 (eax=0): benign path compiles A, F and B and links A→F→B.
+    m.cpu->set_pc(0x8000);
+    EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);
+    EXPECT_EQ(m.cpu->reg(isa::kESI), 7u);
+
+    // Pass 2 (eax=1): the chain links into the patcher, whose stores gut B
+    // while A's links still point at the round-1 compile.
+    m.cpu->set_reg(isa::kEAX, 1);
+    m.cpu->set_reg(isa::kESI, 0);
+    m.cpu->set_pc(0x8000);
+    auto stop = m.cpu->Run(100);
+    EXPECT_EQ(stop.reason, StopReason::kHalted);
+    EXPECT_EQ(m.cpu->reg(isa::kESI), 9u);  // a stale linked B would leave 7
+    seen.emplace_back(stop.steps, m.cpu->reg(isa::kESI), m.cpu->pc());
+  }
+  EXPECT_EQ(seen[0], seen[1]);  // tier on == tier off, step for step
+}
+
+/// A W^X flip unlinks a chained edge: revoking X, patching the successor
+/// and re-granting X must land execution in the rewritten successor even
+/// though the predecessor's bytes never changed.
+TEST(CpuBlockLink, WxFlipUnlinksChainedEdge) {
+  util::ByteWriter probe;
+  x::EncMovImm(probe, isa::kECX, 5);
+  x::EncJmp(probe, 0);
+  const std::uint32_t b_addr =
+      0x1000 + static_cast<std::uint32_t>(probe.bytes().size());
+
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kECX, 5);  // A
+  x::EncJmp(w, b_addr);
+  x::EncMovImm(w, isa::kESI, 7);  // B
+  x::EncHlt(w);
+  auto m = MakeMachine(Arch::kVX86, w.bytes());
+
+  EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);  // A→B link formed
+  EXPECT_EQ(m.cpu->reg(isa::kESI), 7u);
+
+  ASSERT_TRUE(m.space.Protect(".text", mem::kPermRW).ok());
+  util::ByteWriter nb;
+  x::EncMovImm(nb, isa::kESI, 9);
+  x::EncHlt(nb);
+  ASSERT_TRUE(m.space.DebugWrite(b_addr, nb.bytes()).ok());
+  ASSERT_TRUE(m.space.Protect(".text", mem::kPermRX).ok());
+
+  m.cpu->set_reg(isa::kESI, 0);
+  m.cpu->set_pc(0x1000);
+  EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);
+  EXPECT_EQ(m.cpu->reg(isa::kESI), 9u);  // the stale edge would deliver 7
+}
+
+/// A breakpoint set on a linked successor's entry pc after the link formed:
+/// the flush drops the edge, the stop lands exactly on the successor's
+/// first instruction, and the retired step count matches the interpreter.
+TEST(CpuBlockLink, BreakpointOnLinkedSuccessorEntryHonoured) {
+  util::ByteWriter probe;
+  x::EncMovImm(probe, isa::kECX, 5);
+  x::EncJmp(probe, 0);
+  const std::uint32_t b_addr =
+      0x1000 + static_cast<std::uint32_t>(probe.bytes().size());
+
+  std::vector<std::uint64_t> steps_seen;
+  for (const bool superblocks : {true, false}) {
+    util::ByteWriter w;
+    x::EncMovImm(w, isa::kECX, 5);  // A
+    x::EncJmp(w, b_addr);
+    x::EncMovImm(w, isa::kESI, 7);  // B
+    x::EncHlt(w);
+    auto m = MakeMachine(Arch::kVX86, w.bytes());
+    m.cpu->set_superblocks_enabled(superblocks);
+
+    EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);  // warm the link
+    m.cpu->AddBreakpoint(b_addr);
+    m.cpu->set_reg(isa::kESI, 0);
+    m.cpu->set_pc(0x1000);
+    auto stop = m.cpu->Run(100);
+    EXPECT_EQ(stop.reason, StopReason::kBreakpoint);
+    EXPECT_EQ(m.cpu->pc(), b_addr);
+    EXPECT_EQ(m.cpu->reg(isa::kESI), 0u);  // stopped before B executed
+    steps_seen.push_back(stop.steps);
+
+    EXPECT_EQ(m.cpu->Run(100).reason, StopReason::kHalted);  // skip-once
+    EXPECT_EQ(m.cpu->reg(isa::kESI), 7u);
+  }
+  EXPECT_EQ(steps_seen[0], steps_seen[1]);
+}
+
+// --- Shared superblocks: one compiled block per image content -------------
+
+/// Worker 0 publishes its compiled blocks; an identically-imaged worker 1
+/// imports them instead of re-walking the instruction stream, and both
+/// retire identically. A CPU with sharing disabled touches the registry in
+/// neither direction.
+TEST(CpuSharedSuperblock, SecondCpuImportsAndMatches) {
+  util::ByteWriter w;
+  x::EncMovImm(w, isa::kEAX, 1000);
+  const std::uint32_t loop = 0x1000 + static_cast<std::uint32_t>(w.bytes().size());
+  x::EncSubImm(w, isa::kEAX, 1);
+  x::EncCmpImm(w, isa::kEAX, 0);
+  x::EncJnz(w, loop);
+  x::EncHlt(w);
+  const util::Bytes text = w.bytes();
+
+  auto& registry = SharedSuperblockRegistry::Instance();
+  registry.Clear();
+  const auto stats0 = registry.GetStats();
+
+  auto boot = [&](bool shared) {
+    auto m = MakeMachine(Arch::kVX86, text);
+    m.cpu->set_shared_superblocks_enabled(shared);
+    const mem::Segment* seg = m.space.FindSegmentByName(".text");
+    EXPECT_NE(seg, nullptr);
+    // Sharing keys on the bound DecodePlan's content identity, exactly as
+    // Boot sets workers up.
+    m.cpu->BindDecodePlan(
+        seg, DecodePlanRegistry::Instance().GetOrBuild(Arch::kVX86, *seg));
+    return m;
+  };
+
+  auto m1 = boot(true);
+  auto first = m1.cpu->Run(100000);
+  EXPECT_EQ(first.reason, StopReason::kHalted);
+  const auto stats1 = registry.GetStats();
+  EXPECT_GT(stats1.publishes, stats0.publishes);
+  EXPECT_GT(stats1.live_blocks, stats0.live_blocks);
+
+  auto m2 = boot(true);
+  auto second = m2.cpu->Run(100000);
+  EXPECT_EQ(second.reason, StopReason::kHalted);
+  EXPECT_EQ(second.steps, first.steps);
+  EXPECT_EQ(m2.cpu->reg(isa::kEAX), m1.cpu->reg(isa::kEAX));
+  const auto stats2 = registry.GetStats();
+  EXPECT_GT(stats2.imports, stats1.imports);
+  EXPECT_EQ(stats2.publishes, stats1.publishes);  // nothing recompiled
+
+  auto m3 = boot(false);
+  EXPECT_EQ(m3.cpu->Run(100000).steps, first.steps);
+  const auto stats3 = registry.GetStats();
+  EXPECT_EQ(stats3.imports, stats2.imports);
+  EXPECT_EQ(stats3.publishes, stats2.publishes);
 }
 
 // --- Shared decode plans: one predecoded table per image content ----------
